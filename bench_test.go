@@ -1,0 +1,419 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the artifact end to end), plus ablation
+// benchmarks for the design choices called out in DESIGN.md and
+// throughput microbenchmarks for the simulators themselves.
+//
+// Figure benchmarks share one Suite (and thus its behavioural-profile
+// cache), so the first iteration pays the behavioural passes and later
+// iterations measure the timing replays and analyses — mirroring how the
+// library is used for design-space sweeps.
+package cachetime_test
+
+import (
+	"sync"
+	"testing"
+
+	cachetime "repro"
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchScale keeps the full benchmark sweep tractable while preserving the
+// workloads' footprints; EXPERIMENTS.md records results at larger scales.
+const benchScale = 0.08
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() { suite = experiments.NewSuite(benchScale) })
+	return suite
+}
+
+func BenchmarkTable1Traces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		traces := workload.GenerateAll(benchScale)
+		refs := 0
+		for _, t := range traces {
+			refs += t.Len()
+		}
+		b.ReportMetric(float64(refs), "refs")
+	}
+}
+
+func BenchmarkTable2MemoryCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2()
+		if rows[0].ReadCycles != 14 {
+			b.Fatal("table 2 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure3_1(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFigure31(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3_2(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		g, err := s.SpeedSizeGrid(nil, nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RunFigure32(g)
+	}
+}
+
+func BenchmarkFigure3_3(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		g, err := s.SpeedSizeGrid(nil, nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RunFigure33(g)
+	}
+}
+
+func BenchmarkFigure3_4(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		g, err := s.SpeedSizeGrid(nil, nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.RunFigure34(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3MissPenalty(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		g, err := s.SpeedSizeGrid(nil, nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.RunTable3(g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4_1(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFigure41(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4_2(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFigure42(nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4_3to5(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		f, err := s.RunFigure42(nil, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.RunBreakEven(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5_1(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFigure51(0, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5_2(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFigure52(0, nil, nil, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5_3(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		f52, err := s.RunFigure52(0, nil, nil, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.RunFigure53(f52); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5_4(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		f52, err := s.RunFigure52(0, nil, nil, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f53, err := experiments.RunFigure53(f52)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RunFigure54(f53)
+	}
+}
+
+func BenchmarkMultilevel(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunMultilevel([]int{8, 32}, 512, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionFetchSize(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFetchSize(0, 32, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionSplitUnified(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunSplitUnified(nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+func ablationTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	spec, err := workload.ByName("mu3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec.Generate(benchScale)
+}
+
+func ablationConfig(mutate func(*system.Config)) system.Config {
+	cfg := system.DefaultConfig()
+	cfg.ICache.SizeWords = 4096 // 16 KB per side: misses matter
+	cfg.DCache.SizeWords = 4096
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+func runAblation(b *testing.B, tr *trace.Trace, cfg system.Config) {
+	b.Helper()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := system.Simulate(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Warm.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+}
+
+func BenchmarkAblationReplacement(b *testing.B) {
+	tr := ablationTrace(b)
+	for _, pol := range []cache.Replacement{cache.Random, cache.LRU, cache.FIFO} {
+		b.Run(pol.String(), func(b *testing.B) {
+			runAblation(b, tr, ablationConfig(func(c *system.Config) {
+				c.ICache.Replacement = pol
+				c.DCache.Replacement = pol
+			}))
+		})
+	}
+}
+
+func BenchmarkAblationWriteBuffer(b *testing.B) {
+	tr := ablationTrace(b)
+	for _, depth := range []int{0, 1, 4, 16} {
+		b.Run(depthName(depth), func(b *testing.B) {
+			runAblation(b, tr, ablationConfig(func(c *system.Config) {
+				c.WriteBufDepth = depth
+			}))
+		})
+	}
+}
+
+func depthName(d int) string {
+	return map[int]string{0: "none", 1: "one", 4: "four", 16: "sixteen"}[d]
+}
+
+func BenchmarkAblationWriteAllocate(b *testing.B) {
+	tr := ablationTrace(b)
+	for _, alloc := range []bool{false, true} {
+		name := "no-allocate"
+		if alloc {
+			name = "write-allocate"
+		}
+		b.Run(name, func(b *testing.B) {
+			runAblation(b, tr, ablationConfig(func(c *system.Config) {
+				c.DCache.WriteAllocate = alloc
+			}))
+		})
+	}
+}
+
+func BenchmarkAblationFetchPolicy(b *testing.B) {
+	tr := ablationTrace(b)
+	for _, fp := range []system.FetchPolicy{system.FetchWholeBlock, system.EarlyContinue, system.LoadForward} {
+		b.Run(fp.String(), func(b *testing.B) {
+			runAblation(b, tr, ablationConfig(func(c *system.Config) {
+				c.ICache.BlockWords = 16
+				c.DCache.BlockWords = 16
+				c.Fetch = fp
+			}))
+		})
+	}
+}
+
+func BenchmarkAblationTraceFamily(b *testing.B) {
+	for _, name := range []string{"mu3", "rd2n4"} {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := spec.Generate(benchScale)
+		b.Run(spec.Family.String(), func(b *testing.B) {
+			runAblation(b, tr, ablationConfig(nil))
+		})
+	}
+}
+
+// BenchmarkEngineVsReference compares the two simulation strategies on an
+// identical task: pricing one organization at 16 cycle times.
+func BenchmarkEngineVsReference(b *testing.B) {
+	tr := ablationTrace(b)
+	cfg := ablationConfig(nil)
+	org := engine.Org{ICache: cfg.ICache, DCache: cfg.DCache}
+	cycles := []int{20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64, 68, 72, 76, 80}
+
+	b.Run("two-phase-engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prof, err := engine.BuildProfile(org, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cy := range cycles {
+				if _, err := prof.Replay(engine.Timing{CycleNs: cy, Mem: mem.DefaultConfig(), WriteBufDepth: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("single-phase-reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cy := range cycles {
+				c := cfg
+				c.CycleNs = cy
+				if _, err := system.Simulate(c, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// --- Throughput microbenchmarks ---
+
+func BenchmarkBehavioralPass(b *testing.B) {
+	tr := ablationTrace(b)
+	cfg := ablationConfig(nil)
+	org := engine.Org{ICache: cfg.ICache, DCache: cfg.DCache}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.BuildProfile(org, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+func BenchmarkTimingReplay(b *testing.B) {
+	tr := ablationTrace(b)
+	cfg := ablationConfig(nil)
+	prof, err := engine.BuildProfile(engine.Org{ICache: cfg.ICache, DCache: cfg.DCache}, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm := engine.Timing{CycleNs: 40, Mem: mem.DefaultConfig(), WriteBufDepth: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prof.Replay(tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSystemSimulator(b *testing.B) {
+	tr := ablationTrace(b)
+	cfg := ablationConfig(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Simulate(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkFacadeQuickstart exercises the public API end to end, the way a
+// downstream user would.
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	spec, err := cachetime.WorkloadByName("savec")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := spec.Generate(benchScale)
+	explorer, err := cachetime.NewExplorer([]*cachetime.Trace{tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := explorer.Evaluate(cachetime.DesignPoint{TotalKB: 64, CycleNs: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

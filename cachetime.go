@@ -1,0 +1,178 @@
+package cachetime
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Trace types.
+type (
+	// Trace is an in-memory reference trace with a warm-start boundary.
+	Trace = trace.Trace
+	// Ref is a single word-granularity memory reference.
+	Ref = trace.Ref
+	// RefKind classifies a reference (Ifetch, Load, Store).
+	RefKind = trace.Kind
+	// TraceSummary is the Table 1 row of a trace.
+	TraceSummary = trace.Summary
+)
+
+// Reference kinds.
+const (
+	Ifetch = trace.Ifetch
+	Load   = trace.Load
+	Store  = trace.Store
+)
+
+// Workload generation.
+type (
+	// WorkloadSpec declares one Table 1 workload.
+	WorkloadSpec = workload.Spec
+	// CustomWorkload declares a user-defined workload from explicit
+	// process parameters.
+	CustomWorkload = workload.CustomSpec
+	// ProcessParams describes one simulated process of a workload.
+	ProcessParams = workload.ProcessParams
+	// StreamParams controls one reference stream of a process.
+	StreamParams = workload.StreamParams
+)
+
+// GenerateCustomWorkload synthesizes a user-defined workload's trace.
+func GenerateCustomWorkload(spec CustomWorkload) (*Trace, error) {
+	return workload.GenerateCustom(spec)
+}
+
+// DefaultProcess returns a reasonable starting point for custom processes.
+func DefaultProcess() ProcessParams { return workload.DefaultProcess() }
+
+// GenerateWorkloads synthesizes the eight Table 1 workloads at the given
+// scale (1.0 reproduces the paper's trace lengths; footprints never scale).
+func GenerateWorkloads(scale float64) []*Trace { return workload.GenerateAll(scale) }
+
+// WorkloadByName returns one Table 1 workload specification.
+func WorkloadByName(name string) (WorkloadSpec, error) { return workload.ByName(name) }
+
+// WorkloadNames lists the Table 1 workload names.
+func WorkloadNames() []string { return workload.Names() }
+
+// SummarizeTrace computes a trace's Table 1 row.
+func SummarizeTrace(t *Trace) TraceSummary { return trace.Summarize(t) }
+
+// Design-space evaluation (the paper's methodology).
+type (
+	// Explorer evaluates design points by total execution time.
+	Explorer = core.Explorer
+	// DesignPoint is one machine in the design space.
+	DesignPoint = core.DesignPoint
+	// Evaluation is the outcome of evaluating a design point.
+	Evaluation = core.Evaluation
+)
+
+// NewExplorer binds an explorer to a workload set.
+func NewExplorer(traces []*Trace) (*Explorer, error) { return core.NewExplorer(traces) }
+
+// Cache organization.
+type (
+	// CacheConfig describes one cache (size, block, set size, policies).
+	CacheConfig = cache.Config
+	// Replacement selects the victim policy.
+	Replacement = cache.Replacement
+	// WritePolicy selects how writes propagate.
+	WritePolicy = cache.WritePolicy
+)
+
+// Cache policy values.
+const (
+	RandomReplacement = cache.Random
+	LRUReplacement    = cache.LRU
+	FIFOReplacement   = cache.FIFO
+	WriteBack         = cache.WriteBack
+	WriteThrough      = cache.WriteThrough
+)
+
+// Memory model.
+type (
+	// MemConfig is the main-memory timing description.
+	MemConfig = mem.Config
+	// MemRate is a rational transfer rate (words per cycles).
+	MemRate = mem.Rate
+)
+
+// DefaultMemory returns the paper's base memory (180/100/120 ns, 1 W/cycle).
+func DefaultMemory() MemConfig { return mem.DefaultConfig() }
+
+// UniformMemory returns a memory whose read, write and recovery times all
+// equal la nanoseconds, as swept in Section 5.
+func UniformMemory(laNs int, rate MemRate) MemConfig { return mem.UniformLatency(laNs, rate) }
+
+// Transfer rates from the paper's Section 5 sweep.
+var (
+	Rate4PerCycle = mem.Rate4PerCycle
+	Rate2PerCycle = mem.Rate2PerCycle
+	Rate1PerCycle = mem.Rate1PerCycle
+	Rate1Per2     = mem.Rate1Per2
+	Rate1Per4     = mem.Rate1Per4
+)
+
+// Full system simulation.
+type (
+	// SystemConfig fully describes a simulated system.
+	SystemConfig = system.Config
+	// L2Config describes an optional second-level cache.
+	L2Config = system.L2Config
+	// FetchPolicy selects when a missing read completes.
+	FetchPolicy = system.FetchPolicy
+	// SimResult is the outcome of one simulation run.
+	SimResult = system.Result
+	// Counters is a window of simulation statistics.
+	Counters = system.Counters
+	// LevelStats describes one lower hierarchy level's activity.
+	LevelStats = system.LevelStats
+)
+
+// Fetch policies.
+const (
+	FetchWholeBlock = system.FetchWholeBlock
+	EarlyContinue   = system.EarlyContinue
+	LoadForward     = system.LoadForward
+)
+
+// DefaultSystem returns the paper's base machine (Section 2).
+func DefaultSystem() SystemConfig { return system.DefaultConfig() }
+
+// Simulate runs the single-phase reference simulator on a trace.
+func Simulate(cfg SystemConfig, t *Trace) (SimResult, error) { return system.Simulate(cfg, t) }
+
+// Two-phase engine for fast parameter sweeps.
+type (
+	// Org is the timing-independent cache organization.
+	Org = engine.Org
+	// Profile is the behavioural digest of (organization × trace).
+	Profile = engine.Profile
+	// Timing is the timing-phase parameterization of a replay.
+	Timing = engine.Timing
+)
+
+// BuildProfile simulates a trace's cache behaviour once; Replay then prices
+// it at any cycle time and memory speed in time proportional to the misses.
+func BuildProfile(org Org, t *Trace) (*Profile, error) { return engine.BuildProfile(org, t) }
+
+// Declarative specifications.
+type (
+	// Spec is a JSON-serializable system description.
+	Spec = config.Spec
+	// Variation mutates named spec parameters.
+	Variation = config.Variation
+)
+
+// DefaultSpec returns the paper's base system as a declarative spec.
+func DefaultSpec() Spec { return config.Default() }
+
+// LoadSpec reads a system spec file.
+func LoadSpec(path string) (Spec, error) { return config.Load(path) }

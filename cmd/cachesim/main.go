@@ -1,0 +1,198 @@
+// Command cachesim simulates one system configuration against one or more
+// traces and prints the statistics the paper reports: miss ratios, traffic
+// ratios, cycles per reference and execution time.
+//
+// The system comes from a JSON spec file (-spec, see the config package)
+// optionally overridden by flags; the stimulus is either a named Table 1
+// workload synthesized on the fly (-workload, -scale) or a trace file
+// (-trace, binary .ctrace or Dinero-style .din).
+//
+// Examples:
+//
+//	cachesim -workload mu3 -scale 0.25
+//	cachesim -workload all -size 32 -cycle 50
+//	cachesim -spec system.json -trace prog.din
+//	cachesim -workload rd2n4 -l2 512 -l2access 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		specPath  = flag.String("spec", "", "JSON system spec file (default: the paper's base system)")
+		wl        = flag.String("workload", "", "Table 1 workload name, or 'all'")
+		scale     = flag.Float64("scale", 0.25, "workload scale (1.0 = the paper's trace lengths)")
+		trPath    = flag.String("trace", "", "trace file (.din text or binary)")
+		totalKB   = flag.Int("size", 0, "override: total L1 size in KB (split evenly)")
+		blockW    = flag.Int("block", 0, "override: block size in words")
+		fetchW    = flag.Int("fetch", 0, "override: fetch size in words (sub-block placement)")
+		assoc     = flag.Int("assoc", 0, "override: set size (1 = direct mapped)")
+		cycleNs   = flag.Int("cycle", 0, "override: cycle time in ns")
+		l2KB      = flag.Int("l2", 0, "add a second-level cache of this many KB")
+		l2Access  = flag.Int("l2access", 3, "L2 access time in cycles")
+		l2BlockW  = flag.Int("l2block", 16, "L2 block size in words")
+		memLatNs  = flag.Int("memlat", 0, "override: uniform memory latency in ns")
+		unified   = flag.Bool("unified", false, "unified cache instead of split I/D")
+		showTotal = flag.Bool("total", false, "report the whole trace, not just the warm window")
+		showHist  = flag.Bool("hist", false, "report couplet service-time percentiles")
+	)
+	flag.Parse()
+
+	spec := config.Default()
+	if *specPath != "" {
+		var err error
+		if spec, err = config.Load(*specPath); err != nil {
+			return err
+		}
+	}
+	var vs []config.Variation
+	if *totalKB > 0 {
+		vs = append(vs, config.WithTotalSizeKB(*totalKB))
+	}
+	if *blockW > 0 {
+		vs = append(vs, config.WithBlockWords(*blockW))
+	}
+	if *fetchW > 0 {
+		vs = append(vs, config.WithFetchWords(*fetchW))
+	}
+	if *assoc > 0 {
+		vs = append(vs, config.WithAssoc(*assoc))
+	}
+	if *cycleNs > 0 {
+		vs = append(vs, config.WithCycleNs(*cycleNs))
+	}
+	if *memLatNs > 0 {
+		vs = append(vs, config.WithUniformMemory(*memLatNs, 1, 1))
+	}
+	spec = spec.Apply(vs...)
+	spec.Unified = spec.Unified || *unified
+	cfg, err := spec.System()
+	if err != nil {
+		return err
+	}
+	if *l2KB > 0 {
+		cfg.L2 = &system.L2Config{
+			Cache: cache.Config{
+				SizeWords:     *l2KB * 1024 / 4,
+				BlockWords:    *l2BlockW,
+				Assoc:         1,
+				Replacement:   cache.Random,
+				WritePolicy:   cache.WriteBack,
+				WriteAllocate: true,
+				Seed:          1988,
+			},
+			AccessCycles:  *l2Access,
+			WriteBufDepth: 4,
+		}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+
+	traces, err := loadTraces(*wl, *trPath, *scale)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("system: %d ns cycle, I %s, D %s", cfg.CycleNs, describe(cfg.ICache, cfg.Unified), cfg.DCache.String())
+	if cfg.L2 != nil {
+		fmt.Printf(", L2 %s (+%d cycles)", cfg.L2.Cache.String(), cfg.L2.AccessCycles)
+	}
+	fmt.Printf(", memory %d/%d/%d ns @ %s\n\n", cfg.Mem.ReadNs, cfg.Mem.WriteNs, cfg.Mem.RecoverNs, cfg.Mem.Transfer)
+
+	cfg.CollectLatencies = *showHist
+	tab := textplot.NewTable("", "trace", "refs", "cycles", "cyc/ref", "exec ms",
+		"load miss%", "ifetch miss%", "wr traffic", "buf stalls", "mem util%")
+	type histRow struct {
+		name string
+		h    *stats.Hist
+	}
+	var hists []histRow
+	for _, tr := range traces {
+		sys, err := system.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := sys.Run(tr)
+		if err != nil {
+			return err
+		}
+		w := res.Warm
+		if *showTotal {
+			w = res.Total
+		}
+		tab.Row(tr.Name, w.Refs, w.Cycles, w.CyclesPerRef(),
+			float64(w.Cycles)*float64(cfg.CycleNs)/1e6,
+			100*w.LoadMissRatio(), 100*w.IfetchMissRatio(),
+			w.WriteTrafficRatioBlocks(), w.BufFullStallCycles,
+			100*res.Total.MemUtilization())
+		if *showHist {
+			hists = append(hists, histRow{tr.Name, sys.CoupletLatencies()})
+		}
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *showHist {
+		fmt.Println()
+		ht := textplot.NewTable("couplet service time (cycles; percentile upper bounds)",
+			"trace", "mean", "p50", "p90", "p99", "max")
+		for _, hr := range hists {
+			ht.Row(hr.name, hr.h.Mean(), hr.h.Percentile(0.5), hr.h.Percentile(0.9),
+				hr.h.Percentile(0.99), hr.h.Max)
+		}
+		return ht.Render(os.Stdout)
+	}
+	return nil
+}
+
+func describe(c cache.Config, unified bool) string {
+	if unified {
+		return "(unified)"
+	}
+	return c.String()
+}
+
+// loadTraces resolves the stimulus selection.
+func loadTraces(wl, trPath string, scale float64) ([]*trace.Trace, error) {
+	switch {
+	case wl != "" && trPath != "":
+		return nil, fmt.Errorf("use either -workload or -trace, not both")
+	case wl == "all":
+		return workload.GenerateAll(scale), nil
+	case wl != "":
+		spec, err := workload.ByName(wl)
+		if err != nil {
+			return nil, fmt.Errorf("%v (known: %s)", err, strings.Join(workload.Names(), ", "))
+		}
+		return []*trace.Trace{spec.Generate(scale)}, nil
+	case trPath != "":
+		tr, err := trace.ReadFile(trPath)
+		if err != nil {
+			return nil, err
+		}
+		return []*trace.Trace{tr}, nil
+	default:
+		return nil, fmt.Errorf("choose a stimulus: -workload <name|all> or -trace <file>")
+	}
+}

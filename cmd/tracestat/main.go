@@ -1,0 +1,74 @@
+// Command tracestat prints the composition of traces — the data behind the
+// paper's Table 1. It reads trace files or synthesizes the catalog
+// workloads directly.
+//
+// Examples:
+//
+//	tracestat -scale 0.25             # regenerate Table 1 from the catalog
+//	tracestat mu3.ctrace prog.din     # describe trace files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale := flag.Float64("scale", 0.25, "scale for synthesized catalog workloads")
+	flag.Parse()
+
+	var summaries []trace.Summary
+	var notes []string
+	if flag.NArg() == 0 {
+		for _, spec := range workload.Catalog {
+			tr := spec.Generate(*scale)
+			summaries = append(summaries, trace.Summarize(tr))
+			notes = append(notes, fmt.Sprintf("%s: %s", spec.Family, spec.Programs))
+		}
+	} else {
+		for _, path := range flag.Args() {
+			tr, err := trace.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			summaries = append(summaries, trace.Summarize(tr))
+			notes = append(notes, "")
+		}
+	}
+
+	title := "Table 1: trace descriptions"
+	if flag.NArg() == 0 {
+		title += fmt.Sprintf(" (synthesized at scale %g)", *scale)
+	}
+	tab := textplot.NewTable(title,
+		"name", "procs", "refs(K)", "unique(K)", "ifetch%", "load%", "store%", "measured(K)")
+	for _, s := range summaries {
+		tab.Row(s.Name, s.Processes,
+			float64(s.Refs)/1000, float64(s.UniqueAddr)/1000,
+			100*float64(s.Ifetches)/float64(s.Refs),
+			100*float64(s.Loads)/float64(s.Refs),
+			100*float64(s.Stores)/float64(s.Refs),
+			float64(s.Measured)/1000)
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	for i, n := range notes {
+		if n != "" {
+			fmt.Printf("  %-8s %s\n", summaries[i].Name, n)
+		}
+	}
+	return nil
+}

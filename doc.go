@@ -1,0 +1,44 @@
+// Package cachetime is a trace-driven cache simulator and design-space
+// analysis toolkit reproducing Przybylski, Horowitz & Hennessy,
+// "Performance Tradeoffs in Cache Design" (ISCA 1988).
+//
+// The paper's thesis is that cache design decisions must be evaluated by
+// total execution time — cycle count × cycle time — rather than by
+// time-independent metrics like miss ratio. This module implements the
+// machine model the paper simulates (a pipelined CPU issuing simultaneous
+// instruction+data reference couplets into split virtual caches, with
+// write buffers between every level and a synchronous main memory with
+// latency, transfer and recovery periods quantized to CPU cycles), the
+// workloads it was driven by (synthetic reconstructions of the eight
+// Table 1 traces), and the analyses it derives (lines of equal
+// performance, nanoseconds-per-doubling slopes, break-even associativity
+// degradations, performance-optimal block sizes, and the multilevel-cache
+// argument).
+//
+// # Entry points
+//
+// The root package re-exports the library's public surface:
+//
+//   - Workloads: GenerateWorkloads, WorkloadByName produce the Table 1
+//     traces at any scale; the trace package types round-trip through a
+//     binary container and a Dinero-style text format.
+//   - Evaluation: NewExplorer binds a workload set; Evaluate answers "how
+//     long does this machine take", and SlopeNsPerDoubling,
+//     BreakEvenAssociativityNs and OptimalBlockWords answer the paper's
+//     three design questions directly.
+//   - Simulation: Simulate runs the full single-phase system simulator
+//     (multilevel hierarchies, early-continue fetch policies); the engine's
+//     BuildProfile/Replay two-phase pipeline is exposed for sweeps.
+//   - Paper artifacts: the experiments package regenerates every table and
+//     figure; cmd/paperfigs prints them all.
+//
+// # Quick start
+//
+//	traces := cachetime.GenerateWorkloads(0.25)
+//	explorer, _ := cachetime.NewExplorer(traces)
+//	ev, _ := explorer.Evaluate(cachetime.DesignPoint{TotalKB: 64, CycleNs: 40})
+//	fmt.Printf("%.2f cycles/ref, %.1f ms\n", ev.CyclesPerRef, ev.ExecNs/1e6)
+//
+// See README.md for the architecture overview and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package cachetime

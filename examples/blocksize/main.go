@@ -1,0 +1,71 @@
+// Block size versus memory speed (Section 5 of the paper in miniature):
+// the block size that optimizes execution time is much smaller than the
+// one that minimizes miss ratio, and it depends only on the product of
+// memory latency and transfer rate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cachetime "repro"
+)
+
+func main() {
+	var traces []*cachetime.Trace
+	for _, name := range []string{"mu3", "savec", "rd1n3"} {
+		spec, err := cachetime.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces = append(traces, spec.Generate(0.1))
+	}
+	explorer, err := cachetime.NewExplorer(traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep the block size at the paper's Figure 5-1 setting: 64 KB
+	// caches, 260 ns uniform-latency memory. Watch the miss ratio keep
+	// falling while execution time turns around.
+	point := cachetime.DesignPoint{
+		TotalKB: 128,
+		Mem:     cachetime.UniformMemory(260, cachetime.Rate1PerCycle),
+	}
+	fmt.Println("block size sweep (64KB I/D caches, 260 ns memory):")
+	fmt.Printf("  %8s %12s %12s %12s\n", "block W", "miss %", "penalty cyc", "exec ms")
+	for _, bw := range []int{2, 4, 8, 16, 32, 64, 128} {
+		p := point
+		p.BlockWords = bw
+		ev, err := explorer.Evaluate(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %8d %12.3f %12d %12.2f\n",
+			bw, 100*ev.ReadMissRatio, ev.MissPenaltyCycles, ev.ExecNs/1e6)
+	}
+
+	// The optimum as a function of the memory speed product la × tr: as
+	// DRAM and backplane technologies improve together, their influences
+	// cancel and the best block size stays put.
+	fmt.Println("\nperformance-optimal block size by memory parameters:")
+	fmt.Printf("  %10s %12s %10s %12s %10s\n", "latency ns", "rate", "la cycles", "product", "optimal W")
+	rates := []cachetime.MemRate{cachetime.Rate4PerCycle, cachetime.Rate1PerCycle, cachetime.Rate1Per4}
+	for _, la := range []int{100, 260, 420} {
+		for _, rate := range rates {
+			p := point
+			p.Mem = cachetime.UniformMemory(la, rate)
+			fitted, binary, err := explorer.OptimalBlockWords(p, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			laCycles := p.Mem.Quantize(40).LatencyCycles
+			product := float64(laCycles) * rate.WordsPerCycle()
+			fmt.Printf("  %10d %12s %10d %12.1f %7.1f (binary %d)\n",
+				la, rate.String(), laCycles, product, fitted, binary)
+		}
+	}
+	fmt.Println("\nthe optimum tracks la x tr and sits far below the miss-ratio optimum,")
+	fmt.Println("exactly the Section 5 conclusion: without miss-penalty-reduction tricks,")
+	fmt.Println("small blocks win even though big blocks miss less.")
+}

@@ -1,0 +1,106 @@
+// Design search: the engineering workflow of the paper's Section 3, run as
+// a program. Given a catalog of static RAM parts (the bigger the chip, the
+// slower it is), each candidate cache size forces a cycle time; ranking the
+// candidates by total execution time — not by miss ratio and not by clock
+// rate — picks the machine the paper's methodology recommends. The search
+// then asks, for the winning size, whether two-way associativity would
+// survive its multiplexor delay.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	cachetime "repro"
+)
+
+// ramPart is a discrete SRAM product line: using it for the cache data
+// array yields a given total size and forces a minimum cycle time.
+type ramPart struct {
+	name    string
+	totalKB int
+	cycleNs int // RAM access + array overhead + CPU margin
+}
+
+// catalog mirrors the paper's setting: a fixed chip count, so bigger parts
+// mean a bigger but slower cache. Cycle times assume the cache determines
+// the system cycle, as the paper does throughout.
+var catalog = []ramPart{
+	{"16Kb SRAM (15 ns)", 16, 40},
+	{"64Kb SRAM (25 ns)", 64, 50},
+	{"256Kb SRAM (35 ns)", 256, 60},
+	{"1Mb SRAM (45 ns)", 1024, 70},
+}
+
+// muxDelayNs is the select-to-data-out delay a 2-way multiplexor would add
+// (the paper's Advanced-Schottky figure is 6–11 ns).
+const muxDelayNs = 6.0
+
+func main() {
+	var traces []*cachetime.Trace
+	for _, name := range []string{"mu3", "mu6", "rd2n4", "rd2n7"} {
+		spec, err := cachetime.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces = append(traces, spec.Generate(0.1))
+	}
+	explorer, err := cachetime.NewExplorer(traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type candidate struct {
+		part ramPart
+		eval cachetime.Evaluation
+	}
+	var ranked []candidate
+	for _, part := range catalog {
+		ev, err := explorer.Evaluate(cachetime.DesignPoint{
+			TotalKB: part.totalKB,
+			CycleNs: part.cycleNs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ranked = append(ranked, candidate{part, ev})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		return ranked[i].eval.ExecNs < ranked[j].eval.ExecNs
+	})
+
+	fmt.Println("candidates ranked by execution time (the paper's figure of merit):")
+	fmt.Printf("  %-20s %9s %9s %10s %10s %9s\n",
+		"RAM part", "cache", "cycle", "miss %", "cyc/ref", "exec")
+	best := ranked[0].eval.ExecNs
+	for i, c := range ranked {
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		fmt.Printf("%s %-20s %6d KB %6d ns %9.2f %10.3f %8.2fx\n",
+			marker, c.part.name, c.part.totalKB, c.part.cycleNs,
+			100*c.eval.ReadMissRatio, c.eval.CyclesPerRef, c.eval.ExecNs/best)
+	}
+	fmt.Println("\nnote the fastest clock did not win, and neither did the lowest miss")
+	fmt.Println("ratio: the optimum balances both, landing in the paper's 32-128 KB range.")
+
+	// Should the winner spend its multiplexor budget on 2-way
+	// associativity? Compare the break-even budget against the AS mux.
+	winner := ranked[0]
+	be, err := explorer.BreakEvenAssociativityNs(cachetime.DesignPoint{
+		TotalKB: winner.part.totalKB,
+		CycleNs: winner.part.cycleNs,
+	}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n2-way associativity at the winning point is worth %.1f ns of cycle time;\n", be)
+	if be > muxDelayNs {
+		fmt.Printf("a %.0f ns multiplexor fits inside that budget - associativity pays off here.\n", muxDelayNs)
+	} else {
+		fmt.Printf("a %.0f ns multiplexor would eat the whole gain - stay direct mapped,\n", muxDelayNs)
+		fmt.Println("the paper's conclusion for discrete TTL implementations.")
+	}
+}

@@ -1,0 +1,75 @@
+// Multilevel caches (Section 6 of the paper): the hidden variable of the
+// speed–size plots is the cache miss penalty. A second-level cache
+// shortens it, which both recovers performance lost to slow main memory
+// and shrinks the benefit of enlarging the first-level cache — "making
+// small, fast caches a viable alternative".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cachetime "repro"
+)
+
+func main() {
+	spec, err := cachetime.WorkloadByName("rd2n4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := spec.Generate(0.1)
+
+	l2 := &cachetime.L2Config{
+		Cache: cachetime.CacheConfig{
+			SizeWords:     512 * 1024 / 4, // 512 KB
+			BlockWords:    16,
+			Assoc:         1,
+			Replacement:   cachetime.RandomReplacement,
+			WritePolicy:   cachetime.WriteBack,
+			WriteAllocate: true,
+			Seed:          1988,
+		},
+		AccessCycles:  3,
+		WriteBufDepth: 4,
+	}
+
+	fmt.Println("cycles per reference with and without a 512 KB L2 (40 ns cycle):")
+	fmt.Printf("  %10s %14s %14s %10s %10s\n", "L1 total", "single level", "two level", "speedup", "L2 hit%")
+
+	type row struct{ single, multi float64 }
+	var rows []row
+	sizes := []int{4, 16, 64}
+	for _, kb := range sizes {
+		cfg := cachetime.DefaultSystem()
+		cfg.ICache.SizeWords = kb * 1024 / 4 / 2
+		cfg.DCache.SizeWords = kb * 1024 / 4 / 2
+
+		single, err := cachetime.Simulate(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.L2 = l2
+		multi, err := cachetime.Simulate(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hit := 0.0
+		if multi.Warm.L2Reads > 0 {
+			hit = float64(multi.Warm.L2ReadHits) / float64(multi.Warm.L2Reads)
+		}
+		fmt.Printf("  %8d KB %14.3f %14.3f %9.2fx %10.1f\n",
+			kb, single.Warm.CyclesPerRef(), multi.Warm.CyclesPerRef(),
+			single.ExecTimeNs()/multi.ExecTimeNs(), 100*hit)
+		rows = append(rows, row{single.Warm.CyclesPerRef(), multi.Warm.CyclesPerRef()})
+	}
+
+	// The Section 6 argument made quantitative: growing L1 from the
+	// smallest to the largest size buys much less once the L2 has
+	// shortened the miss penalty.
+	gainSingle := rows[0].single - rows[len(rows)-1].single
+	gainMulti := rows[0].multi - rows[len(rows)-1].multi
+	fmt.Printf("\ngrowing L1 %dKB -> %dKB saves %.3f cycles/ref alone, but only %.3f with the L2:\n",
+		sizes[0], sizes[len(sizes)-1], gainSingle, gainMulti)
+	fmt.Println("a short miss penalty reduces the optimum cache size, so the fast-CPU/small-L1")
+	fmt.Println("design point the paper's Section 3 ruled out becomes viable behind an L2.")
+}

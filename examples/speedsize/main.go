@@ -1,0 +1,84 @@
+// Speed–size tradeoff (Section 3 of the paper in miniature): how many
+// nanoseconds of cycle time is a doubling of cache size worth, and when
+// does swapping RAM chips for bigger-but-slower ones pay off?
+//
+// The worked example follows the paper's: a CPU needs 15 ns RAMs for a
+// 40 ns cycle; the next-size-up RAMs run at 25 ns, forcing a 50 ns cycle
+// but quadrupling the cache. The slope of the equal-performance curve at
+// the small design point tells the designer whether to swap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cachetime "repro"
+)
+
+func main() {
+	// Four workloads spanning both trace families keep this example
+	// quick while preserving the paper-level behaviour.
+	var traces []*cachetime.Trace
+	for _, name := range []string{"mu3", "mu6", "rd2n4", "rd2n7"} {
+		spec, err := cachetime.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces = append(traces, spec.Generate(0.1))
+	}
+	explorer, err := cachetime.NewExplorer(traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The ns-per-doubling slope across the size range at 40 ns: large
+	// for small caches, tiny past a few hundred KB — the origin of the
+	// paper's 32–128 KB sweet range.
+	fmt.Println("cycle-time slack per doubling of total cache size (at 40 ns):")
+	for _, kb := range []int{8, 16, 32, 64, 128, 256, 512, 1024} {
+		slope, err := explorer.SlopeNsPerDoubling(cachetime.DesignPoint{TotalKB: kb, CycleNs: 40})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "cycle time is precious here"
+		switch {
+		case slope > 10:
+			verdict = "grow the cache almost regardless of cycle-time cost"
+		case slope > 5:
+			verdict = "grow the cache if the cycle-time cost is modest"
+		case slope > 2.5:
+			verdict = "marginal - compare RAM speed grades carefully"
+		}
+		fmt.Printf("  %5d KB -> %5d KB: %+5.1f ns/doubling   (%s)\n", kb, 2*kb, slope, verdict)
+	}
+
+	// The paper's RAM-swap example: 16 KB at 40 ns versus 64 KB at 50 ns
+	// (two doublings bought with 10 ns of cycle time).
+	small := cachetime.DesignPoint{TotalKB: 16, CycleNs: 40}
+	large := cachetime.DesignPoint{TotalKB: 64, CycleNs: 50}
+	evSmall, err := explorer.Evaluate(small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evLarge, err := explorer.Evaluate(large)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRAM swap decision (the paper's worked example):\n")
+	fmt.Printf("  16 KB @ 40 ns: %.3f cycles/ref, exec %.2f ms, miss %.2f%%\n",
+		evSmall.CyclesPerRef, evSmall.ExecNs/1e6, 100*evSmall.ReadMissRatio)
+	fmt.Printf("  64 KB @ 50 ns: %.3f cycles/ref, exec %.2f ms, miss %.2f%%\n",
+		evLarge.CyclesPerRef, evLarge.ExecNs/1e6, 100*evLarge.ReadMissRatio)
+	fmt.Printf("  improvement from the swap: %+.1f%%\n", 100*(evSmall.ExecNs/evLarge.ExecNs-1))
+
+	// Performance is maximized when the CPU runs BELOW its maximum
+	// frequency: the equal-performance cycle time of the 64 KB machine
+	// against the 16 KB/40 ns baseline exceeds 40 ns by the accumulated
+	// slack.
+	match, err := explorer.EqualPerformanceCycleNs(small, cachetime.DesignPoint{TotalKB: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  the 64 KB machine matches the baseline at a %.1f ns cycle - slack of %.1f ns\n",
+		match, match-40)
+}

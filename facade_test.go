@@ -1,0 +1,109 @@
+package cachetime_test
+
+import (
+	"testing"
+
+	cachetime "repro"
+)
+
+// TestFacadeSurface exercises the public API end to end the way the README
+// quick start does.
+func TestFacadeSurface(t *testing.T) {
+	spec, err := cachetime.WorkloadByName("savec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := spec.Generate(0.05)
+	if got := cachetime.SummarizeTrace(tr); got.Refs == 0 {
+		t.Fatal("empty summary")
+	}
+
+	res, err := cachetime.Simulate(cachetime.DefaultSystem(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+
+	explorer, err := cachetime.NewExplorer([]*cachetime.Trace{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := explorer.Evaluate(cachetime.DesignPoint{TotalKB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ExecNs <= 0 {
+		t.Fatal("no exec time")
+	}
+}
+
+func TestFacadeWorkloadNames(t *testing.T) {
+	names := cachetime.WorkloadNames()
+	if len(names) != 8 {
+		t.Fatalf("%d workloads", len(names))
+	}
+	if _, err := cachetime.WorkloadByName("bogus"); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestFacadeMemoryHelpers(t *testing.T) {
+	m := cachetime.DefaultMemory()
+	if m.ReadNs != 180 {
+		t.Fatal("default memory wrong")
+	}
+	u := cachetime.UniformMemory(260, cachetime.Rate1PerCycle)
+	if u.RecoverNs != 260 {
+		t.Fatal("uniform memory wrong")
+	}
+	if cachetime.Rate4PerCycle.WordsPerCycle() != 4 {
+		t.Fatal("rate export wrong")
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	tr := cachetime.GenerateWorkloads(0.02)[0]
+	sys := cachetime.DefaultSystem()
+	org := cachetime.Org{ICache: sys.ICache, DCache: sys.DCache}
+	prof, err := cachetime.BuildProfile(org, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prof.Replay(cachetime.Timing{CycleNs: 40, Mem: cachetime.DefaultMemory(), WriteBufDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cachetime.Simulate(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm.Cycles != want.Warm.Cycles {
+		t.Fatalf("engine %d != system %d cycles", res.Warm.Cycles, want.Warm.Cycles)
+	}
+}
+
+func TestFacadeSpec(t *testing.T) {
+	s := cachetime.DefaultSpec()
+	cfg, err := s.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CycleNs != 40 {
+		t.Fatal("spec default wrong")
+	}
+	if _, err := cachetime.LoadSpec("/nonexistent/spec.json"); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+}
+
+func TestFacadeKinds(t *testing.T) {
+	r := cachetime.Ref{Addr: 4, PID: 2, Kind: cachetime.Store}
+	if r.Extended() != 2<<32|4 {
+		t.Fatal("extended wrong")
+	}
+	if cachetime.Ifetch.IsData() || !cachetime.Load.IsRead() {
+		t.Fatal("kind predicates wrong")
+	}
+}

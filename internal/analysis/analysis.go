@@ -1,0 +1,333 @@
+// Package analysis implements the paper's derived analyses on top of raw
+// simulation grids: lines of equal performance and their slopes in
+// nanoseconds per doubling of cache size (Figure 3-4, Table 3), break-even
+// cycle-time degradations for set associativity (Figures 4-3 to 4-5), and
+// performance-optimal block sizes via parabola fitting (Figures 5-3, 5-4).
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// PerfGrid holds execution times (and optionally cycle counts per
+// reference) over a (total cache size × cycle time) design-space grid. The
+// values are typically geometric means over the eight traces.
+type PerfGrid struct {
+	// SizesKB are the total first-level cache sizes in KB, ascending.
+	SizesKB []int
+	// CycleNs are the CPU/cache cycle times in nanoseconds, ascending.
+	CycleNs []int
+	// ExecNs[i][j] is the execution time at SizesKB[i], CycleNs[j].
+	ExecNs [][]float64
+	// CyclesPerRef[i][j] is the cycle count per reference (optional; used
+	// by the Table 3 analysis).
+	CyclesPerRef [][]float64
+}
+
+// Validate reports structural errors.
+func (g *PerfGrid) Validate() error {
+	if len(g.SizesKB) < 2 || len(g.CycleNs) < 2 {
+		return fmt.Errorf("analysis: grid needs >= 2 sizes and cycle times, got %d × %d",
+			len(g.SizesKB), len(g.CycleNs))
+	}
+	if len(g.ExecNs) != len(g.SizesKB) {
+		return fmt.Errorf("analysis: %d exec rows for %d sizes", len(g.ExecNs), len(g.SizesKB))
+	}
+	for i, row := range g.ExecNs {
+		if len(row) != len(g.CycleNs) {
+			return fmt.Errorf("analysis: exec row %d has %d columns for %d cycle times",
+				i, len(row), len(g.CycleNs))
+		}
+	}
+	for i := 1; i < len(g.SizesKB); i++ {
+		if g.SizesKB[i] <= g.SizesKB[i-1] {
+			return fmt.Errorf("analysis: sizes not ascending at %d", i)
+		}
+	}
+	for i := 1; i < len(g.CycleNs); i++ {
+		if g.CycleNs[i] <= g.CycleNs[i-1] {
+			return fmt.Errorf("analysis: cycle times not ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// BestExec returns the smallest execution time in the grid.
+func (g *PerfGrid) BestExec() float64 {
+	best := math.Inf(1)
+	for _, row := range g.ExecNs {
+		for _, v := range row {
+			if v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// cycleFloats returns the cycle-time axis as float64s.
+func (g *PerfGrid) cycleFloats() []float64 {
+	xs := make([]float64, len(g.CycleNs))
+	for i, c := range g.CycleNs {
+		xs[i] = float64(c)
+	}
+	return xs
+}
+
+// EqualPerfCycleNs interpolates, for each cache size, the cycle time at
+// which the execution time equals target — the paper's "vertical
+// interpolation between the simulations of the same cache size", which
+// smooths quantization effects "to the point where they are
+// inconsequential". NaN marks sizes whose whole cycle-time range is faster
+// or slower than the target by more than the extrapolated segment allows.
+func (g *PerfGrid) EqualPerfCycleNs(target float64) ([]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	xs := g.cycleFloats()
+	out := make([]float64, len(g.SizesKB))
+	for i := range g.SizesKB {
+		t, err := stats.InvInterp(xs, g.ExecNs[i], target)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Contours computes lines of equal performance at the given execution-time
+// levels (absolute, in the same units as ExecNs). Each line is the
+// cycle-time-versus-size curve of machines with identical performance
+// (Figure 3-4).
+type Contours struct {
+	// Levels are the execution-time levels, one per line.
+	Levels []float64
+	// CycleNs[k][i] is the interpolated cycle time of line k at size i.
+	CycleNs [][]float64
+	SizesKB []int
+}
+
+// ContourLevels builds the paper's level ladder: the best level is `base`
+// times the grid minimum, with `count` lines spaced `step` times the
+// minimum apart. Figure 3-4 uses base 1.1, step 0.3.
+func (g *PerfGrid) ContourLevels(base, step float64, count int) []float64 {
+	min := g.BestExec()
+	levels := make([]float64, count)
+	for i := range levels {
+		levels[i] = min * (base + step*float64(i))
+	}
+	return levels
+}
+
+// ContoursAt interpolates the equal-performance lines at the given levels.
+func (g *PerfGrid) ContoursAt(levels []float64) (*Contours, error) {
+	c := &Contours{Levels: levels, SizesKB: g.SizesKB}
+	for _, lv := range levels {
+		line, err := g.EqualPerfCycleNs(lv)
+		if err != nil {
+			return nil, err
+		}
+		c.CycleNs = append(c.CycleNs, line)
+	}
+	return c, nil
+}
+
+// SlopeNsPerDoubling measures, at a given size index and cycle time, how
+// much cycle time can be exchanged for one doubling of cache size at
+// constant performance: the defining quantity of Figure 3-4's shaded
+// regions. It takes the execution time at (size, cycleNs) as the target
+// performance and interpolates the cycle time the next size up needs to
+// match it; the difference is the slope in ns per doubling.
+func (g *PerfGrid) SlopeNsPerDoubling(sizeIdx int, cycleNs int) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if sizeIdx < 0 || sizeIdx >= len(g.SizesKB)-1 {
+		return 0, fmt.Errorf("analysis: size index %d has no doubling neighbour", sizeIdx)
+	}
+	if g.SizesKB[sizeIdx+1] != 2*g.SizesKB[sizeIdx] {
+		return 0, fmt.Errorf("analysis: sizes %d and %d KB are not a doubling",
+			g.SizesKB[sizeIdx], g.SizesKB[sizeIdx+1])
+	}
+	xs := g.cycleFloats()
+	target, err := stats.Interp(xs, g.ExecNs[sizeIdx], float64(cycleNs))
+	if err != nil {
+		return 0, err
+	}
+	t2, err := stats.InvInterp(xs, g.ExecNs[sizeIdx+1], target)
+	if err != nil {
+		return 0, err
+	}
+	return t2 - float64(cycleNs), nil
+}
+
+// SlopeMap evaluates SlopeNsPerDoubling over every (size, cycle time) grid
+// point that has a doubling neighbour, returning rows indexed like SizesKB
+// (the last size has none and is omitted).
+func (g *PerfGrid) SlopeMap() ([][]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(g.SizesKB)-1)
+	for i := range out {
+		out[i] = make([]float64, len(g.CycleNs))
+		for j, cy := range g.CycleNs {
+			s, err := g.SlopeNsPerDoubling(i, cy)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = s
+		}
+	}
+	return out, nil
+}
+
+// Smooth returns a copy of the grid with each size's execution-time curve
+// median-smoothed across cycle times, as the paper did for the 56 ns
+// quantization artifact before the associativity analysis.
+func (g *PerfGrid) Smooth() *PerfGrid {
+	out := &PerfGrid{SizesKB: g.SizesKB, CycleNs: g.CycleNs, CyclesPerRef: g.CyclesPerRef}
+	for _, row := range g.ExecNs {
+		out.ExecNs = append(out.ExecNs, stats.Smooth3(row))
+	}
+	return out
+}
+
+// BreakEven computes, for every grid point, the cycle-time degradation at
+// which a set-associative design stops paying off (Figures 4-3 to 4-5):
+// the direct-mapped machine's interpolated cycle time that matches the
+// set-associative machine's performance, minus the set-associative cycle
+// time. "If the implementation of set associativity impacts the cache/CPU
+// cycle time by an amount greater than this break-even value, then adding
+// set associativity is detrimental to overall performance."
+func BreakEven(dm, assoc *PerfGrid) ([][]float64, error) {
+	if err := dm.Validate(); err != nil {
+		return nil, err
+	}
+	if err := assoc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dm.SizesKB) != len(assoc.SizesKB) || len(dm.CycleNs) != len(assoc.CycleNs) {
+		return nil, fmt.Errorf("analysis: break-even grids have mismatched axes")
+	}
+	xs := dm.cycleFloats()
+	out := make([][]float64, len(dm.SizesKB))
+	for i := range dm.SizesKB {
+		out[i] = make([]float64, len(dm.CycleNs))
+		for j, cy := range dm.CycleNs {
+			target := assoc.ExecNs[i][j]
+			tdm, err := stats.InvInterp(xs, dm.ExecNs[i], target)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = float64(cy) - tdm
+		}
+	}
+	return out, nil
+}
+
+// Region classifies a ns-per-doubling slope into the paper's Figure 3-4
+// shaded zones. The boundaries are the 2.5, 5, 7.5 and 10 ns-per-doubling
+// contours: within each zone, swapping discrete RAMs for the next size up
+// pays off when the speed difference per doubling stays below the zone's
+// bound.
+type Region int
+
+const (
+	// RegionUnder2_5: past the sweet range; spend hardware on cycle time.
+	RegionUnder2_5 Region = iota
+	Region2_5to5
+	Region5to7_5
+	Region7_5to10
+	// RegionOver10: grow the cache almost regardless of cycle-time cost.
+	RegionOver10
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionUnder2_5:
+		return "<2.5ns"
+	case Region2_5to5:
+		return "2.5-5ns"
+	case Region5to7_5:
+		return "5-7.5ns"
+	case Region7_5to10:
+		return "7.5-10ns"
+	case RegionOver10:
+		return ">10ns"
+	}
+	return fmt.Sprintf("Region(%d)", int(r))
+}
+
+// ClassifySlope maps a ns-per-doubling slope to its Figure 3-4 region.
+func ClassifySlope(nsPerDoubling float64) Region {
+	switch {
+	case nsPerDoubling > 10:
+		return RegionOver10
+	case nsPerDoubling > 7.5:
+		return Region7_5to10
+	case nsPerDoubling > 5:
+		return Region5to7_5
+	case nsPerDoubling > 2.5:
+		return Region2_5to5
+	default:
+		return RegionUnder2_5
+	}
+}
+
+// RegionMap classifies every entry of a slope map (as produced by
+// SlopeMap) into Figure 3-4 regions.
+func RegionMap(slopes [][]float64) [][]Region {
+	out := make([][]Region, len(slopes))
+	for i, row := range slopes {
+		out[i] = make([]Region, len(row))
+		for j, s := range row {
+			out[i][j] = ClassifySlope(s)
+		}
+	}
+	return out
+}
+
+// OptimalBlockSize fits a parabola through the three lowest points of
+// execution time versus log2(block size) and returns the (non-integral)
+// block size in words at the parabola's minimum, the paper's Figure 5-3
+// estimator. When the minimum is at either end of the sweep, the end point
+// is returned unfitted.
+func OptimalBlockSize(blockWords []int, execNs []float64) (float64, error) {
+	if len(blockWords) != len(execNs) || len(blockWords) < 3 {
+		return 0, fmt.Errorf("analysis: block size fit needs >= 3 matched points")
+	}
+	for i := 1; i < len(blockWords); i++ {
+		if blockWords[i] <= blockWords[i-1] {
+			return 0, fmt.Errorf("analysis: block sizes not ascending at %d", i)
+		}
+	}
+	k := stats.MinIndex(execNs)
+	if k == 0 || k == len(execNs)-1 {
+		return float64(blockWords[k]), nil
+	}
+	lg := func(i int) float64 { return math.Log2(float64(blockWords[i])) }
+	x, err := stats.ParabolaMin(lg(k-1), execNs[k-1], lg(k), execNs[k], lg(k+1), execNs[k+1])
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp2(x), nil
+}
+
+// BalancedBlockSize returns the block size at which transfer time equals
+// latency: la × tr, with la in cycles and tr in words per cycle — the
+// dotted "experienced engineer" line of Figure 5-4 that the true optimum
+// does not follow.
+func BalancedBlockSize(latencyCycles float64, wordsPerCycle float64) float64 {
+	return latencyCycles * wordsPerCycle
+}
+
+// MemorySpeedProduct is la × tr, the quantity Figure 5-4 shows the optimal
+// block size to be a function of.
+func MemorySpeedProduct(latencyCycles float64, wordsPerCycle float64) float64 {
+	return latencyCycles * wordsPerCycle
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// syntheticGrid models an idealized machine: exec = (cpr(size) ×
+// cycleNs) where cycles per reference improve with size. It is exactly the
+// structure the analyses assume, so expected values can be derived by hand.
+func syntheticGrid() *PerfGrid {
+	sizes := []int{4, 8, 16, 32}
+	cycles := []int{20, 40, 60, 80}
+	cpr := map[int]float64{4: 2.0, 8: 1.6, 16: 1.35, 32: 1.2}
+	g := &PerfGrid{SizesKB: sizes, CycleNs: cycles}
+	for _, s := range sizes {
+		row := make([]float64, len(cycles))
+		cprRow := make([]float64, len(cycles))
+		for j, c := range cycles {
+			row[j] = cpr[s] * float64(c) * 1000
+			cprRow[j] = cpr[s]
+		}
+		g.ExecNs = append(g.ExecNs, row)
+		g.CyclesPerRef = append(g.CyclesPerRef, cprRow)
+	}
+	return g
+}
+
+func TestValidate(t *testing.T) {
+	g := syntheticGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *g
+	bad.SizesKB = []int{4, 8, 8, 32}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-ascending sizes accepted")
+	}
+	bad = *g
+	bad.ExecNs = bad.ExecNs[:2]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("row count mismatch accepted")
+	}
+}
+
+func TestBestExec(t *testing.T) {
+	g := syntheticGrid()
+	want := 1.2 * 20 * 1000
+	if got := g.BestExec(); !almostEq(got, want) {
+		t.Fatalf("best = %v, want %v", got, want)
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6*math.Max(1, math.Abs(b)) }
+
+func TestEqualPerfCycleNs(t *testing.T) {
+	g := syntheticGrid()
+	// Target: performance of the 4 KB machine at 40 ns = 2.0×40 = 80 µs.
+	target := 2.0 * 40 * 1000
+	line, err := g.EqualPerfCycleNs(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 8 KB machine matches at 80/1.6 = 50 ns; 16 KB at 59.26 ns;
+	// 32 KB at 66.67 ns.
+	want := []float64{40, 50, 80.0 / 1.35, 80.0 / 1.2}
+	for i := range want {
+		if !almostEq(line[i], want[i]) {
+			t.Errorf("size %d: cycle %v, want %v", g.SizesKB[i], line[i], want[i])
+		}
+	}
+}
+
+func TestSlopeNsPerDoubling(t *testing.T) {
+	g := syntheticGrid()
+	// From 4 KB at 40 ns: 8 KB matches at 50 ns → slope 10 ns/doubling.
+	s, err := g.SlopeNsPerDoubling(0, 40)
+	if err != nil || !almostEq(s, 10) {
+		t.Fatalf("slope = %v, %v; want 10", s, err)
+	}
+	// From 8 KB at 40 ns: 16 KB matches at 40×1.6/1.35 = 47.41 ns.
+	s, err = g.SlopeNsPerDoubling(1, 40)
+	if err != nil || !almostEq(s, 40*1.6/1.35-40) {
+		t.Fatalf("slope = %v", s)
+	}
+	// Slope grows linearly with cycle time in this synthetic machine
+	// (no memory quantization): at 80 ns it is 20 ns/doubling.
+	s, err = g.SlopeNsPerDoubling(0, 80)
+	if err != nil || !almostEq(s, 20) {
+		t.Fatalf("slope at 80 = %v", s)
+	}
+	if _, err := g.SlopeNsPerDoubling(3, 40); err == nil {
+		t.Fatal("last size accepted")
+	}
+	bad := syntheticGrid()
+	bad.SizesKB = []int{4, 12, 16, 32}
+	if _, err := bad.SlopeNsPerDoubling(0, 40); err == nil {
+		t.Fatal("non-doubling accepted")
+	}
+}
+
+func TestSlopeMap(t *testing.T) {
+	g := syntheticGrid()
+	m, err := g.SlopeMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || len(m[0]) != 4 {
+		t.Fatalf("slope map shape %dx%d", len(m), len(m[0]))
+	}
+	// Larger caches gain less: each row's slope at a fixed cycle time
+	// shrinks with size.
+	for j := range g.CycleNs {
+		if !(m[0][j] > m[1][j] && m[1][j] > m[2][j]) {
+			t.Errorf("slopes not decreasing with size at column %d: %v %v %v",
+				j, m[0][j], m[1][j], m[2][j])
+		}
+	}
+}
+
+func TestContours(t *testing.T) {
+	g := syntheticGrid()
+	levels := g.ContourLevels(1.1, 0.3, 3)
+	if len(levels) != 3 {
+		t.Fatal("level count")
+	}
+	if !almostEq(levels[0], g.BestExec()*1.1) || !almostEq(levels[2], g.BestExec()*1.7) {
+		t.Fatalf("levels = %v", levels)
+	}
+	c, err := g.ContoursAt(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.CycleNs) != 3 || len(c.CycleNs[0]) != len(g.SizesKB) {
+		t.Fatal("contour shape")
+	}
+	// A line of equal performance allows a larger cycle time at a
+	// larger size.
+	for _, line := range c.CycleNs {
+		for i := 1; i < len(line); i++ {
+			if line[i] < line[i-1] {
+				t.Fatalf("contour not non-decreasing: %v", line)
+			}
+		}
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	dm := syntheticGrid()
+	// The associative machine is uniformly 10% faster in cycle count.
+	sa := syntheticGrid()
+	for i := range sa.ExecNs {
+		for j := range sa.ExecNs[i] {
+			sa.ExecNs[i][j] *= 0.9
+		}
+	}
+	be, err := BreakEven(dm, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// exec_dm(T') = 0.9 × exec_dm(T) → T' = 0.9T → break-even = 0.1T.
+	for i := range be {
+		for j, cy := range dm.CycleNs {
+			want := 0.1 * float64(cy)
+			if !almostEq(be[i][j], want) {
+				t.Fatalf("break-even[%d][%d] = %v, want %v", i, j, be[i][j], want)
+			}
+		}
+	}
+	// Equal grids break even at zero.
+	be, err = BreakEven(dm, syntheticGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range be {
+		for j := range be[i] {
+			if !almostEq(be[i][j], 0) {
+				t.Fatalf("nonzero break-even for identical grids: %v", be[i][j])
+			}
+		}
+	}
+	short := syntheticGrid()
+	short.SizesKB = short.SizesKB[:3]
+	short.ExecNs = short.ExecNs[:3]
+	if _, err := BreakEven(dm, short); err == nil {
+		t.Fatal("axis mismatch accepted")
+	}
+}
+
+func TestSmoothPreservesShape(t *testing.T) {
+	g := syntheticGrid()
+	g.ExecNs[1][2] *= 1.5 // quantization spike
+	sm := g.Smooth()
+	if sm.ExecNs[1][2] >= g.ExecNs[1][2] {
+		t.Fatal("spike survived smoothing")
+	}
+	if g.ExecNs[1][2] == sm.ExecNs[1][2] {
+		t.Fatal("smooth returned the same slice")
+	}
+}
+
+func TestOptimalBlockSize(t *testing.T) {
+	// Symmetric parabola in log2: minimum exactly at 8 words.
+	bw := []int{2, 4, 8, 16, 32}
+	exec := []float64{9, 5, 4, 5, 9}
+	opt, err := OptimalBlockSize(bw, exec)
+	if err != nil || !almostEq(opt, 8) {
+		t.Fatalf("opt = %v, %v; want 8", opt, err)
+	}
+	// Minimum at the sweep edge returns the edge.
+	exec = []float64{2, 3, 4, 5, 6}
+	opt, err = OptimalBlockSize(bw, exec)
+	if err != nil || opt != 2 {
+		t.Fatalf("edge opt = %v", opt)
+	}
+	exec = []float64{6, 5, 4, 3, 2}
+	opt, err = OptimalBlockSize(bw, exec)
+	if err != nil || opt != 32 {
+		t.Fatalf("right edge opt = %v", opt)
+	}
+	// Asymmetric minimum: between 8 and 16, closer to 8.
+	exec = []float64{9, 5, 4, 4.5, 9}
+	opt, err = OptimalBlockSize(bw, exec)
+	if err != nil || opt <= 8 || opt >= 16 {
+		t.Fatalf("asymmetric opt = %v", opt)
+	}
+	if _, err := OptimalBlockSize([]int{2, 4}, []float64{1, 2}); err == nil {
+		t.Fatal("two points accepted")
+	}
+	if _, err := OptimalBlockSize([]int{2, 4, 4}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("non-ascending sizes accepted")
+	}
+}
+
+func TestClassifySlope(t *testing.T) {
+	cases := []struct {
+		slope float64
+		want  Region
+	}{
+		{15, RegionOver10},
+		{10.01, RegionOver10},
+		{10, Region7_5to10},
+		{8, Region7_5to10},
+		{6, Region5to7_5},
+		{3, Region2_5to5},
+		{2.5, RegionUnder2_5},
+		{0.1, RegionUnder2_5},
+		{-1, RegionUnder2_5},
+	}
+	for _, c := range cases {
+		if got := ClassifySlope(c.slope); got != c.want {
+			t.Errorf("ClassifySlope(%v) = %v, want %v", c.slope, got, c.want)
+		}
+	}
+	if RegionOver10.String() != ">10ns" || RegionUnder2_5.String() != "<2.5ns" {
+		t.Error("region strings wrong")
+	}
+}
+
+func TestRegionMap(t *testing.T) {
+	g := syntheticGrid()
+	slopes, err := g.SlopeMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := RegionMap(slopes)
+	if len(regions) != len(slopes) || len(regions[0]) != len(slopes[0]) {
+		t.Fatal("region map shape wrong")
+	}
+	// The synthetic machine's slopes shrink with size, so regions are
+	// non-increasing down each column.
+	for j := range regions[0] {
+		for i := 1; i < len(regions); i++ {
+			if regions[i][j] > regions[i-1][j] {
+				t.Errorf("regions rose with size at column %d", j)
+			}
+		}
+	}
+}
+
+func TestBalancedBlockSize(t *testing.T) {
+	if BalancedBlockSize(6, 1) != 6 {
+		t.Fatal("balanced block size wrong")
+	}
+	if MemorySpeedProduct(8, 0.25) != 2 {
+		t.Fatal("product wrong")
+	}
+}

@@ -1,0 +1,304 @@
+// Package config provides the declarative, JSON-serializable system
+// specification used by the command-line tools — the analogue of the
+// paper's specification files, which carried about 130 parameters for a
+// two-level system and were specialized by variation files before each
+// simulation run. Here a Spec fully describes a system; Variations mutate
+// named parameters, playing the role of the paper's variation files.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/system"
+)
+
+// CacheSpec describes one cache in user-facing units (bytes).
+type CacheSpec struct {
+	SizeBytes  int `json:"size_bytes"`
+	BlockBytes int `json:"block_bytes"`
+	Assoc      int `json:"assoc"`
+	// Replacement: "random" (paper), "lru" or "fifo".
+	Replacement string `json:"replacement"`
+	// WritePolicy: "write-back" (paper) or "write-through".
+	WritePolicy   string `json:"write_policy"`
+	WriteAllocate bool   `json:"write_allocate"`
+	// FetchBytes is the fetch (transfer) size; 0 fetches whole blocks,
+	// a smaller value selects sub-block placement.
+	FetchBytes int    `json:"fetch_bytes,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+}
+
+// MemorySpec describes the main memory timing.
+type MemorySpec struct {
+	ReadNs    int `json:"read_ns"`
+	WriteNs   int `json:"write_ns"`
+	RecoverNs int `json:"recover_ns"`
+	// TransferWords words move per TransferCycles cycles.
+	TransferWords  int `json:"transfer_words"`
+	TransferCycles int `json:"transfer_cycles"`
+}
+
+// L2Spec describes an optional second-level cache.
+type L2Spec struct {
+	Cache         CacheSpec `json:"cache"`
+	AccessCycles  int       `json:"access_cycles"`
+	WriteBufDepth int       `json:"write_buffer_depth"`
+}
+
+// Spec is a complete system description.
+type Spec struct {
+	Name    string    `json:"name,omitempty"`
+	CycleNs int       `json:"cycle_ns"`
+	ICache  CacheSpec `json:"icache"`
+	DCache  CacheSpec `json:"dcache"`
+	Unified bool      `json:"unified,omitempty"`
+	// Fetch: "whole-block" (paper), "early-continue" or "load-forward".
+	Fetch         string  `json:"fetch,omitempty"`
+	WriteBufDepth int     `json:"write_buffer_depth"`
+	L2            *L2Spec `json:"l2,omitempty"`
+	// Levels describes a deeper hierarchy below L1, nearest level first
+	// (L2, L3, …); mutually exclusive with the L2 shorthand.
+	Levels []L2Spec   `json:"levels,omitempty"`
+	Memory MemorySpec `json:"memory"`
+}
+
+// Default returns the paper's base system as a Spec.
+func Default() Spec {
+	l1 := CacheSpec{
+		SizeBytes:   64 * 1024,
+		BlockBytes:  16,
+		Assoc:       1,
+		Replacement: "random",
+		WritePolicy: "write-back",
+	}
+	return Spec{
+		Name:          "base",
+		CycleNs:       40,
+		ICache:        l1,
+		DCache:        l1,
+		WriteBufDepth: 4,
+		Memory: MemorySpec{
+			ReadNs:         180,
+			WriteNs:        100,
+			RecoverNs:      120,
+			TransferWords:  1,
+			TransferCycles: 1,
+		},
+	}
+}
+
+func (c CacheSpec) build() (cache.Config, error) {
+	out := cache.Config{
+		SizeWords:     c.SizeBytes / 4,
+		BlockWords:    c.BlockBytes / 4,
+		Assoc:         c.Assoc,
+		WriteAllocate: c.WriteAllocate,
+		FetchWords:    c.FetchBytes / 4,
+		Seed:          c.Seed,
+	}
+	switch c.Replacement {
+	case "", "random":
+		out.Replacement = cache.Random
+	case "lru":
+		out.Replacement = cache.LRU
+	case "fifo":
+		out.Replacement = cache.FIFO
+	default:
+		return out, fmt.Errorf("config: unknown replacement %q", c.Replacement)
+	}
+	switch c.WritePolicy {
+	case "", "write-back":
+		out.WritePolicy = cache.WriteBack
+	case "write-through":
+		out.WritePolicy = cache.WriteThrough
+	default:
+		return out, fmt.Errorf("config: unknown write policy %q", c.WritePolicy)
+	}
+	return out, nil
+}
+
+func (m MemorySpec) build() mem.Config {
+	return mem.Config{
+		ReadNs:    m.ReadNs,
+		WriteNs:   m.WriteNs,
+		RecoverNs: m.RecoverNs,
+		Transfer:  mem.Rate{Num: m.TransferWords, Den: m.TransferCycles},
+	}
+}
+
+// System converts the spec into a validated simulator configuration.
+func (s Spec) System() (system.Config, error) {
+	ic, err := s.ICache.build()
+	if err != nil {
+		return system.Config{}, fmt.Errorf("config: icache: %w", err)
+	}
+	dc, err := s.DCache.build()
+	if err != nil {
+		return system.Config{}, fmt.Errorf("config: dcache: %w", err)
+	}
+	cfg := system.Config{
+		CycleNs:       s.CycleNs,
+		ICache:        ic,
+		DCache:        dc,
+		Unified:       s.Unified,
+		WriteBufDepth: s.WriteBufDepth,
+		Mem:           s.Memory.build(),
+	}
+	switch s.Fetch {
+	case "", "whole-block":
+		cfg.Fetch = system.FetchWholeBlock
+	case "early-continue":
+		cfg.Fetch = system.EarlyContinue
+	case "load-forward":
+		cfg.Fetch = system.LoadForward
+	default:
+		return system.Config{}, fmt.Errorf("config: unknown fetch policy %q", s.Fetch)
+	}
+	if s.L2 != nil {
+		l2c, err := s.L2.Cache.build()
+		if err != nil {
+			return system.Config{}, fmt.Errorf("config: l2: %w", err)
+		}
+		cfg.L2 = &system.L2Config{
+			Cache:         l2c,
+			AccessCycles:  s.L2.AccessCycles,
+			WriteBufDepth: s.L2.WriteBufDepth,
+		}
+	}
+	for i, lvl := range s.Levels {
+		c, err := lvl.Cache.build()
+		if err != nil {
+			return system.Config{}, fmt.Errorf("config: level %d: %w", i+2, err)
+		}
+		cfg.Levels = append(cfg.Levels, system.L2Config{
+			Cache:         c,
+			AccessCycles:  lvl.AccessCycles,
+			WriteBufDepth: lvl.WriteBufDepth,
+		})
+	}
+	if err := cfg.Validate(); err != nil {
+		return system.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Write serializes the spec as indented JSON.
+func (s Spec) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read parses a spec from JSON, rejecting unknown fields so typos in
+// specification files fail loudly.
+func Read(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("config: %w", err)
+	}
+	return s, nil
+}
+
+// Load reads a spec file from disk.
+func Load(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Save writes a spec file to disk.
+func Save(path string, s Spec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// A Variation mutates one or more related parameters of a spec, keeping it
+// consistent — the role of the paper's variation files ("A change could
+// involve several parameters in order to maintain consistency in the
+// modeled system").
+type Variation func(*Spec)
+
+// WithCycleNs sets the CPU/cache cycle time.
+func WithCycleNs(ns int) Variation {
+	return func(s *Spec) { s.CycleNs = ns }
+}
+
+// WithTotalSizeKB sets the combined L1 size, splitting it evenly.
+func WithTotalSizeKB(kb int) Variation {
+	return func(s *Spec) {
+		s.ICache.SizeBytes = kb * 1024 / 2
+		s.DCache.SizeBytes = kb * 1024 / 2
+	}
+}
+
+// WithAssoc sets both caches' set size (the set count adjusts implicitly).
+func WithAssoc(assoc int) Variation {
+	return func(s *Spec) {
+		s.ICache.Assoc = assoc
+		s.DCache.Assoc = assoc
+	}
+}
+
+// WithBlockWords sets both caches' block size.
+func WithBlockWords(words int) Variation {
+	return func(s *Spec) {
+		s.ICache.BlockBytes = words * 4
+		s.DCache.BlockBytes = words * 4
+	}
+}
+
+// WithFetchWords sets both caches' fetch (transfer) size; 0 restores
+// whole-block fetch.
+func WithFetchWords(words int) Variation {
+	return func(s *Spec) {
+		s.ICache.FetchBytes = words * 4
+		s.DCache.FetchBytes = words * 4
+	}
+}
+
+// WithUniformMemory sets read, write and recovery times equal (the Section
+// 5 sweep) and the transfer rate.
+func WithUniformMemory(latencyNs, transferWords, transferCycles int) Variation {
+	return func(s *Spec) {
+		s.Memory = MemorySpec{
+			ReadNs:         latencyNs,
+			WriteNs:        latencyNs,
+			RecoverNs:      latencyNs,
+			TransferWords:  transferWords,
+			TransferCycles: transferCycles,
+		}
+	}
+}
+
+// Apply returns a copy of the spec with the variations applied in order.
+func (s Spec) Apply(vs ...Variation) Spec {
+	out := s
+	if s.L2 != nil {
+		l2 := *s.L2
+		out.L2 = &l2
+	}
+	if len(s.Levels) > 0 {
+		out.Levels = append([]L2Spec(nil), s.Levels...)
+	}
+	for _, v := range vs {
+		v(&out)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package config
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/system"
+)
+
+func TestDefaultMatchesSystemDefault(t *testing.T) {
+	cfg, err := Default().System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := system.DefaultConfig()
+	if cfg.CycleNs != want.CycleNs {
+		t.Errorf("cycle %d != %d", cfg.CycleNs, want.CycleNs)
+	}
+	if cfg.ICache != want.ICache || cfg.DCache != want.DCache {
+		t.Errorf("caches differ:\n%+v\n%+v", cfg.ICache, want.ICache)
+	}
+	if cfg.Mem != want.Mem {
+		t.Errorf("memory differs: %+v vs %+v", cfg.Mem, want.Mem)
+	}
+	if cfg.WriteBufDepth != want.WriteBufDepth {
+		t.Error("buffer depth differs")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s := Default()
+	s.ICache.Replacement = "clock"
+	if _, err := s.System(); err == nil {
+		t.Error("unknown replacement accepted")
+	}
+	s = Default()
+	s.DCache.WritePolicy = "write-around"
+	if _, err := s.System(); err == nil {
+		t.Error("unknown write policy accepted")
+	}
+	s = Default()
+	s.Fetch = "speculative"
+	if _, err := s.System(); err == nil {
+		t.Error("unknown fetch policy accepted")
+	}
+	s = Default()
+	s.DCache.SizeBytes = 1000
+	if _, err := s.System(); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestPolicyMappings(t *testing.T) {
+	s := Default()
+	s.ICache.Replacement = "lru"
+	s.DCache.Replacement = "fifo"
+	s.DCache.WritePolicy = "write-through"
+	s.Fetch = "early-continue"
+	cfg, err := s.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ICache.Replacement != cache.LRU || cfg.DCache.Replacement != cache.FIFO {
+		t.Error("replacement mapping wrong")
+	}
+	if cfg.DCache.WritePolicy != cache.WriteThrough {
+		t.Error("write policy mapping wrong")
+	}
+	if cfg.Fetch != system.EarlyContinue {
+		t.Error("fetch mapping wrong")
+	}
+}
+
+func TestL2Spec(t *testing.T) {
+	s := Default()
+	s.L2 = &L2Spec{
+		Cache: CacheSpec{SizeBytes: 512 * 1024, BlockBytes: 64, Assoc: 1,
+			Replacement: "random", WritePolicy: "write-back", WriteAllocate: true},
+		AccessCycles:  3,
+		WriteBufDepth: 4,
+	}
+	cfg, err := s.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.L2 == nil || cfg.L2.Cache.SizeWords != 512*1024/4 {
+		t.Fatalf("l2 = %+v", cfg.L2)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := Default()
+	s.Name = "trip"
+	s.L2 = &L2Spec{
+		Cache: CacheSpec{SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 2,
+			Replacement: "lru", WritePolicy: "write-back", WriteAllocate: true},
+		AccessCycles: 4,
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "trip" || got.L2 == nil || got.L2.Cache.Assoc != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"cycle_ns": 40, "cache_sice": 1}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+}
+
+func TestLoadSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := Save(path, Default()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CycleNs != 40 {
+		t.Fatalf("loaded spec = %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestVariations(t *testing.T) {
+	s := Default().Apply(
+		WithCycleNs(60),
+		WithTotalSizeKB(32),
+		WithAssoc(2),
+		WithBlockWords(8),
+		WithUniformMemory(260, 1, 2),
+	)
+	if s.CycleNs != 60 {
+		t.Error("cycle variation")
+	}
+	if s.ICache.SizeBytes != 16*1024 || s.DCache.SizeBytes != 16*1024 {
+		t.Error("size variation")
+	}
+	if s.ICache.Assoc != 2 || s.DCache.BlockBytes != 32 {
+		t.Error("assoc/block variation")
+	}
+	if s.Memory.ReadNs != 260 || s.Memory.RecoverNs != 260 || s.Memory.TransferCycles != 2 {
+		t.Error("memory variation")
+	}
+	// The original is untouched.
+	if d := Default(); d.CycleNs != 40 {
+		t.Error("Default mutated")
+	}
+	cfg, err := s.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TotalL1SizeBytes() != 32*1024 {
+		t.Error("applied spec does not build correctly")
+	}
+}
+
+func TestLevelsSpec(t *testing.T) {
+	s := Default()
+	s.Levels = []L2Spec{
+		{Cache: CacheSpec{SizeBytes: 256 * 1024, BlockBytes: 64, Assoc: 1,
+			Replacement: "random", WritePolicy: "write-back", WriteAllocate: true},
+			AccessCycles: 3, WriteBufDepth: 4},
+		{Cache: CacheSpec{SizeBytes: 2 << 20, BlockBytes: 128, Assoc: 1,
+			Replacement: "random", WritePolicy: "write-back", WriteAllocate: true},
+			AccessCycles: 8, WriteBufDepth: 4},
+	}
+	cfg, err := s.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Levels) != 2 || cfg.Levels[1].AccessCycles != 8 {
+		t.Fatalf("levels = %+v", cfg.Levels)
+	}
+	// Apply must deep-copy the level list.
+	v := s.Apply(func(sp *Spec) { sp.Levels[0].AccessCycles = 99 })
+	if s.Levels[0].AccessCycles != 3 || v.Levels[0].AccessCycles != 99 {
+		t.Fatal("Apply aliased the levels")
+	}
+}
+
+func TestFetchBytes(t *testing.T) {
+	s := Default().Apply(WithBlockWords(32), WithFetchWords(8))
+	cfg, err := s.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DCache.FetchWords != 8 || !cfg.DCache.SubBlocked() {
+		t.Fatalf("fetch words = %d", cfg.DCache.FetchWords)
+	}
+	s = s.Apply(WithFetchWords(0))
+	cfg, err = s.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DCache.SubBlocked() {
+		t.Fatal("fetch reset did not restore whole-block mode")
+	}
+	// Invalid fetch geometry is rejected at build time.
+	s = Default().Apply(WithFetchWords(32)) // fetch > 4W block
+	if _, err := s.System(); err == nil {
+		t.Fatal("fetch larger than block accepted")
+	}
+}
+
+func TestApplyCopiesL2(t *testing.T) {
+	s := Default()
+	s.L2 = &L2Spec{Cache: CacheSpec{SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 1}, AccessCycles: 3}
+	v := s.Apply(func(sp *Spec) { sp.L2.AccessCycles = 9 })
+	if s.L2.AccessCycles != 3 {
+		t.Fatal("Apply aliased the L2 spec")
+	}
+	if v.L2.AccessCycles != 9 {
+		t.Fatal("variation not applied")
+	}
+}

@@ -1,0 +1,266 @@
+// Package engine implements the fast two-phase simulator.
+//
+// The paper's key methodological observation — which its own simulation
+// farm exploited by preprocessing each trace "to extract all the system
+// independent statistics" — is that a cache's hit/miss behaviour depends
+// only on the organization (size, set size, block size, write policy),
+// never on the cycle time or memory speed. The engine therefore simulates a
+// trace against an organization once (BuildProfile), recording a compact
+// stream of miss events, and then replays that stream against any number of
+// timing parameterizations (Replay), each replay costing time proportional
+// to the number of misses rather than the number of references.
+//
+// Replay reproduces the single-phase system simulator cycle-for-cycle for
+// the base fetch policy (whole-block fetch, no second-level cache); the
+// cross-validation tests assert exact equality of cycle counts and stall
+// statistics across many organizations, timings and traces. Early-continue
+// fetch policies and multilevel hierarchies change which couplets can stall,
+// so those run on the system simulator instead.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// Org is the timing-independent part of a system configuration: the cache
+// organizations. Write buffer depth and all memory parameters belong to the
+// timing phase.
+type Org struct {
+	ICache  cache.Config
+	DCache  cache.Config
+	Unified bool
+}
+
+// Validate reports configuration errors.
+func (o Org) Validate() error {
+	if !o.Unified {
+		if err := o.ICache.Validate(); err != nil {
+			return fmt.Errorf("engine: icache: %w", err)
+		}
+	}
+	if err := o.DCache.Validate(); err != nil {
+		return fmt.Errorf("engine: dcache: %w", err)
+	}
+	return nil
+}
+
+// dOp encodes the data side of an event couplet.
+type dOp uint8
+
+const (
+	dNone dOp = iota
+	dLoadHit
+	dStoreHit // relevant in events for couplet cost and write-through sends
+	dLoadMiss
+	dStoreMissNoAlloc
+	dStoreMissAlloc
+)
+
+// event is one couplet that interacts with the memory system (any miss, or
+// any store that must pass toward memory), plus the run of untimed couplets
+// preceding it. A marker event carries no couplet at all: it pins the
+// warm-start boundary inside the replay.
+type event struct {
+	gap          uint32 // non-event couplets since the previous event
+	gapStoreHits uint32 // how many of those contained a store hit (cost 2)
+	marker       bool
+
+	hasI  bool
+	iMiss bool
+	iAddr uint64 // extended address of the missing ifetch
+	iVic  uint64 // victim block address
+	iVicW uint16 // victim write-back words (0 = clean or no victim)
+
+	d     dOp
+	dAddr uint64 // extended address of the data reference
+	dVic  uint64
+	dVicW uint16
+}
+
+// Profile is the behavioural digest of (organization × trace): everything
+// the timing phase needs, at one record per memory-system interaction.
+type Profile struct {
+	Org       Org
+	TraceName string
+
+	events []event
+	// tailGap counts trailing non-event couplets after the last event.
+	tailGap          uint32
+	tailGapStoreHits uint32
+
+	// Behavioural statistics, independent of timing.
+	total    system.Counters // cycle and stall fields zero here
+	warmSnap system.Counters // totals at the warm boundary
+}
+
+// TotalCounters returns the behavioural statistics of the whole trace
+// (timing fields are zero; use Replay for cycles).
+func (p *Profile) TotalCounters() system.Counters { return p.total }
+
+// WarmCounters returns the behavioural statistics of the measured window
+// after the warm-start boundary (timing fields are zero).
+func (p *Profile) WarmCounters() system.Counters { return p.total.Sub(p.warmSnap) }
+
+// Events returns the number of recorded miss events (markers excluded).
+func (p *Profile) Events() int {
+	n := 0
+	for _, e := range p.events {
+		if !e.marker {
+			n++
+		}
+	}
+	return n
+}
+
+// BuildProfile simulates the trace's cache behaviour against the
+// organization and digests it into a Profile. The cache configurations'
+// seeds determine random replacement exactly as in the system simulator, so
+// a system.System built from the same configs observes the identical
+// hit/miss sequence.
+func BuildProfile(org Org, t *trace.Trace) (*Profile, error) {
+	if err := org.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	dc, err := cache.New(org.DCache)
+	if err != nil {
+		return nil, err
+	}
+	ic := dc
+	if !org.Unified {
+		ic, err = cache.New(org.ICache)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := &Profile{Org: org, TraceName: t.Name}
+	wtThrough := org.DCache.WritePolicy == cache.WriteThrough
+	ifw := ic.Config().EffectiveFetchWords()
+	dfw := dc.Config().EffectiveFetchWords()
+
+	// recordMiss accounts the traffic of a read (or write-allocate) miss
+	// and returns the victim's write-back size.
+	recordMiss := func(fetchWords int, res cache.Result) uint16 {
+		p.total.ReadWordsFetched += int64(fetchWords)
+		if res.Victim.Valid && res.Victim.Dirty {
+			p.total.WritebackBlocks++
+			p.total.WritebackWords += int64(res.Victim.WritebackWords)
+			p.total.WritebackDirtyWords += int64(res.Victim.DirtyWords)
+			return uint16(res.Victim.WritebackWords)
+		}
+		return 0
+	}
+
+	refs := t.Refs
+	var gap, gapStoreHits uint32
+	warmTaken := t.WarmStart == 0
+	flushGapAsMarker := func() {
+		p.events = append(p.events, event{gap: gap, gapStoreHits: gapStoreHits, marker: true})
+		gap, gapStoreHits = 0, 0
+	}
+
+	for i := 0; i < len(refs); {
+		if !warmTaken && i >= t.WarmStart {
+			flushGapAsMarker()
+			p.warmSnap = p.total
+			warmTaken = true
+		}
+		n := trace.CoupletLen(refs, i)
+		p.total.Couplets++
+		p.total.Refs += int64(n)
+
+		var ev event
+		interacts := false
+
+		first := refs[i]
+		var dref *trace.Ref
+		if first.Kind == trace.Ifetch {
+			p.total.Ifetches++
+			ev.hasI = true
+			res := ic.Read(first.Extended())
+			if !res.Hit {
+				p.total.IfetchMisses++
+				ev.iMiss = true
+				ev.iAddr = first.Extended()
+				interacts = true
+				ev.iVicW = recordMiss(ifw, res)
+				ev.iVic = res.Victim.BlockAddr
+			}
+			if n == 2 {
+				dref = &refs[i+1]
+			}
+		} else {
+			dref = &refs[i]
+		}
+
+		if dref != nil {
+			ev.dAddr = dref.Extended()
+			switch dref.Kind {
+			case trace.Load:
+				p.total.Loads++
+				res := dc.Read(ev.dAddr)
+				if res.Hit {
+					ev.d = dLoadHit
+				} else {
+					p.total.LoadMisses++
+					ev.d = dLoadMiss
+					interacts = true
+					ev.dVicW = recordMiss(dfw, res)
+					ev.dVic = res.Victim.BlockAddr
+				}
+			case trace.Store:
+				p.total.Stores++
+				res := dc.Write(ev.dAddr)
+				switch {
+				case res.Hit:
+					p.total.StoreHits++
+					ev.d = dStoreHit
+					if wtThrough {
+						p.total.StoreThroughWords++
+						interacts = true
+					}
+				case !res.Allocated:
+					p.total.StoreMisses++
+					p.total.StoreThroughWords++
+					ev.d = dStoreMissNoAlloc
+					interacts = true
+				default:
+					p.total.StoreMisses++
+					ev.d = dStoreMissAlloc
+					interacts = true
+					if wtThrough {
+						p.total.StoreThroughWords++
+					}
+					ev.dVicW = recordMiss(dfw, res)
+					ev.dVic = res.Victim.BlockAddr
+				}
+			}
+		}
+
+		if interacts {
+			ev.gap = gap
+			ev.gapStoreHits = gapStoreHits
+			gap, gapStoreHits = 0, 0
+			p.events = append(p.events, ev)
+		} else {
+			gap++
+			if ev.d == dStoreHit {
+				gapStoreHits++
+			}
+		}
+		i += n
+	}
+	if !warmTaken {
+		flushGapAsMarker()
+		p.warmSnap = p.total
+	}
+	p.tailGap = gap
+	p.tailGapStoreHits = gapStoreHits
+	return p, nil
+}

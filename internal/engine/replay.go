@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/system"
+	"repro/internal/writebuf"
+)
+
+// Timing is the timing-phase parameterization applied to a Profile.
+type Timing struct {
+	// CycleNs is the CPU/cache cycle time in nanoseconds.
+	CycleNs int
+	// Mem is the main memory configuration.
+	Mem mem.Config
+	// WriteBufDepth is the L1 write buffer depth (the paper uses 4).
+	WriteBufDepth int
+}
+
+// Validate reports parameter errors.
+func (t Timing) Validate() error {
+	if t.CycleNs <= 0 {
+		return fmt.Errorf("engine: non-positive cycle time %d ns", t.CycleNs)
+	}
+	if t.WriteBufDepth < 0 {
+		return fmt.Errorf("engine: negative write buffer depth %d", t.WriteBufDepth)
+	}
+	return t.Mem.Validate()
+}
+
+// memSink adapts the memory unit to the write buffer (addresses are
+// irrelevant to main memory timing).
+type memSink struct{ unit *mem.Unit }
+
+func (m *memSink) StartWrite(now int64, addr uint64, words int) int64 {
+	return m.unit.StartWrite(now, words)
+}
+
+func (m *memSink) NextFree() int64 { return m.unit.FreeAt }
+
+// replayer holds the timing-phase state while walking an event stream.
+type replayer struct {
+	unit *mem.Unit
+	buf  *writebuf.Buffer
+}
+
+// missFetch mirrors system.(*System).missFetch for the whole-block
+// completion policy with main memory downstream. fetchWords is the cache's
+// fetch unit; wbWords is the victim's write-back size (0 for a clean miss).
+func (r *replayer) missFetch(start int64, fetchWords int, addr uint64, wbWords int, vicAddr uint64) int64 {
+	fetchAddr := addr &^ uint64(fetchWords-1)
+	r.buf.Drain(start)
+	r.buf.FlushMatching(start, fetchAddr, fetchWords)
+	dataAt, _ := r.unit.StartReadBlocked(start, fetchWords, wbWords)
+	complete := dataAt
+	if wbWords > 0 {
+		if rel := r.buf.Enqueue(dataAt, vicAddr, wbWords, dataAt); rel > complete {
+			complete = rel
+		}
+	}
+	return complete
+}
+
+// storeThrough mirrors the system's write-buffer enqueue for a store that
+// passes toward memory: drain at the access time, enqueue one word at the
+// completion time, stall if the buffer is full.
+func (r *replayer) storeThrough(now, done int64, addr uint64) int64 {
+	r.buf.Drain(now)
+	if rel := r.buf.Enqueue(done, addr, 1, done); rel > done {
+		done = rel
+	}
+	return done
+}
+
+// Replay runs the timing phase over the profile and returns the same Result
+// the system simulator would produce for the equivalent configuration
+// (whole-block fetch, no L2). The cost is proportional to the number of
+// events, not the number of references.
+func (p *Profile) Replay(t Timing) (system.Result, error) {
+	if err := t.Validate(); err != nil {
+		return system.Result{}, err
+	}
+	r := &replayer{unit: mem.NewUnit(t.Mem.Quantize(t.CycleNs))}
+	r.buf = writebuf.New(t.WriteBufDepth, &memSink{unit: r.unit})
+
+	ifw := p.Org.ICache.EffectiveFetchWords()
+	if p.Org.Unified {
+		ifw = p.Org.DCache.EffectiveFetchWords()
+	}
+	dfw := p.Org.DCache.EffectiveFetchWords()
+	wt := p.Org.DCache.WritePolicy == cache.WriteThrough
+
+	var now int64
+	var warmTiming system.Counters
+	warmSeen := false
+
+	for _, ev := range p.events {
+		now += int64(ev.gap) + int64(ev.gapStoreHits)
+		if ev.marker {
+			warmTiming = system.Counters{
+				Cycles:             now,
+				BufFullStallCycles: r.buf.FullStallCycles,
+				BufMatchEvents:     r.buf.MatchEvents,
+				MemReads:           r.unit.Reads,
+				MemWrites:          r.unit.Writes,
+				MemWaitCycles:      r.unit.WaitCycles,
+				MemBusyCycles:      r.unit.BusyCycles,
+			}
+			warmSeen = true
+			continue
+		}
+		comp := now + 1
+		if ev.hasI && ev.iMiss {
+			if c := r.missFetch(now+1, ifw, ev.iAddr, int(ev.iVicW), ev.iVic); c > comp {
+				comp = c
+			}
+		}
+		switch ev.d {
+		case dNone, dLoadHit:
+			// one cycle, already covered by comp
+		case dStoreHit:
+			done := now + 2
+			if wt {
+				done = r.storeThrough(now, done, ev.dAddr)
+			}
+			if done > comp {
+				comp = done
+			}
+		case dLoadMiss:
+			if c := r.missFetch(now+1, dfw, ev.dAddr, int(ev.dVicW), ev.dVic); c > comp {
+				comp = c
+			}
+		case dStoreMissNoAlloc:
+			done := r.storeThrough(now, now+2, ev.dAddr)
+			if done > comp {
+				comp = done
+			}
+		case dStoreMissAlloc:
+			c := r.missFetch(now+1, dfw, ev.dAddr, int(ev.dVicW), ev.dVic)
+			c++
+			if wt {
+				c = r.storeThrough(now, c, ev.dAddr)
+			}
+			if c > comp {
+				comp = c
+			}
+		}
+		now = comp
+	}
+	now += int64(p.tailGap) + int64(p.tailGapStoreHits)
+
+	total := p.total
+	total.Cycles = now
+	total.BufFullStallCycles = r.buf.FullStallCycles
+	total.BufMatchEvents = r.buf.MatchEvents
+	total.MemReads = r.unit.Reads
+	total.MemWrites = r.unit.Writes
+	total.MemWaitCycles = r.unit.WaitCycles
+	total.MemBusyCycles = r.unit.BusyCycles
+
+	warm := p.warmSnap
+	if warmSeen {
+		warm.Cycles = warmTiming.Cycles
+		warm.BufFullStallCycles = warmTiming.BufFullStallCycles
+		warm.BufMatchEvents = warmTiming.BufMatchEvents
+		warm.MemReads = warmTiming.MemReads
+		warm.MemWrites = warmTiming.MemWrites
+		warm.MemWaitCycles = warmTiming.MemWaitCycles
+		warm.MemBusyCycles = warmTiming.MemBusyCycles
+	}
+	return system.Result{CycleNs: t.CycleNs, Total: total, Warm: total.Sub(warm)}, nil
+}

@@ -1,0 +1,401 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// testSuite is shared across the integration tests: one generation of the
+// eight workloads at a reduced scale, with the profile cache warm across
+// subtests.
+var testSuiteShared *Suite
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment integration tests skipped in -short mode")
+	}
+	if testSuiteShared == nil {
+		testSuiteShared = NewSuite(0.08)
+	}
+	return testSuiteShared
+}
+
+var (
+	testSizesKB = []int{8, 16, 32, 64, 128, 256, 512}
+	testCycles  = []int{20, 28, 36, 40, 48, 56, 64, 72, 80}
+)
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2()
+	want := map[int][3]int{
+		20: {14, 10, 6}, 24: {13, 10, 5}, 28: {12, 9, 5}, 32: {11, 9, 4},
+		36: {10, 8, 4}, 40: {10, 8, 3}, 48: {9, 8, 3}, 52: {9, 7, 3}, 60: {8, 7, 2},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		w := want[r.CycleNs]
+		if r.ReadCycles != w[0] || r.WriteCycles != w[1] || r.RecoveryCycles != w[2] {
+			t.Errorf("cycle %d: got %d/%d/%d want %v", r.CycleNs, r.ReadCycles, r.WriteCycles, r.RecoveryCycles, w)
+		}
+	}
+}
+
+func TestTable1Summaries(t *testing.T) {
+	s := testSuite(t)
+	sums := s.Table1()
+	if len(sums) != 8 {
+		t.Fatalf("%d traces", len(sums))
+	}
+	for _, sum := range sums {
+		if sum.Refs == 0 || sum.UniqueAddr == 0 || sum.Processes < 2 {
+			t.Errorf("%s: degenerate summary %+v", sum.Name, sum)
+		}
+	}
+}
+
+func TestFigure31Shape(t *testing.T) {
+	s := testSuite(t)
+	f, err := s.RunFigure31(testSizesKB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone non-increasing read miss ratio (small tolerance for noise).
+	for i := 1; i < len(f.ReadMissRatio); i++ {
+		if f.ReadMissRatio[i] > f.ReadMissRatio[i-1]*1.05 {
+			t.Errorf("read miss ratio rose at %d KB: %.4f -> %.4f",
+				f.TotalKB[i], f.ReadMissRatio[i-1], f.ReadMissRatio[i])
+		}
+	}
+	// RISC-vs-VAX claim is checked in the workload tests; here check the
+	// structural identity: read traffic = block words × miss ratio holds
+	// only per-reference, so just require consistency ordering.
+	for i := range f.ReadMissRatio {
+		if f.LoadMissRatio[i] <= 0 || f.IfetchMissRatio[i] <= 0 {
+			t.Errorf("zero component ratio at %d KB", f.TotalKB[i])
+		}
+		if f.WriteTrafficDirty[i] > f.WriteTrafficBlocks[i]+1e-12 {
+			t.Errorf("dirty-words traffic exceeds whole-block traffic at %d KB", f.TotalKB[i])
+		}
+	}
+}
+
+func TestFigure32CycleCountIllusion(t *testing.T) {
+	s := testSuite(t)
+	g, err := s.SpeedSizeGrid(testSizesKB, testCycles, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := RunFigure32(g)
+	// The paper's point: the cycle count DECREASES as the cycle time
+	// increases (fewer cycles per memory operation), "giving the
+	// illusion of improved performance".
+	for i := range f.SizesKB {
+		first, last := f.Normalized[i][0], f.Normalized[i][len(testCycles)-1]
+		if last >= first {
+			t.Errorf("size %d KB: cycle count did not fall with cycle time (%.3f -> %.3f)",
+				f.SizesKB[i], first, last)
+		}
+	}
+	// And larger caches always execute fewer cycles at equal cycle time.
+	for j := range testCycles {
+		if f.Normalized[0][j] <= f.Normalized[len(testSizesKB)-1][j] {
+			t.Errorf("cycle %d ns: small cache did not cost more cycles", testCycles[j])
+		}
+	}
+	testGrid33And34(t, g)
+}
+
+// testGrid33And34 piggybacks on the grid to check Figures 3-3 and 3-4.
+func testGrid33And34(t *testing.T, g interface {
+	BestExec() float64
+}) {
+	s := testSuiteShared
+	grid, err := s.SpeedSizeGrid(testSizesKB, testCycles, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f33 := RunFigure33(grid)
+	// Execution time: at fixed size, slower clock means slower machine
+	// at the large-cache end (where misses are rare).
+	last := len(testSizesKB) - 1
+	if f33.Relative[last][0] >= f33.Relative[last][len(testCycles)-1] {
+		t.Error("large cache: execution time did not grow with cycle time")
+	}
+	// At fixed cycle time, bigger caches are faster.
+	for j := range testCycles {
+		if f33.Relative[0][j] <= f33.Relative[last][j] {
+			t.Errorf("at %d ns bigger cache not faster", testCycles[j])
+		}
+	}
+
+	f34, err := RunFigure34(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f34.Contours.CycleNs) != 16 {
+		t.Fatalf("contour count %d", len(f34.Contours.CycleNs))
+	}
+	// The paper's central claim: slopes are positive (a bigger cache is
+	// worth cycle time) and shrink as the cache grows — producing the
+	// 32–128 KB sweet range. Compare the smallest against the largest
+	// doubling at the base cycle time.
+	col := 3 // 40 ns
+	first := f34.SlopeNsPerDoubling[0][col]
+	lastSlope := f34.SlopeNsPerDoubling[len(f34.SlopeNsPerDoubling)-1][col]
+	if first <= 0 {
+		t.Errorf("small-cache slope %.2f not positive", first)
+	}
+	if lastSlope >= first/2 {
+		t.Errorf("slope did not shrink: %.2f -> %.2f ns/doubling", first, lastSlope)
+	}
+}
+
+func TestFigure41AssociativitySpread(t *testing.T) {
+	s := testSuite(t)
+	f, err := s.RunFigure41(testSizesKB, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two-way beats direct mapped at every mid-to-large size.
+	for k, kb := range f.TotalKB {
+		if kb < 32 {
+			continue
+		}
+		if f.MissRatio[1][k] >= f.MissRatio[0][k] {
+			t.Errorf("%d KB: 2-way (%.4f) not better than DM (%.4f)",
+				kb, f.MissRatio[1][k], f.MissRatio[0][k])
+		}
+	}
+	// "Smaller improvements are seen for set sizes above two": the
+	// 2→4-way gain is smaller than the 1→2-way gain at 64 KB and up,
+	// aggregated across those sizes.
+	var gain12, gain24 float64
+	for k, kb := range f.TotalKB {
+		if kb < 64 {
+			continue
+		}
+		gain12 += f.MissRatio[0][k] - f.MissRatio[1][k]
+		gain24 += f.MissRatio[1][k] - f.MissRatio[2][k]
+	}
+	if gain24 > gain12 {
+		t.Errorf("2->4 way gain (%.5f) exceeds 1->2 way gain (%.5f)", gain24, gain12)
+	}
+}
+
+func TestBreakEvenSmall(t *testing.T) {
+	s := testSuite(t)
+	f, err := s.RunFigure42(testSizesKB, testCycles, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps, err := RunBreakEven(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := maps[0]
+	// "The numbers are almost uniformly small": no break-even beyond the
+	// 11 ns select-to-data-out time of the AS multiplexor by more than
+	// measurement noise allows.
+	for i, kb := range be.SizesKB {
+		for j, cy := range be.CycleNs {
+			if v := be.NsAvailable[i][j]; v > 14 {
+				t.Errorf("break-even at %d KB / %d ns = %.1f ns, implausibly large", kb, cy, v)
+			}
+		}
+	}
+}
+
+func TestFigure51UshapeAndOptima(t *testing.T) {
+	s := testSuite(t)
+	f, err := s.RunFigure51(0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's key Section 5 claim: the block size that optimizes
+	// performance is substantially smaller than the one that minimizes
+	// the miss rate.
+	if f.PerfOptimalW*2 > f.MissOptimalW {
+		t.Errorf("perf-optimal %dW not well below miss-optimal %dW", f.PerfOptimalW, f.MissOptimalW)
+	}
+	// Execution time is U-shaped: the largest block is worse than the
+	// optimum by a clear margin, as is the smallest.
+	n := len(f.RelExecTime)
+	if f.RelExecTime[0] < 1.05 || f.RelExecTime[n-1] < 1.05 {
+		t.Errorf("no U shape: rel exec %v", f.RelExecTime)
+	}
+	// Miss ratios decrease with block size over the swept range.
+	for i := 1; i < n; i++ {
+		if f.ReadMissRatio[i] > f.ReadMissRatio[i-1]*1.02 {
+			t.Errorf("miss ratio rose early at %dW", f.BlockWords[i])
+		}
+	}
+}
+
+func TestFigure52to54ProductLaw(t *testing.T) {
+	s := testSuite(t)
+	f52, err := s.RunFigure52(0, nil, []int{100, 260, 420}, []mem.Rate{mem.Rate4PerCycle, mem.Rate1PerCycle, mem.Rate1Per4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f53, err := RunFigure53(f52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal block size grows with the memory speed product within each
+	// transfer rate (Figure 5-4's rising line segments).
+	f54 := RunFigure54(f53)
+	if len(f54.Series) != 3 {
+		t.Fatalf("%d series", len(f54.Series))
+	}
+	for _, series := range f54.Series {
+		for i := 1; i < len(series.Product); i++ {
+			if series.Product[i] > series.Product[i-1] && series.OptimalW[i] < series.OptimalW[i-1]*0.9 {
+				t.Errorf("rate %v: optimum fell with product: %v / %v",
+					series.Rate, series.Product, series.OptimalW)
+			}
+		}
+	}
+	// Execution time across the whole memory-parameter range varies by
+	// a bounded factor at a sane block size ("the execution time only
+	// doubles across the entire range of memory systems").
+	bsIdx := 2 // 8 words
+	min, max := f52.ExecNs[0][bsIdx], f52.ExecNs[0][bsIdx]
+	for _, row := range f52.ExecNs {
+		if row[bsIdx] < min {
+			min = row[bsIdx]
+		}
+		if row[bsIdx] > max {
+			max = row[bsIdx]
+		}
+	}
+	if max/min > 3.5 {
+		t.Errorf("memory range spread %.2f× too large", max/min)
+	}
+}
+
+func TestTable3Structure(t *testing.T) {
+	s := testSuite(t)
+	grid, err := s.SpeedSizeGrid([]int{4, 8, 16, 32, 64, 128, 256, 512}, []int{24, 28, 32, 36, 48, 60}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := RunTable3(grid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycles per reference fall with cache size at every penalty, and
+	// fall with decreasing penalty at every size.
+	for r := range t3.PenaltyCycles {
+		for c := 1; c < len(t3.SizesKB); c++ {
+			if t3.CPR[r][c] >= t3.CPR[r][c-1] {
+				t.Errorf("penalty %d: CPR did not fall with size: %v", t3.PenaltyCycles[r], t3.CPR[r])
+			}
+		}
+	}
+	for c := range t3.SizesKB {
+		if t3.CPR[len(t3.PenaltyCycles)-1][c] >= t3.CPR[0][c] {
+			t.Errorf("size %d KB: CPR did not fall with shrinking penalty", t3.SizesKB[c])
+		}
+	}
+	// The doubling value as a fraction of cycle time falls with size
+	// (the paper's second point).
+	for r := range t3.PenaltyCycles {
+		if t3.DoublingFrac[r][0] <= t3.DoublingFrac[r][len(t3.SizesKB)-1] {
+			t.Errorf("penalty %d: doubling fraction did not fall with size: %v",
+				t3.PenaltyCycles[r], t3.DoublingFrac[r])
+		}
+	}
+}
+
+func TestMultilevelHelps(t *testing.T) {
+	s := testSuite(t)
+	m, err := s.RunMultilevel([]int{8, 32}, 512, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range m.Rows {
+		if row.CPRMulti >= row.CPRSingle {
+			t.Errorf("%d KB L1: L2 did not reduce cycles/ref (%.3f >= %.3f)",
+				row.L1TotalKB, row.CPRMulti, row.CPRSingle)
+		}
+		if row.L2HitRatio <= 0.3 {
+			t.Errorf("%d KB L1: L2 hit ratio %.2f too low", row.L1TotalKB, row.L2HitRatio)
+		}
+		if row.L2HitServiceCycles >= row.L1MissPenaltyCycles {
+			t.Error("L2 service not shorter than the memory penalty")
+		}
+	}
+	// The Section 6 claim: an L2 shrinks the benefit of enlarging L1.
+	gainSingle := m.Rows[0].CPRSingle - m.Rows[1].CPRSingle
+	gainMulti := m.Rows[0].CPRMulti - m.Rows[1].CPRMulti
+	if gainMulti >= gainSingle {
+		t.Errorf("L1 growth gain with L2 (%.3f) not below without (%.3f)", gainMulti, gainSingle)
+	}
+}
+
+func TestFetchSizeStudy(t *testing.T) {
+	s := testSuite(t)
+	f, err := s.RunFetchSize(0, 32, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.FetchWords) != 6 { // 1..32
+		t.Fatalf("fetch sweep = %v", f.FetchWords)
+	}
+	// The fundamental tradeoff: smaller fetches miss more but move less.
+	first, last := 0, len(f.FetchWords)-1
+	if f.ReadMissRatio[first] <= f.ReadMissRatio[last] {
+		t.Errorf("1W fetch (%.4f) should miss more than whole-block (%.4f)",
+			f.ReadMissRatio[first], f.ReadMissRatio[last])
+	}
+	if f.ReadTraffic[first] >= f.ReadTraffic[last] {
+		t.Errorf("1W fetch traffic (%.4f) should be below whole-block (%.4f)",
+			f.ReadTraffic[first], f.ReadTraffic[last])
+	}
+	// The execution-time optimum is interior or at least not the whole
+	// block: tiny fetches pay per-miss latency too often, whole blocks
+	// pay transfer too much (with 32W blocks and the base memory).
+	if f.BestFetchW == 32 {
+		t.Errorf("whole-block fetch won the 32W-block sweep: %v", f.RelExecTime)
+	}
+	if _, err := s.RunFetchSize(0, 32, []int{64}, 0); err == nil {
+		t.Error("fetch > block accepted")
+	}
+}
+
+func TestSplitUnifiedStudy(t *testing.T) {
+	s := testSuite(t)
+	f, err := s.RunSplitUnified([]int{16, 64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, kb := range f.TotalKB {
+		// A unified cache of the same total capacity misses less (it
+		// shares capacity between code and data)...
+		if f.UnifiedMissRatio[k] >= f.SplitMissRatio[k]*1.1 {
+			t.Errorf("%d KB: unified miss %.4f not competitive with split %.4f",
+				kb, f.UnifiedMissRatio[k], f.SplitMissRatio[k])
+		}
+		// ...but the split organization wins on cycles per reference:
+		// couplets issue to both caches simultaneously.
+		if f.SplitCPR[k] >= f.UnifiedCPR[k] {
+			t.Errorf("%d KB: split CPR %.3f not below unified %.3f",
+				kb, f.SplitCPR[k], f.UnifiedCPR[k])
+		}
+	}
+}
+
+func TestSuiteWithCustomTraces(t *testing.T) {
+	s := testSuite(t)
+	s2 := NewSuiteWithTraces(s.Traces[:2])
+	if len(s2.Traces) != 2 {
+		t.Fatal("custom traces not kept")
+	}
+	if _, err := s2.RunFigure31([]int{16, 32}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// FetchSizeStudy is an extension experiment beyond the paper's figures: the
+// paper's simulator exposes the fetch size ("the fetch size is called the
+// transfer size by Smith") but every figure fetches whole blocks. This
+// study fixes the block size and varies the fetch size, quantifying the
+// sub-block placement tradeoff the paper cites from Hill & Smith: smaller
+// fetches take more misses but each costs less and moves fewer words, so
+// a large-block cache with small fetches behaves like a small-block cache
+// with a large-block tag array.
+type FetchSizeStudy struct {
+	TotalKB    int
+	BlockWords int
+	CycleNs    int
+	FetchWords []int
+	// Per fetch size, geometric means over the traces.
+	ReadMissRatio []float64
+	ReadTraffic   []float64
+	RelExecTime   []float64 // normalized to the best fetch size
+	// BestFetchW minimizes execution time.
+	BestFetchW int
+}
+
+// RunFetchSize sweeps the fetch size at a fixed block size.
+func (s *Suite) RunFetchSize(totalKB, blockWords int, fetches []int, cycleNs int) (*FetchSizeStudy, error) {
+	if totalKB == 0 {
+		totalKB = 128
+	}
+	if blockWords == 0 {
+		blockWords = 32
+	}
+	if fetches == nil {
+		for f := 1; f <= blockWords; f *= 2 {
+			fetches = append(fetches, f)
+		}
+	}
+	if cycleNs == 0 {
+		cycleNs = 40
+	}
+	for _, f := range fetches {
+		if f > blockWords {
+			return nil, fmt.Errorf("experiments: fetch %dW exceeds block %dW", f, blockWords)
+		}
+	}
+	out := &FetchSizeStudy{TotalKB: totalKB, BlockWords: blockWords, CycleNs: cycleNs, FetchWords: fetches}
+	execs := make([]float64, len(fetches))
+	for k, fw := range fetches {
+		org := orgFor(totalKB, blockWords, 1)
+		org.ICache.FetchWords = fw
+		org.DCache.FetchWords = fw
+		n := len(s.Traces)
+		miss := make([]float64, n)
+		traffic := make([]float64, n)
+		for i := range s.Traces {
+			p, err := s.profile(i, org)
+			if err != nil {
+				return nil, err
+			}
+			w := p.WarmCounters()
+			miss[i] = w.ReadMissRatio()
+			traffic[i] = w.ReadTrafficRatio()
+		}
+		out.ReadMissRatio = append(out.ReadMissRatio, ratioGeoMean(miss))
+		out.ReadTraffic = append(out.ReadTraffic, ratioGeoMean(traffic))
+		exec, _, err := s.replayAll(org, engine.Timing{
+			CycleNs:       cycleNs,
+			Mem:           baseTiming(cycleNs).Mem,
+			WriteBufDepth: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		execs[k] = exec
+	}
+	best := stats.MinIndex(execs)
+	out.BestFetchW = fetches[best]
+	for _, e := range execs {
+		out.RelExecTime = append(out.RelExecTime, e/execs[best])
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"repro/internal/engine"
+)
+
+// SplitUnifiedStudy compares the paper's Harvard organization against a
+// unified cache of the same total capacity — the tradeoff of the paper's
+// reference [6] (Haikala & Kutvonen, "Split Cache Organizations"). A
+// unified cache shares capacity flexibly between code and data but every
+// instruction+data couplet serializes on its single port, which the
+// simulator models by sending both references of a couplet to the same
+// cache.
+type SplitUnifiedStudy struct {
+	TotalKB []int
+	CycleNs int
+	// Geometric means over the traces.
+	SplitMissRatio   []float64
+	UnifiedMissRatio []float64
+	SplitCPR         []float64
+	UnifiedCPR       []float64
+}
+
+// RunSplitUnified sweeps the total size for both organizations.
+func (s *Suite) RunSplitUnified(sizesKB []int, cycleNs int) (*SplitUnifiedStudy, error) {
+	if sizesKB == nil {
+		sizesKB = []int{8, 16, 32, 64, 128, 256}
+	}
+	if cycleNs == 0 {
+		cycleNs = 40
+	}
+	out := &SplitUnifiedStudy{TotalKB: sizesKB, CycleNs: cycleNs}
+	for _, kb := range sizesKB {
+		split := orgFor(kb, 4, 1)
+		unified := engine.Org{DCache: l1Config(kb*1024/4, 4, 1), Unified: true}
+
+		for _, variant := range []struct {
+			org  engine.Org
+			miss *[]float64
+			cpr  *[]float64
+		}{
+			{split, &out.SplitMissRatio, &out.SplitCPR},
+			{unified, &out.UnifiedMissRatio, &out.UnifiedCPR},
+		} {
+			n := len(s.Traces)
+			miss := make([]float64, n)
+			for i := range s.Traces {
+				p, err := s.profile(i, variant.org)
+				if err != nil {
+					return nil, err
+				}
+				miss[i] = p.WarmCounters().ReadMissRatio()
+			}
+			*variant.miss = append(*variant.miss, ratioGeoMean(miss))
+			_, cpr, err := s.replayAll(variant.org, baseTiming(cycleNs))
+			if err != nil {
+				return nil, err
+			}
+			*variant.cpr = append(*variant.cpr, cpr)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver returns typed rows; the cmd/paperfigs
+// binary renders them, the benchmark harness times them, and the
+// integration tests assert the paper's qualitative claims against them.
+//
+// All numerical results are geometric means of warm-start runs over the
+// eight Table 1 traces, exactly as in the paper. Behavioural profiles are
+// cached per (organization × trace), so the cycle-time sweeps of Figures
+// 3-2 through 4-5 reuse the expensive behavioural pass through the cheap
+// timing replay — the same two-phase strategy the paper's simulation farm
+// used.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DefaultScale is the fraction of the paper's trace lengths used when the
+// caller does not choose one. 0.25 keeps the full footprints (footprints
+// never scale) while holding the complete figure suite to around a minute.
+const DefaultScale = 0.25
+
+// Standard design-space axes from the paper.
+var (
+	// TotalSizesKB: the two caches were varied together from 2 KB
+	// through 2 MB each, so the total ranges from 4 KB to 4 MB.
+	TotalSizesKB = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	// CycleTimesNs: the CPU/cache cycle time range of Section 3.
+	CycleTimesNs = []int{20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64, 68, 72, 76, 80}
+	// BlockSizesW: the block-size sweep of Section 5.
+	BlockSizesW = []int{2, 4, 8, 16, 32, 64, 128}
+	// LatenciesNs: Section 5 varies the uniform memory latency from a
+	// very aggressive 100 ns to a very conservative 420 ns.
+	LatenciesNs = []int{100, 180, 260, 340, 420}
+	// TransferRates: four words per cycle down to one word per four.
+	TransferRates = []mem.Rate{mem.Rate4PerCycle, mem.Rate2PerCycle, mem.Rate1PerCycle, mem.Rate1Per2, mem.Rate1Per4}
+	// SetSizes: direct mapped through eight-way.
+	SetSizes = []int{1, 2, 4, 8}
+)
+
+// Suite holds the generated traces and the profile cache.
+type Suite struct {
+	Scale  float64
+	Traces []*trace.Trace
+
+	mu       sync.Mutex
+	profiles map[profileKey]*engine.Profile
+}
+
+type profileKey struct {
+	traceIdx   int
+	sizeWords  int
+	blockWords int
+	fetchWords int
+	assoc      int
+	policy     cache.WritePolicy
+	alloc      bool
+	unified    bool
+}
+
+// NewSuite generates the eight Table 1 workloads at the given scale
+// (DefaultScale if 0).
+func NewSuite(scale float64) *Suite {
+	if scale == 0 {
+		scale = DefaultScale
+	}
+	return &Suite{
+		Scale:    scale,
+		Traces:   workload.GenerateAll(scale),
+		profiles: make(map[profileKey]*engine.Profile),
+	}
+}
+
+// NewSuiteWithTraces builds a suite over caller-provided traces (tests use
+// tiny synthetic ones).
+func NewSuiteWithTraces(traces []*trace.Trace) *Suite {
+	return &Suite{Scale: 1, Traces: traces, profiles: make(map[profileKey]*engine.Profile)}
+}
+
+// l1Config builds the standard split-cache configuration for one side:
+// direct-mapped random-replacement write-back with no fetch on write miss,
+// the paper's base organization, at the given geometry.
+func l1Config(sizeWords, blockWords, assoc int) cache.Config {
+	return cache.Config{
+		SizeWords:   sizeWords,
+		BlockWords:  blockWords,
+		Assoc:       assoc,
+		Replacement: cache.Random,
+		WritePolicy: cache.WriteBack,
+		Seed:        1988,
+	}
+}
+
+// orgFor returns the split I/D organization with the given total size in
+// KB, block size in words and set size.
+func orgFor(totalKB, blockWords, assoc int) engine.Org {
+	perCacheWords := totalKB * 1024 / 4 / 2
+	cfg := l1Config(perCacheWords, blockWords, assoc)
+	return engine.Org{ICache: cfg, DCache: cfg}
+}
+
+// profile returns the cached behavioural profile of the organization
+// against trace i, building it on first use.
+func (s *Suite) profile(i int, org engine.Org) (*engine.Profile, error) {
+	key := profileKey{
+		traceIdx:   i,
+		sizeWords:  org.DCache.SizeWords,
+		blockWords: org.DCache.BlockWords,
+		fetchWords: org.DCache.FetchWords,
+		assoc:      org.DCache.Assoc,
+		policy:     org.DCache.WritePolicy,
+		alloc:      org.DCache.WriteAllocate,
+		unified:    org.Unified,
+	}
+	s.mu.Lock()
+	p, ok := s.profiles[key]
+	s.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := engine.BuildProfile(org, s.Traces[i])
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profiling %s against %s: %w",
+			org.DCache.String(), s.Traces[i].Name, err)
+	}
+	s.mu.Lock()
+	s.profiles[key] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// geoOver aggregates one positive metric geometrically over the traces.
+func (s *Suite) geoOver(f func(i int) (float64, error)) (float64, error) {
+	vals := make([]float64, len(s.Traces))
+	for i := range s.Traces {
+		v, err := f(i)
+		if err != nil {
+			return 0, err
+		}
+		vals[i] = v
+	}
+	return stats.GeoMean(vals)
+}
+
+// replayAll replays the organization at the timing for every trace and
+// returns the geometric means of execution time (ns) and cycles per
+// reference.
+func (s *Suite) replayAll(org engine.Org, tm engine.Timing) (execNs, cpr float64, err error) {
+	execs := make([]float64, len(s.Traces))
+	cprs := make([]float64, len(s.Traces))
+	for i := range s.Traces {
+		p, err := s.profile(i, org)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := p.Replay(tm)
+		if err != nil {
+			return 0, 0, err
+		}
+		execs[i] = res.ExecTimeNs()
+		cprs[i] = res.Warm.CyclesPerRef()
+	}
+	if execNs, err = stats.GeoMean(execs); err != nil {
+		return 0, 0, err
+	}
+	if cpr, err = stats.GeoMean(cprs); err != nil {
+		return 0, 0, err
+	}
+	return execNs, cpr, nil
+}
+
+// baseTiming is the paper's base memory at the given cycle time with the
+// standard four-entry write buffer.
+func baseTiming(cycleNs int) engine.Timing {
+	return engine.Timing{CycleNs: cycleNs, Mem: mem.DefaultConfig(), WriteBufDepth: 4}
+}
+
+// Table1 regenerates the trace-description table from the synthesized
+// workloads.
+func (s *Suite) Table1() []trace.Summary {
+	out := make([]trace.Summary, len(s.Traces))
+	for i, t := range s.Traces {
+		out[i] = trace.Summarize(t)
+	}
+	return out
+}
+
+// Table2 regenerates the memory access cycle count table directly from the
+// memory model.
+type Table2Row struct {
+	CycleNs        int
+	ReadCycles     int
+	WriteCycles    int
+	RecoveryCycles int
+}
+
+// Table2 evaluates the default memory at the paper's cycle times for
+// four-word blocks.
+func Table2() []Table2Row {
+	cfg := mem.DefaultConfig()
+	cycles := []int{20, 24, 28, 32, 36, 40, 48, 52, 60}
+	out := make([]Table2Row, len(cycles))
+	for i, cy := range cycles {
+		tm := cfg.Quantize(cy)
+		out[i] = Table2Row{
+			CycleNs:        cy,
+			ReadCycles:     tm.ReadCycles(4),
+			WriteCycles:    tm.WriteBusyCycles(4),
+			RecoveryCycles: tm.RecoveryCycles,
+		}
+	}
+	return out
+}
+
+// SimulateSystem runs the full single-phase simulator for configurations
+// the engine does not cover (multilevel hierarchies, early-continue fetch
+// policies), aggregating geometrically over the suite's traces.
+func (s *Suite) SimulateSystem(cfg system.Config) (execNs, cpr float64, err error) {
+	execs := make([]float64, len(s.Traces))
+	cprs := make([]float64, len(s.Traces))
+	for i, t := range s.Traces {
+		res, err := system.Simulate(cfg, t)
+		if err != nil {
+			return 0, 0, err
+		}
+		execs[i] = res.ExecTimeNs()
+		cprs[i] = res.Warm.CyclesPerRef()
+	}
+	if execNs, err = stats.GeoMean(execs); err != nil {
+		return 0, 0, err
+	}
+	cpr, err = stats.GeoMean(cprs)
+	return execNs, cpr, err
+}

@@ -1,0 +1,81 @@
+package stats
+
+import "math/bits"
+
+// Hist is a power-of-two-bucketed histogram of non-negative integer samples
+// (cycle counts). Bucket k holds samples whose value needs k bits, i.e.
+// values in [2^(k-1), 2^k). Cheap enough to run per-couplet in the
+// simulator.
+type Hist struct {
+	Buckets [64]int64
+	Count   int64
+	Sum     int64
+	Max     int64
+}
+
+// Add records one sample; negative samples are clamped to zero.
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Buckets[bits.Len64(uint64(v))]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the arithmetic mean of the samples (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns an upper bound for the p-quantile (p in [0, 1]): the
+// largest value of the bucket in which the quantile falls. Returns 0 for an
+// empty histogram.
+func (h *Hist) Percentile(p float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(p * float64(h.Count))
+	if target >= h.Count {
+		target = h.Count - 1
+	}
+	var seen int64
+	for k, n := range h.Buckets {
+		seen += n
+		if seen > target {
+			if k == 0 {
+				return 0
+			}
+			hi := int64(1)<<uint(k) - 1
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
+// Merge adds the other histogram's samples into h.
+func (h *Hist) Merge(o *Hist) {
+	for k := range h.Buckets {
+		h.Buckets[k] += o.Buckets[k]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}

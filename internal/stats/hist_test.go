@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, v := range []int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 100} {
+		h.Add(v)
+	}
+	if h.Count != 10 || h.Sum != 109 || h.Max != 100 {
+		t.Fatalf("count/sum/max = %d/%d/%d", h.Count, h.Sum, h.Max)
+	}
+	if h.Mean() != 10.9 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// 90% of samples are 1; the p50 bucket is [1,1].
+	if p := h.Percentile(0.5); p != 1 {
+		t.Fatalf("p50 = %d", p)
+	}
+	// The p99 lands in the bucket holding 100: [64,127] clamped to max.
+	if p := h.Percentile(0.99); p != 100 {
+		t.Fatalf("p99 = %d", p)
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	var h Hist
+	h.Add(-5)
+	if h.Max != 0 || h.Sum != 0 || h.Count != 1 {
+		t.Fatalf("negative sample mishandled: %+v", h)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Add(1)
+	a.Add(2)
+	b.Add(50)
+	a.Merge(&b)
+	if a.Count != 3 || a.Sum != 53 || a.Max != 50 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+// Property: the percentile bound never undershoots the true quantile value
+// and never exceeds the maximum.
+func TestHistPercentileBounds(t *testing.T) {
+	f := func(raw []uint16, psel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Hist
+		for _, v := range raw {
+			h.Add(int64(v))
+		}
+		p := float64(psel%101) / 100
+		bound := h.Percentile(p)
+		if bound > h.Max {
+			return false
+		}
+		// Count how many samples exceed the bound; at most (1-p) of
+		// them may (bucket granularity only ever rounds the bound up).
+		over := 0
+		for _, v := range raw {
+			if int64(v) > bound {
+				over++
+			}
+		}
+		return float64(over) <= (1-p)*float64(len(raw))+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

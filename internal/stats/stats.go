@@ -1,0 +1,165 @@
+// Package stats provides the small numerical toolkit the experiment
+// harness needs: geometric means (the paper aggregates its eight traces
+// geometrically), linear interpolation and parabola fitting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive values, got %v", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// MustGeoMean is GeoMean that panics on error, for aggregation of values
+// known positive (cycle counts, execution times).
+func MustGeoMean(xs []float64) float64 {
+	g, err := GeoMean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Interp returns the piecewise-linear interpolation of y(x) through the
+// sample points (xs[i], ys[i]), with xs strictly increasing. Outside the
+// range it extrapolates from the nearest segment.
+func Interp(xs, ys []float64, x float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: interp length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: interp needs at least 2 points, got %d", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return 0, fmt.Errorf("stats: interp xs not strictly increasing at %d", i)
+		}
+	}
+	i := sort.SearchFloat64s(xs, x)
+	switch {
+	case i == 0:
+		i = 1
+	case i >= len(xs):
+		i = len(xs) - 1
+	}
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	return y0 + (y1-y0)*(x-x0)/(x1-x0), nil
+}
+
+// InvInterp finds the x at which the piecewise-linear function through
+// (xs[i], ys[i]) equals target, scanning for the first crossing. ys need
+// not be monotone (the paper's 56 ns quantization artifact produces local
+// non-monotonicity); the first segment containing the target is used, and
+// if none contains it the nearest endpoint's segment extrapolates.
+func InvInterp(xs, ys []float64, target float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("stats: invinterp needs matched slices of >= 2 points")
+	}
+	for i := 1; i < len(xs); i++ {
+		y0, y1 := ys[i-1], ys[i]
+		if (y0 <= target && target <= y1) || (y1 <= target && target <= y0) {
+			if y0 == y1 {
+				return xs[i-1], nil
+			}
+			t := (target - y0) / (y1 - y0)
+			return xs[i-1] + t*(xs[i]-xs[i-1]), nil
+		}
+	}
+	// No bracketing segment: extrapolate from the end whose value is
+	// closest to the target.
+	if math.Abs(ys[0]-target) <= math.Abs(ys[len(ys)-1]-target) {
+		y0, y1 := ys[0], ys[1]
+		if y0 == y1 {
+			return xs[0], nil
+		}
+		return xs[0] + (target-y0)/(y1-y0)*(xs[1]-xs[0]), nil
+	}
+	n := len(xs)
+	y0, y1 := ys[n-2], ys[n-1]
+	if y0 == y1 {
+		return xs[n-1], nil
+	}
+	return xs[n-2] + (target-y0)/(y1-y0)*(xs[n-1]-xs[n-2]), nil
+}
+
+// ParabolaMin fits y = a x² + b x + c through exactly three points and
+// returns the x of the extremum. Fails when the points are collinear or the
+// parabola opens downward (no minimum).
+func ParabolaMin(x0, y0, x1, y1, x2, y2 float64) (float64, error) {
+	d01 := (y1 - y0) / (x1 - x0)
+	d12 := (y2 - y1) / (x2 - x1)
+	a := (d12 - d01) / (x2 - x0)
+	if a <= 0 {
+		return 0, fmt.Errorf("stats: parabola through points has no minimum (a=%v)", a)
+	}
+	b := d01 - a*(x0+x1)
+	return -b / (2 * a), nil
+}
+
+// MinIndex returns the index of the smallest element of xs (-1 when empty).
+func MinIndex(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Smooth3 returns a copy of ys where interior point i is replaced by the
+// median of (ys[i-1], ys[i], ys[i+1]). The paper smoothed its 56 ns data
+// this way ("the data for the 56ns case has been smoothed to be more
+// representative") because quantization effects distorted the
+// associativity analysis.
+func Smooth3(ys []float64) []float64 {
+	out := make([]float64, len(ys))
+	copy(out, ys)
+	for i := 1; i < len(ys)-1; i++ {
+		out[i] = median3(ys[i-1], ys[i], ys[i+1])
+	}
+	return out
+}
+
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

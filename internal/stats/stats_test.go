@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{2, 8})
+	if err != nil || !almost(g, 4) {
+		t.Fatalf("geomean(2,8) = %v, %v", g, err)
+	}
+	g, err = GeoMean([]float64{5})
+	if err != nil || !almost(g, 5) {
+		t.Fatalf("geomean(5) = %v, %v", g, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Fatal("zero accepted")
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		return g >= min*(1-1e-9) && g <= max*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestInterp(t *testing.T) {
+	xs := []float64{0, 10, 20}
+	ys := []float64{0, 100, 50}
+	cases := []struct{ x, want float64 }{
+		{5, 50}, {10, 100}, {15, 75}, {0, 0},
+		{-5, -50}, // extrapolation left
+		{25, 25},  // extrapolation right
+	}
+	for _, c := range cases {
+		got, err := Interp(xs, ys, c.x)
+		if err != nil || !almost(got, c.want) {
+			t.Errorf("interp(%v) = %v, %v; want %v", c.x, got, err, c.want)
+		}
+	}
+	if _, err := Interp([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Interp([]float64{1, 1}, []float64{1, 2}, 0); err == nil {
+		t.Error("non-increasing xs accepted")
+	}
+	if _, err := Interp([]float64{1, 2}, []float64{1}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestInvInterp(t *testing.T) {
+	xs := []float64{0, 10, 20}
+	ys := []float64{100, 50, 0}
+	got, err := InvInterp(xs, ys, 75)
+	if err != nil || !almost(got, 5) {
+		t.Fatalf("invinterp(75) = %v, %v", got, err)
+	}
+	got, err = InvInterp(xs, ys, 50)
+	if err != nil || !almost(got, 10) {
+		t.Fatalf("invinterp(50) = %v", got)
+	}
+	// Non-monotone: first crossing wins.
+	ys = []float64{0, 100, 40}
+	got, err = InvInterp(xs, ys, 70)
+	if err != nil || !almost(got, 7) {
+		t.Fatalf("first crossing = %v, want 7", got)
+	}
+	// Out of range: extrapolate from the closer end.
+	ys = []float64{100, 50, 0}
+	got, err = InvInterp(xs, ys, 120)
+	if err != nil || !almost(got, -4) {
+		t.Fatalf("extrapolated = %v, want -4", got)
+	}
+	got, err = InvInterp(xs, ys, -10)
+	if err != nil || !almost(got, 22) {
+		t.Fatalf("extrapolated right = %v, want 22", got)
+	}
+	// Flat segment containing the target returns its left edge.
+	got, err = InvInterp([]float64{0, 10}, []float64{5, 5}, 5)
+	if err != nil || !almost(got, 0) {
+		t.Fatalf("flat segment = %v", got)
+	}
+}
+
+func TestInterpInverseRoundTrip(t *testing.T) {
+	xs := []float64{20, 40, 60, 80}
+	ys := []float64{400, 300, 260, 250}
+	f := func(sel uint8) bool {
+		x := 20 + float64(sel%61)
+		y, err := Interp(xs, ys, x)
+		if err != nil {
+			return false
+		}
+		back, err := InvInterp(xs, ys, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-x) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParabolaMin(t *testing.T) {
+	// y = (x-3)^2 + 1 through x = 1, 2, 5.
+	x, err := ParabolaMin(1, 5, 2, 2, 5, 5)
+	if err != nil || !almost(x, 3) {
+		t.Fatalf("parabola min = %v, %v", x, err)
+	}
+	// Collinear points have no parabola minimum.
+	if _, err := ParabolaMin(0, 0, 1, 1, 2, 2); err == nil {
+		t.Fatal("collinear accepted")
+	}
+	// Downward parabola has no minimum.
+	if _, err := ParabolaMin(1, -5, 2, -2, 5, -5); err == nil {
+		t.Fatal("maximum accepted as minimum")
+	}
+}
+
+func TestMinIndex(t *testing.T) {
+	if MinIndex(nil) != -1 {
+		t.Fatal("empty")
+	}
+	if MinIndex([]float64{3, 1, 2}) != 1 {
+		t.Fatal("wrong index")
+	}
+	if MinIndex([]float64{1, 1}) != 0 {
+		t.Fatal("tie should keep first")
+	}
+}
+
+func TestSmooth3(t *testing.T) {
+	in := []float64{1, 100, 3, 4, 5}
+	out := Smooth3(in)
+	if out[0] != 1 || out[4] != 5 {
+		t.Fatal("endpoints changed")
+	}
+	if out[1] != 3 { // median(1, 100, 3)
+		t.Fatalf("spike survived: %v", out)
+	}
+	if in[1] != 100 {
+		t.Fatal("input mutated")
+	}
+	// Monotone data is unchanged.
+	mono := []float64{1, 2, 3, 4}
+	sm := Smooth3(mono)
+	for i := range mono {
+		if sm[i] != mono[i] {
+			t.Fatal("monotone data altered")
+		}
+	}
+}
+
+func TestMustGeoMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustGeoMean([]float64{0})
+}

@@ -1,0 +1,164 @@
+package system
+
+// Counters accumulates the statistics of one simulation window. Every field
+// counts events, words or cycles; ratios are derived by the methods below.
+type Counters struct {
+	Refs     int64
+	Couplets int64
+
+	Ifetches int64
+	Loads    int64
+	Stores   int64
+
+	IfetchMisses int64
+	LoadMisses   int64
+	StoreHits    int64
+	StoreMisses  int64
+
+	// ReadWordsFetched counts words brought in from the next level on
+	// read (and write-allocate) misses: the read traffic.
+	ReadWordsFetched int64
+	// WritebackBlocks counts dirty blocks replaced.
+	WritebackBlocks int64
+	// WritebackWords counts all words in those blocks (the larger write
+	// traffic ratio of Figure 3-1: the whole block transfers on write
+	// back regardless of which words were dirty).
+	WritebackWords int64
+	// WritebackDirtyWords counts only the dirty words themselves (the
+	// smaller write traffic ratio).
+	WritebackDirtyWords int64
+	// StoreThroughWords counts words sent directly toward memory by
+	// write misses under no-write-allocate and by write-through stores.
+	StoreThroughWords int64
+
+	// BufFullStallCycles are processor cycles lost waiting for a full
+	// write buffer; BufMatchEvents counts reads that matched a buffered
+	// address and had to wait for the write to propagate.
+	BufFullStallCycles int64
+	BufMatchEvents     int64
+
+	// MemReads/MemWrites count main-memory operations; MemWaitCycles are
+	// cycles requests spent waiting for the busy memory unit (including
+	// background write drains); MemBusyCycles are cycles the unit was
+	// occupied by operations and recovery.
+	MemReads      int64
+	MemWrites     int64
+	MemWaitCycles int64
+	MemBusyCycles int64
+
+	// L2 statistics (zero when no second level is configured).
+	L2Reads     int64
+	L2ReadHits  int64
+	L2Writes    int64
+	L2WriteHits int64
+
+	// Cycles is the total cycle count of the window.
+	Cycles int64
+}
+
+// Sub returns c - o field-wise, used to derive the measured (warm-start)
+// window from totals.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Refs:                c.Refs - o.Refs,
+		Couplets:            c.Couplets - o.Couplets,
+		Ifetches:            c.Ifetches - o.Ifetches,
+		Loads:               c.Loads - o.Loads,
+		Stores:              c.Stores - o.Stores,
+		IfetchMisses:        c.IfetchMisses - o.IfetchMisses,
+		LoadMisses:          c.LoadMisses - o.LoadMisses,
+		StoreHits:           c.StoreHits - o.StoreHits,
+		StoreMisses:         c.StoreMisses - o.StoreMisses,
+		ReadWordsFetched:    c.ReadWordsFetched - o.ReadWordsFetched,
+		WritebackBlocks:     c.WritebackBlocks - o.WritebackBlocks,
+		WritebackWords:      c.WritebackWords - o.WritebackWords,
+		WritebackDirtyWords: c.WritebackDirtyWords - o.WritebackDirtyWords,
+		StoreThroughWords:   c.StoreThroughWords - o.StoreThroughWords,
+		BufFullStallCycles:  c.BufFullStallCycles - o.BufFullStallCycles,
+		BufMatchEvents:      c.BufMatchEvents - o.BufMatchEvents,
+		MemReads:            c.MemReads - o.MemReads,
+		MemWrites:           c.MemWrites - o.MemWrites,
+		MemWaitCycles:       c.MemWaitCycles - o.MemWaitCycles,
+		MemBusyCycles:       c.MemBusyCycles - o.MemBusyCycles,
+		L2Reads:             c.L2Reads - o.L2Reads,
+		L2ReadHits:          c.L2ReadHits - o.L2ReadHits,
+		L2Writes:            c.L2Writes - o.L2Writes,
+		L2WriteHits:         c.L2WriteHits - o.L2WriteHits,
+		Cycles:              c.Cycles - o.Cycles,
+	}
+}
+
+// Reads returns loads plus instruction fetches: the paper defines a read as
+// either.
+func (c Counters) Reads() int64 { return c.Loads + c.Ifetches }
+
+// ReadMisses returns load misses plus ifetch misses.
+func (c Counters) ReadMisses() int64 { return c.LoadMisses + c.IfetchMisses }
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// ReadMissRatio is read misses per read request, the paper's Figure 3-1
+// metric ("read misses per read requests, as opposed to being relative to
+// the total number of references").
+func (c Counters) ReadMissRatio() float64 { return ratio(c.ReadMisses(), c.Reads()) }
+
+// LoadMissRatio is data-read misses per load.
+func (c Counters) LoadMissRatio() float64 { return ratio(c.LoadMisses, c.Loads) }
+
+// IfetchMissRatio is instruction misses per instruction fetch.
+func (c Counters) IfetchMissRatio() float64 { return ratio(c.IfetchMisses, c.Ifetches) }
+
+// ReadTrafficRatio is words fetched per reference. With a fixed block size
+// and all-word references it is block words × miss ratio, as the paper
+// notes.
+func (c Counters) ReadTrafficRatio() float64 { return ratio(c.ReadWordsFetched, c.Refs) }
+
+// WriteTrafficRatioBlocks is the larger write traffic ratio of Figure 3-1:
+// all words in replaced dirty blocks (plus direct store traffic) per
+// reference.
+func (c Counters) WriteTrafficRatioBlocks() float64 {
+	return ratio(c.WritebackWords+c.StoreThroughWords, c.Refs)
+}
+
+// WriteTrafficRatioDirty is the smaller write traffic ratio: only the dirty
+// words themselves (plus direct store traffic) per reference.
+func (c Counters) WriteTrafficRatioDirty() float64 {
+	return ratio(c.WritebackDirtyWords+c.StoreThroughWords, c.Refs)
+}
+
+// CyclesPerRef is the total cycle count divided by the number of
+// references, the first column of the paper's Table 3.
+func (c Counters) CyclesPerRef() float64 { return ratio(c.Cycles, c.Refs) }
+
+// MemUtilization is the fraction of cycles the main memory unit was busy
+// (operations plus recovery) — the bus-utilization style metric the paper
+// argues is secondary to execution time but still reports via traffic
+// ratios. Clamped to 1: the final operation's busy window can extend past
+// the last simulated cycle.
+func (c Counters) MemUtilization() float64 {
+	u := ratio(c.MemBusyCycles, c.Cycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// CycleNs is the cycle time the run used.
+	CycleNs int
+	// Total covers the whole trace; Warm covers only the measured window
+	// after the warm-start boundary. Numerical results in the paper are
+	// warm-start figures.
+	Total Counters
+	Warm  Counters
+}
+
+// ExecTimeNs is the measured-window execution time in nanoseconds: cycle
+// count × cycle time, the paper's figure of merit.
+func (r Result) ExecTimeNs() float64 { return float64(r.Warm.Cycles) * float64(r.CycleNs) }

@@ -1,0 +1,137 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+func levelCfg(sizeWords, blockWords, access int) L2Config {
+	return L2Config{
+		Cache: cache.Config{
+			SizeWords:     sizeWords,
+			BlockWords:    blockWords,
+			Assoc:         1,
+			Replacement:   cache.Random,
+			WritePolicy:   cache.WriteBack,
+			WriteAllocate: true,
+			Seed:          7,
+		},
+		AccessCycles:  access,
+		WriteBufDepth: 4,
+	}
+}
+
+func TestLevelsValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.L2 = &L2Config{Cache: cache.Config{SizeWords: 1 << 12, BlockWords: 16, Assoc: 1,
+		Replacement: cache.Random, WritePolicy: cache.WriteBack, Seed: 1}, AccessCycles: 3}
+	cfg.Levels = []L2Config{levelCfg(1<<14, 32, 6)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("both L2 and Levels accepted")
+	}
+	cfg.L2 = nil
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Levels-only config rejected: %v", err)
+	}
+	// Shrinking block going down the hierarchy is rejected.
+	cfg.Levels = []L2Config{levelCfg(1<<12, 16, 3), levelCfg(1<<14, 8, 6)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("shrinking block sizes accepted")
+	}
+	// Zero access cycles rejected.
+	cfg.Levels = []L2Config{{Cache: levelCfg(1<<12, 16, 3).Cache}}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero access cycles accepted")
+	}
+}
+
+// TestThreeLevelHierarchy runs a three-level system (L1 + L2 + L3) against a
+// slow memory and checks that each added level helps and that per-level
+// statistics are coherent.
+func TestThreeLevelHierarchy(t *testing.T) {
+	// A 16K-word footprint: the L2 (8K words) catches half of it, the L3
+	// (32K words) all of it — each level pays off even for a workload
+	// with no spatial locality.
+	tr := workload.Random(20000, 1<<14, 0.25, 31)
+	base := smallConfig()
+	base.Mem = mem.UniformLatency(420, mem.Rate1Per2) // slow memory: levels matter
+
+	oneLevel, err := Simulate(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	two := base
+	two.Levels = []L2Config{levelCfg(1<<13, 4, 3)}
+	twoLevel, err := Simulate(two, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	three := two
+	three.Levels = append([]L2Config{}, two.Levels...)
+	three.Levels = append(three.Levels, levelCfg(1<<15, 4, 8))
+	sys, err := New(three)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threeLevel, err := sys.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if twoLevel.Total.Cycles >= oneLevel.Total.Cycles {
+		t.Fatalf("L2 did not help: %d >= %d", twoLevel.Total.Cycles, oneLevel.Total.Cycles)
+	}
+	if threeLevel.Total.Cycles >= twoLevel.Total.Cycles {
+		t.Fatalf("L3 did not help: %d >= %d", threeLevel.Total.Cycles, twoLevel.Total.Cycles)
+	}
+
+	stats := sys.LevelStatsAfterRun()
+	if len(stats) != 2 {
+		t.Fatalf("%d level stats", len(stats))
+	}
+	if stats[0].Level != 2 || stats[1].Level != 3 {
+		t.Fatalf("level numbering wrong: %+v", stats)
+	}
+	// L3 sees only L2's misses: strictly fewer reads than L2.
+	if stats[1].Reads >= stats[0].Reads {
+		t.Fatalf("L3 reads %d not below L2 reads %d", stats[1].Reads, stats[0].Reads)
+	}
+	for _, st := range stats {
+		if st.ReadHits > st.Reads || st.WriteHits > st.Writes {
+			t.Fatalf("incoherent level stats: %+v", st)
+		}
+	}
+	// The Counters' L2 fields mirror the first level.
+	if threeLevel.Total.L2Reads != stats[0].Reads {
+		t.Fatal("Counters L2 fields do not mirror the first level")
+	}
+}
+
+// TestL2SugarEqualsLevels: the L2 convenience field behaves exactly like a
+// one-entry Levels list.
+func TestL2SugarEqualsLevels(t *testing.T) {
+	tr := workload.Random(5000, 1<<14, 0.3, 37)
+	lvl := levelCfg(1<<13, 16, 3)
+
+	viaL2 := smallConfig()
+	viaL2.L2 = &lvl
+	a, err := Simulate(viaL2, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	viaLevels := smallConfig()
+	viaLevels.Levels = []L2Config{lvl}
+	b, err := Simulate(viaLevels, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Fatalf("L2 sugar diverges from Levels:\n%+v\n%+v", a.Total, b.Total)
+	}
+}

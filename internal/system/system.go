@@ -1,0 +1,369 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/writebuf"
+)
+
+// System is the single-phase reference simulator. Construct one per
+// configuration with New; each Run starts from cold caches and an idle
+// memory. Not safe for concurrent use.
+type System struct {
+	cfg    Config
+	timing mem.Timing
+
+	icache *cache.Cache
+	dcache *cache.Cache
+	unit   *mem.Unit
+	levels []*cacheLevel // L2, L3, … ordered from nearest to L1
+	down   Downstream
+	l1buf  *writebuf.Buffer
+
+	// Per-side busy times: a side occupied by an in-flight fill cannot
+	// accept the next reference earlier (relevant under early-continue
+	// policies; under whole-block fetch they never exceed `now`).
+	iBusy, dBusy int64
+
+	live Counters
+	hist *stats.Hist // couplet service-time histogram, when enabled
+}
+
+// New constructs a simulator for the configuration.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, timing: cfg.Mem.Quantize(cfg.CycleNs)}
+	return s, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the simulated configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// reset builds fresh cold state for a run.
+func (s *System) reset() error {
+	var err error
+	s.dcache, err = cache.New(s.cfg.DCache)
+	if err != nil {
+		return err
+	}
+	if s.cfg.Unified {
+		s.icache = s.dcache
+	} else {
+		s.icache, err = cache.New(s.cfg.ICache)
+		if err != nil {
+			return err
+		}
+	}
+	s.unit = mem.NewUnit(s.timing)
+	var next Downstream = &memDown{unit: s.unit}
+	cfgs := s.cfg.effectiveLevels()
+	s.levels = make([]*cacheLevel, len(cfgs))
+	for i := len(cfgs) - 1; i >= 0; i-- {
+		lvl, err := newLevel(&cfgs[i], next)
+		if err != nil {
+			return err
+		}
+		s.levels[i] = lvl
+		next = lvl
+	}
+	s.down = next
+	s.l1buf = writebuf.New(s.cfg.WriteBufDepth, s.down)
+	s.iBusy, s.dBusy = 0, 0
+	s.live = Counters{}
+	if s.cfg.CollectLatencies {
+		s.hist = &stats.Hist{}
+	} else {
+		s.hist = nil
+	}
+	return nil
+}
+
+// CoupletLatencies returns the couplet service-time histogram of the most
+// recent Run, or nil unless Config.CollectLatencies was set.
+func (s *System) CoupletLatencies() *stats.Hist { return s.hist }
+
+// snapshot merges the live counters with the buffer, memory and L2
+// statistics at the given cycle.
+func (s *System) snapshot(now int64) Counters {
+	c := s.live
+	c.Cycles = now
+	c.BufFullStallCycles = s.l1buf.FullStallCycles
+	c.BufMatchEvents = s.l1buf.MatchEvents
+	c.MemReads = s.unit.Reads
+	c.MemWrites = s.unit.Writes
+	c.MemWaitCycles = s.unit.WaitCycles
+	c.MemBusyCycles = s.unit.BusyCycles
+	if len(s.levels) > 0 {
+		first := s.levels[0]
+		c.L2Reads = first.reads
+		c.L2ReadHits = first.readHits
+		c.L2Writes = first.writes
+		c.L2WriteHits = first.writeHits
+	}
+	for _, lvl := range s.levels {
+		c.BufFullStallCycles += lvl.buf.FullStallCycles
+	}
+	return c
+}
+
+// LevelStats describes one lower hierarchy level's activity after a Run.
+type LevelStats struct {
+	// Level is 2 for the cache directly below L1, 3 for the next, …
+	Level     int
+	Reads     int64
+	ReadHits  int64
+	Writes    int64
+	WriteHits int64
+}
+
+// LevelStatsAfterRun returns the per-level statistics of the most recent
+// Run, nearest level first. The Counters' L2 fields mirror the first entry.
+func (s *System) LevelStatsAfterRun() []LevelStats {
+	out := make([]LevelStats, len(s.levels))
+	for i, lvl := range s.levels {
+		out[i] = LevelStats{
+			Level:     i + 2,
+			Reads:     lvl.reads,
+			ReadHits:  lvl.readHits,
+			Writes:    lvl.writes,
+			WriteHits: lvl.writeHits,
+		}
+	}
+	return out
+}
+
+// Run simulates the trace and returns the total and warm-window results.
+func (s *System) Run(t *trace.Trace) (Result, error) {
+	if err := t.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := s.reset(); err != nil {
+		return Result{}, err
+	}
+	refs := t.Refs
+	var now int64
+	var warmSnap Counters
+	warmTaken := t.WarmStart == 0
+
+	for i := 0; i < len(refs); {
+		if !warmTaken && i >= t.WarmStart {
+			warmSnap = s.snapshot(now)
+			warmTaken = true
+		}
+		n := trace.CoupletLen(refs, i)
+		s.live.Couplets++
+		s.live.Refs += int64(n)
+		comp := now + 1
+		first := refs[i]
+		if first.Kind == trace.Ifetch {
+			if c := s.readRef(now, s.icache, first, true); c > comp {
+				comp = c
+			}
+			if n == 2 {
+				if c := s.dataRef(now, refs[i+1]); c > comp {
+					comp = c
+				}
+			}
+		} else {
+			if c := s.dataRef(now, first); c > comp {
+				comp = c
+			}
+		}
+		if s.hist != nil {
+			s.hist.Add(comp - now)
+		}
+		now = comp
+		i += n
+	}
+	total := s.snapshot(now)
+	if !warmTaken {
+		warmSnap = total
+	}
+	return Result{CycleNs: s.cfg.CycleNs, Total: total, Warm: total.Sub(warmSnap)}, nil
+}
+
+// dataRef dispatches a data reference to the D side.
+func (s *System) dataRef(now int64, r trace.Ref) int64 {
+	switch r.Kind {
+	case trace.Load:
+		return s.readRef(now, s.dcache, r, false)
+	case trace.Store:
+		return s.writeRef(now, r)
+	}
+	panic(fmt.Sprintf("system: non-data reference %v on data side", r.Kind))
+}
+
+// missFetch performs the downstream fetch for a miss detected at `start`
+// (after the one-cycle L1 access), handling the dirty-victim overlap and
+// the write-back enqueue. The fetch unit is the cache's fetch size: the
+// whole block for the paper's base system, one sub-block under sub-block
+// placement. It returns the cycle the missing reference completes and the
+// cycle the side becomes free.
+func (s *System) missFetch(start int64, c *cache.Cache, addr uint64, res cache.Result) (complete, busy int64) {
+	fw := c.Config().EffectiveFetchWords()
+	fetchAddr := addr &^ uint64(fw-1)
+	s.l1buf.Drain(start)
+	s.l1buf.FlushMatching(start, fetchAddr, fw)
+	victimOut := 0
+	if res.Victim.Valid && res.Victim.Dirty {
+		victimOut = res.Victim.WritebackWords
+	}
+	dataAt, fillStart := s.down.ReadBlock(start, fetchAddr, fw, victimOut)
+	complete = dataAt
+	switch s.cfg.Fetch {
+	case EarlyContinue:
+		off := int(addr & uint64(fw-1))
+		if w := s.wordArrival(fillStart, off+1); w < complete {
+			complete = w
+		}
+	case LoadForward:
+		if w := s.wordArrival(fillStart, 1); w < complete {
+			complete = w
+		}
+	}
+	busy = dataAt
+	if victimOut > 0 {
+		rel := s.l1buf.Enqueue(dataAt, res.Victim.BlockAddr, victimOut, dataAt)
+		if rel > complete {
+			complete = rel
+		}
+		if rel > busy {
+			busy = rel
+		}
+		s.live.WritebackBlocks++
+		s.live.WritebackWords += int64(victimOut)
+		s.live.WritebackDirtyWords += int64(res.Victim.DirtyWords)
+	}
+	s.live.ReadWordsFetched += int64(fw)
+	return complete, busy
+}
+
+// wordArrival estimates when the n-th word of a fill arrives, using the
+// downstream transfer rate (memory backplane, or the one-word inter-level
+// path when a lower cache level is present).
+func (s *System) wordArrival(fillStart int64, words int) int64 {
+	if len(s.levels) > 0 {
+		return fillStart + int64(words)
+	}
+	return fillStart + int64(s.timing.TransferCycles(words))
+}
+
+// readRef services a load or instruction fetch.
+func (s *System) readRef(now int64, c *cache.Cache, r trace.Ref, isIfetch bool) int64 {
+	if isIfetch {
+		s.live.Ifetches++
+		if s.iBusy > now {
+			now = s.iBusy
+		}
+	} else {
+		s.live.Loads++
+		if s.dBusy > now {
+			now = s.dBusy
+		}
+	}
+	addr := r.Extended()
+	res := c.Read(addr)
+	if res.Hit {
+		return now + 1
+	}
+	if isIfetch {
+		s.live.IfetchMisses++
+	} else {
+		s.live.LoadMisses++
+	}
+	complete, busy := s.missFetch(now+1, c, addr, res)
+	if isIfetch {
+		s.iBusy = busy
+	} else {
+		s.dBusy = busy
+	}
+	return complete
+}
+
+// writeRef services a store: one cycle to access the tags, one to write the
+// data. Write-back hits dirty the word; misses without write-allocate send
+// the word toward memory through the write buffer; write-through sends
+// every store through.
+func (s *System) writeRef(now int64, r trace.Ref) int64 {
+	s.live.Stores++
+	if s.dBusy > now {
+		now = s.dBusy
+	}
+	addr := r.Extended()
+	res := s.dcache.Write(addr)
+	wt := s.cfg.DCache.WritePolicy == cache.WriteThrough
+
+	if res.Hit {
+		s.live.StoreHits++
+		done := now + 2
+		if wt {
+			s.l1buf.Drain(now)
+			s.live.StoreThroughWords++
+			if rel := s.l1buf.Enqueue(done, addr, 1, done); rel > done {
+				done = rel
+			}
+		}
+		if done > s.dBusy {
+			s.dBusy = done
+		}
+		return done
+	}
+
+	s.live.StoreMisses++
+	if !res.Allocated {
+		// No fetch on write miss: the word goes straight toward
+		// memory through the write buffer.
+		done := now + 2
+		s.l1buf.Drain(now)
+		s.live.StoreThroughWords++
+		if rel := s.l1buf.Enqueue(done, addr, 1, done); rel > done {
+			done = rel
+		}
+		if done > s.dBusy {
+			s.dBusy = done
+		}
+		return done
+	}
+
+	// Write-allocate: fetch the block (the cache already installed and
+	// dirtied the line), then spend the data-write cycle.
+	complete, busy := s.missFetch(now+1, s.dcache, addr, res)
+	complete++
+	if wt {
+		s.l1buf.Drain(now)
+		s.live.StoreThroughWords++
+		if rel := s.l1buf.Enqueue(complete, addr, 1, complete); rel > complete {
+			complete = rel
+		}
+	}
+	if complete > busy {
+		busy = complete
+	}
+	s.dBusy = busy
+	return complete
+}
+
+// Simulate is a convenience wrapper: build a system for cfg, run the trace,
+// return the result.
+func Simulate(cfg Config, t *trace.Trace) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(t)
+}

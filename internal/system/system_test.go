@@ -1,0 +1,478 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// smallConfig returns the default system shrunk to a 1 KB-per-side cache so
+// short traces exercise misses.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ICache.SizeWords = 256
+	cfg.DCache.SizeWords = 256
+	return cfg
+}
+
+func run(t *testing.T, cfg Config, tr *trace.Trace) Result {
+	t.Helper()
+	res, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDefaultConfigIsPaperBase(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CycleNs != 40 {
+		t.Errorf("cycle = %d ns", cfg.CycleNs)
+	}
+	if cfg.ICache.SizeWords*4 != 64*1024 || cfg.DCache.SizeWords*4 != 64*1024 {
+		t.Error("caches are not 64KB")
+	}
+	if cfg.DCache.BlockWords != 4 || cfg.DCache.Assoc != 1 {
+		t.Error("not 4W direct mapped")
+	}
+	if cfg.DCache.WritePolicy != cache.WriteBack || cfg.DCache.WriteAllocate {
+		t.Error("data cache not write-back/no-allocate")
+	}
+	if cfg.WriteBufDepth != 4 {
+		t.Error("write buffer not four blocks")
+	}
+	if cfg.TotalL1SizeBytes() != 128*1024 {
+		t.Errorf("total = %d bytes", cfg.TotalL1SizeBytes())
+	}
+}
+
+// TestLoadMissCycles hand-checks the fundamental cost model at 40 ns: a
+// read hit takes 1 cycle, a load miss takes 1 + the 10-cycle Table 2 read
+// time.
+func TestLoadMissCycles(t *testing.T) {
+	cfg := smallConfig()
+	// 8 loads: miss, 3 hits, miss, 3 hits (4-word blocks).
+	tr := workload.Sequential(8, 0)
+	res := run(t, cfg, tr)
+	// Couplet costs: 11 + 1+1+1 + 11 + 1+1+1 = 28. The second miss
+	// starts at cycle 15 >= memory free (10+3), so no extra wait.
+	if res.Total.Cycles != 28 {
+		t.Fatalf("cycles = %d, want 28", res.Total.Cycles)
+	}
+	if res.Total.LoadMisses != 2 || res.Total.Loads != 8 {
+		t.Fatalf("misses/loads = %d/%d", res.Total.LoadMisses, res.Total.Loads)
+	}
+}
+
+// TestRecoveryDelaysBackToBackMisses: with 2-word blocks the second miss
+// arrives before memory recovers and must wait.
+func TestRecoveryDelaysBackToBackMisses(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ICache.BlockWords = 2
+	cfg.DCache.BlockWords = 2
+	tr := workload.Sequential(4, 0)
+	// Read time for 2W at 40ns: 1+5+2 = 8 cycles. Miss couplet = 9.
+	// Miss 1 at t=0: data at 9, mem free at 12. Hit at 9->10.
+	// Miss 2 at t=10: starts at max(11, 12)=12, data at 20. Hit 20->21.
+	res := run(t, cfg, tr)
+	if res.Total.Cycles != 21 {
+		t.Fatalf("cycles = %d, want 21", res.Total.Cycles)
+	}
+	if res.Total.MemWaitCycles != 1 {
+		t.Fatalf("memory wait = %d, want 1", res.Total.MemWaitCycles)
+	}
+}
+
+// TestStoreCosts: write hits take two cycles (tag cycle then data cycle).
+func TestStoreCosts(t *testing.T) {
+	cfg := smallConfig()
+	tr := &trace.Trace{Name: "stores", Refs: []trace.Ref{
+		{Addr: 0, Kind: trace.Load},  // miss: fill block 0
+		{Addr: 1, Kind: trace.Store}, // write hit: 2 cycles
+		{Addr: 2, Kind: trace.Store}, // write hit: 2 cycles
+	}}
+	res := run(t, cfg, tr)
+	if res.Total.Cycles != 11+2+2 {
+		t.Fatalf("cycles = %d, want 15", res.Total.Cycles)
+	}
+	if res.Total.StoreHits != 2 {
+		t.Fatalf("store hits = %d", res.Total.StoreHits)
+	}
+}
+
+// TestStoreMissBypassesCache: no fetch on write miss; the word goes to the
+// write buffer and the store still takes two cycles.
+func TestStoreMissBypassesCache(t *testing.T) {
+	cfg := smallConfig()
+	tr := &trace.Trace{Name: "wmiss", Refs: []trace.Ref{
+		{Addr: 0, Kind: trace.Store},
+		{Addr: 0, Kind: trace.Load}, // must miss: store did not allocate
+	}}
+	res := run(t, cfg, tr)
+	if res.Total.StoreMisses != 1 {
+		t.Fatalf("store misses = %d", res.Total.StoreMisses)
+	}
+	if res.Total.LoadMisses != 1 {
+		t.Fatal("load after no-allocate store miss should miss")
+	}
+	if res.Total.StoreThroughWords != 1 {
+		t.Fatalf("store-through words = %d", res.Total.StoreThroughWords)
+	}
+}
+
+// TestBufferMatchStallsRead: a read whose block is still sitting in the
+// write buffer must wait for the write to propagate into memory.
+func TestBufferMatchStallsRead(t *testing.T) {
+	cfg := smallConfig()
+	tr := &trace.Trace{Name: "match", Refs: []trace.Ref{
+		{Addr: 0, Kind: trace.Load},    // miss: memory busy through 14
+		{Addr: 100, Kind: trace.Store}, // miss at t=11: word queued (memory busy)
+		{Addr: 100, Kind: trace.Load},  // t=13: must flush the queued word first
+	}}
+	res := run(t, cfg, tr)
+	if res.Total.BufMatchEvents != 1 {
+		t.Fatalf("buffer match events = %d, want 1", res.Total.BufMatchEvents)
+	}
+	// Load 0: 0..11, memory free at 14. Store: 11..13, word ready 13,
+	// not yet started. Load 100 misses at 14: flush starts the write at
+	// 14 (busy through 19, recovery to 22); the read then runs 22..32.
+	if res.Total.Cycles != 32 {
+		t.Fatalf("cycles = %d, want 32", res.Total.Cycles)
+	}
+}
+
+// TestCoupletParallelism: an ifetch hit paired with a load hit costs one
+// cycle, not two.
+func TestCoupletParallelism(t *testing.T) {
+	cfg := smallConfig()
+	refs := []trace.Ref{
+		{Addr: 0, Kind: trace.Ifetch},
+		{Addr: 1 << 22, Kind: trace.Load},
+		{Addr: 0, Kind: trace.Ifetch},
+		{Addr: 1 << 22, Kind: trace.Load},
+	}
+	res := run(t, cfg, &trace.Trace{Name: "pair", Refs: refs})
+	// Couplet 1: both sides miss. The I miss is serviced first (data at
+	// 11, memory free at 14); the D miss waits and its data arrives at
+	// 24. Couplet 2: both sides hit simultaneously, one cycle. Total 25.
+	if res.Total.Cycles != 25 {
+		t.Fatalf("cycles = %d, want 25", res.Total.Cycles)
+	}
+	if res.Total.Couplets != 2 {
+		t.Fatalf("couplets = %d, want 2", res.Total.Couplets)
+	}
+}
+
+// TestDirtyWritebackHidden: a dirty victim whose transfer fits in the
+// latency period costs nothing extra, and the write back drains in the
+// background.
+func TestDirtyWritebackHidden(t *testing.T) {
+	cfg := smallConfig()
+	refs := []trace.Ref{
+		{Addr: 0, Kind: trace.Load},    // fill block 0
+		{Addr: 1, Kind: trace.Store},   // dirty it
+		{Addr: 1024, Kind: trace.Load}, // evict dirty block 0 (same index)
+		{Addr: 1025, Kind: trace.Load}, // hit
+	}
+	res := run(t, cfg, &trace.Trace{Name: "wb", Refs: refs})
+	// 11 + 2 + 11 + 1 = 25: the write back is completely hidden.
+	if res.Total.Cycles != 25 {
+		t.Fatalf("cycles = %d, want 25", res.Total.Cycles)
+	}
+	if res.Total.WritebackBlocks != 1 || res.Total.WritebackWords != 4 || res.Total.WritebackDirtyWords != 1 {
+		t.Fatalf("writeback counters = %d/%d/%d", res.Total.WritebackBlocks,
+			res.Total.WritebackWords, res.Total.WritebackDirtyWords)
+	}
+}
+
+// TestLongBlockDirtyMissStalls: with a 32-word block the victim transfer
+// exceeds the latency and delays the fill, as Section 2 describes.
+func TestLongBlockDirtyMissStalls(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ICache.BlockWords = 32
+	cfg.DCache.BlockWords = 32
+	cfg.DCache.SizeWords = 256
+	refs := []trace.Ref{
+		{Addr: 0, Kind: trace.Load},
+		{Addr: 1, Kind: trace.Store},
+		{Addr: 1024, Kind: trace.Load}, // dirty miss, victim 32W > latency 6
+	}
+	res := run(t, cfg, &trace.Trace{Name: "long", Refs: refs})
+	// Load 1: 1 + (6+32) = 39. Store: 2. Load 2 at t=41: miss at 42;
+	// fill start = max(42+6, 42+32) = 74; data at 74+32 = 106.
+	// Total = 106.
+	if res.Total.Cycles != 106 {
+		t.Fatalf("cycles = %d, want 106", res.Total.Cycles)
+	}
+}
+
+// TestSubBlockFetchTiming: with a 32-word block but 4-word fetch size, a
+// miss pays only the 4-word transfer, and touching the next sub-block is a
+// second (cheap) miss rather than a hit.
+func TestSubBlockFetchTiming(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ICache.BlockWords, cfg.ICache.FetchWords = 32, 4
+	cfg.DCache.BlockWords, cfg.DCache.FetchWords = 32, 4
+	refs := []trace.Ref{
+		{Addr: 0, Kind: trace.Load}, // full miss: fetch words 0..3
+		{Addr: 1, Kind: trace.Load}, // hit
+		{Addr: 4, Kind: trace.Load}, // sub-block miss: fetch 4..7
+		{Addr: 5, Kind: trace.Load}, // hit
+	}
+	res := run(t, cfg, &trace.Trace{Name: "sub", Refs: refs})
+	// Each miss costs 1 + (1+5+4) = 11 cycles (4-word read); hits 1.
+	// Second miss at t=12: memory free at 13 -> start 13, data 23.
+	// 11 + 1 + 11(+1 wait) + 1 = total 25.
+	if res.Total.Cycles != 25 {
+		t.Fatalf("cycles = %d, want 25", res.Total.Cycles)
+	}
+	if res.Total.LoadMisses != 2 {
+		t.Fatalf("misses = %d, want 2 (one full, one sub-block)", res.Total.LoadMisses)
+	}
+	if res.Total.ReadWordsFetched != 8 {
+		t.Fatalf("fetched %d words, want 8", res.Total.ReadWordsFetched)
+	}
+}
+
+// TestSubBlockWritebackTiming: only dirty sub-blocks write back.
+func TestSubBlockWritebackTiming(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DCache.BlockWords, cfg.DCache.FetchWords = 16, 4
+	cfg.DCache.SizeWords = 64 // 4 blocks
+	refs := []trace.Ref{
+		{Addr: 0, Kind: trace.Load},
+		{Addr: 1, Kind: trace.Store},  // dirty sub-block 0
+		{Addr: 256, Kind: trace.Load}, // same index: evict, 4-word writeback
+	}
+	res := run(t, cfg, &trace.Trace{Name: "subwb", Refs: refs})
+	if res.Total.WritebackWords != 4 {
+		t.Fatalf("writeback words = %d, want 4 (one sub-block)", res.Total.WritebackWords)
+	}
+	if res.Total.WritebackDirtyWords != 1 {
+		t.Fatalf("dirty words = %d, want 1", res.Total.WritebackDirtyWords)
+	}
+}
+
+func TestWriteThroughTraffic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DCache.WritePolicy = cache.WriteThrough
+	refs := []trace.Ref{
+		{Addr: 0, Kind: trace.Load},
+		{Addr: 0, Kind: trace.Store},
+		{Addr: 1, Kind: trace.Store},
+	}
+	res := run(t, cfg, &trace.Trace{Name: "wt", Refs: refs})
+	if res.Total.StoreThroughWords != 2 {
+		t.Fatalf("store-through words = %d, want 2", res.Total.StoreThroughWords)
+	}
+	if res.Total.WritebackBlocks != 0 {
+		t.Fatal("write-through produced write backs")
+	}
+}
+
+func TestWriteAllocate(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DCache.WriteAllocate = true
+	refs := []trace.Ref{
+		{Addr: 0, Kind: trace.Store}, // miss: fetch + write
+		{Addr: 1, Kind: trace.Load},  // hit now
+	}
+	res := run(t, cfg, &trace.Trace{Name: "wa", Refs: refs})
+	// Store miss: 1 + 10 (fetch) + 1 (write cycle) = 12; load hit 1.
+	if res.Total.Cycles != 13 {
+		t.Fatalf("cycles = %d, want 13", res.Total.Cycles)
+	}
+	if res.Total.LoadMisses != 0 {
+		t.Fatal("load missed after write-allocate")
+	}
+}
+
+func TestUnifiedCache(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Unified = true
+	refs := []trace.Ref{
+		{Addr: 0, Kind: trace.Ifetch},
+		{Addr: 0, Kind: trace.Load}, // same block: hit in the unified cache
+	}
+	res := run(t, cfg, &trace.Trace{Name: "uni", Refs: refs})
+	if res.Total.LoadMisses != 0 {
+		t.Fatal("unified cache did not share the ifetched block")
+	}
+	if res.Total.IfetchMisses != 1 {
+		t.Fatalf("ifetch misses = %d", res.Total.IfetchMisses)
+	}
+}
+
+func TestEarlyContinueFasterThanWholeBlock(t *testing.T) {
+	base := smallConfig()
+	base.ICache.BlockWords = 32
+	base.DCache.BlockWords = 32
+	tr := workload.Random(4000, 1<<15, 0.2, 5)
+	whole := run(t, base, tr)
+	base.Fetch = EarlyContinue
+	early := run(t, base, tr)
+	base.Fetch = LoadForward
+	forward := run(t, base, tr)
+	if early.Total.Cycles >= whole.Total.Cycles {
+		t.Fatalf("early continue (%d) not faster than whole block (%d)",
+			early.Total.Cycles, whole.Total.Cycles)
+	}
+	if forward.Total.Cycles > early.Total.Cycles {
+		t.Fatalf("load forward (%d) slower than early continue (%d)",
+			forward.Total.Cycles, early.Total.Cycles)
+	}
+	if whole.Total.LoadMisses != early.Total.LoadMisses {
+		t.Fatal("fetch policy changed behavioural counts")
+	}
+}
+
+func TestL2ReducesCycles(t *testing.T) {
+	cfg := smallConfig()
+	tr := workload.Random(6000, 1<<14, 0.25, 9)
+	single := run(t, cfg, tr)
+
+	with := cfg
+	with.L2 = &L2Config{
+		Cache: cache.Config{SizeWords: 1 << 14, BlockWords: 16, Assoc: 1,
+			Replacement: cache.Random, WritePolicy: cache.WriteBack,
+			WriteAllocate: true, Seed: 5},
+		AccessCycles:  3,
+		WriteBufDepth: 4,
+	}
+	multi := run(t, with, tr)
+	if multi.Total.Cycles >= single.Total.Cycles {
+		t.Fatalf("L2 did not help: %d >= %d", multi.Total.Cycles, single.Total.Cycles)
+	}
+	if multi.Total.L2Reads == 0 || multi.Total.L2ReadHits == 0 {
+		t.Fatalf("L2 stats empty: %+v", multi.Total)
+	}
+	if multi.Total.L2ReadHits > multi.Total.L2Reads {
+		t.Fatal("L2 hits exceed reads")
+	}
+	// L1 behaviour is unchanged by the L2.
+	if multi.Total.LoadMisses != single.Total.LoadMisses {
+		t.Fatal("L2 changed L1 miss counts")
+	}
+}
+
+func TestL2Validation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.L2 = &L2Config{
+		Cache: cache.Config{SizeWords: 1 << 14, BlockWords: 2, Assoc: 1,
+			Replacement: cache.Random, WritePolicy: cache.WriteBack, Seed: 5},
+		AccessCycles: 3,
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("L2 block smaller than L1 accepted")
+	}
+}
+
+func TestWarmWindowAccounting(t *testing.T) {
+	cfg := smallConfig()
+	tr := workload.Random(4000, 1<<13, 0.3, 11)
+	tr.WarmStart = 2000
+	res := run(t, cfg, tr)
+	if res.Warm.Refs >= res.Total.Refs {
+		t.Fatal("warm window not smaller than total")
+	}
+	if res.Warm.Cycles <= 0 || res.Warm.Cycles >= res.Total.Cycles {
+		t.Fatalf("warm cycles = %d of %d", res.Warm.Cycles, res.Total.Cycles)
+	}
+	if res.ExecTimeNs() != float64(res.Warm.Cycles)*40 {
+		t.Fatal("exec time mismatch")
+	}
+}
+
+func TestCountersRatios(t *testing.T) {
+	c := Counters{Loads: 80, Ifetches: 120, LoadMisses: 8, IfetchMisses: 4,
+		Refs: 250, ReadWordsFetched: 48, Cycles: 500}
+	if c.Reads() != 200 || c.ReadMisses() != 12 {
+		t.Fatal("reads/misses wrong")
+	}
+	if c.ReadMissRatio() != 0.06 {
+		t.Fatalf("miss ratio = %v", c.ReadMissRatio())
+	}
+	if c.CyclesPerRef() != 2.0 {
+		t.Fatalf("cpr = %v", c.CyclesPerRef())
+	}
+	if (Counters{}).ReadMissRatio() != 0 {
+		t.Fatal("zero division not guarded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.CycleNs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero cycle time accepted")
+	}
+	bad = DefaultConfig()
+	bad.DCache.SizeWords = 1000
+	if err := bad.Validate(); err == nil {
+		t.Error("bad dcache accepted")
+	}
+	bad = DefaultConfig()
+	bad.WriteBufDepth = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative buffer depth accepted")
+	}
+	// Unified config ignores the (invalid) ICache.
+	uni := DefaultConfig()
+	uni.Unified = true
+	uni.ICache = cache.Config{}
+	if err := uni.Validate(); err != nil {
+		t.Errorf("unified config rejected: %v", err)
+	}
+}
+
+func TestCoupletLatencyHistogram(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CollectLatencies = true
+	sys := MustNew(cfg)
+	tr := workload.Sequential(8, 0)
+	res, err := sys.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sys.CoupletLatencies()
+	if h == nil {
+		t.Fatal("histogram not collected")
+	}
+	if h.Count != res.Total.Couplets {
+		t.Fatalf("histogram count %d != couplets %d", h.Count, res.Total.Couplets)
+	}
+	// Sum of couplet latencies is the total cycle count.
+	if h.Sum != res.Total.Cycles {
+		t.Fatalf("latency sum %d != cycles %d", h.Sum, res.Total.Cycles)
+	}
+	// Two 11-cycle misses and six 1-cycle hits.
+	if h.Max != 11 || h.Percentile(0.5) != 1 {
+		t.Fatalf("max %d p50 %d", h.Max, h.Percentile(0.5))
+	}
+	// Disabled by default.
+	plain := MustNew(smallConfig())
+	if _, err := plain.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	if plain.CoupletLatencies() != nil {
+		t.Fatal("histogram collected when disabled")
+	}
+}
+
+func TestSlowerMemoryNeverFaster(t *testing.T) {
+	cfg := smallConfig()
+	tr := workload.Random(3000, 1<<14, 0.3, 13)
+	fast := run(t, cfg, tr)
+	cfg.Mem = mem.UniformLatency(420, mem.Rate1Per4)
+	slow := run(t, cfg, tr)
+	if slow.Total.Cycles <= fast.Total.Cycles {
+		t.Fatalf("slower memory produced fewer cycles: %d <= %d",
+			slow.Total.Cycles, fast.Total.Cycles)
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadFile loads a trace from disk, detecting the format: files ending in
+// .din parse as Dinero-style text, everything else as the binary container
+// (falling back to din if the magic does not match, so renamed text traces
+// still load).
+func ReadFile(path string) (*Trace, error) {
+	name := filepath.Base(path)
+	if strings.HasSuffix(path, ".din") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadDin(f, name)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t, berr := ReadBinary(f)
+	f.Close()
+	if berr == nil {
+		return t, nil
+	}
+	// Fallback: maybe a text trace without the .din suffix.
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, derr := ReadDin(f, name)
+	if derr != nil {
+		return nil, fmt.Errorf("trace: %s is neither binary (%v) nor din (%v)", path, berr, derr)
+	}
+	return t, nil
+}
+
+// WriteFile saves a trace to disk in the format implied by the extension:
+// .din for Dinero-style text, anything else for the binary container.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".din") {
+		err = WriteDin(f, t)
+	} else {
+		err = WriteBinary(f, t)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

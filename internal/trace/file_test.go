@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadWriteFileBinary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ctrace")
+	if err := WriteFile(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sample().Len() || got.WarmStart != sample().WarmStart {
+		t.Fatalf("round trip lost data: %d/%d", got.Len(), got.WarmStart)
+	}
+}
+
+func TestReadWriteFileDin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.din")
+	if err := WriteFile(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got.Refs {
+		if r != sample().Refs[i] {
+			t.Fatalf("ref %d = %+v", i, r)
+		}
+	}
+	if got.Name != "x.din" {
+		t.Errorf("name = %q", got.Name)
+	}
+}
+
+func TestReadFileDinWithoutSuffix(t *testing.T) {
+	// A text trace saved without the .din extension still loads via the
+	// fallback path.
+	path := filepath.Join(t.TempDir(), "renamed.trace")
+	if err := os.WriteFile(path, []byte("0 10\n2 20\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Refs[1].Kind != Ifetch {
+		t.Fatalf("fallback parse wrong: %+v", got.Refs)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.bin")
+	if err := os.WriteFile(garbage, []byte{0xde, 0xad, 0xbe, 0xef}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(garbage); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary container format:
+//
+//	magic   [4]byte "CTR1"
+//	nameLen uint16, name bytes
+//	warm    uint64 (warm-start index)
+//	count   uint64
+//	refs    count × {addr uint32, pid uint8, kind uint8}
+//
+// All integers are little-endian. The format is deliberately trivial: traces
+// are bulk data, and a fixed six-byte record keeps a full-length paper trace
+// (~1.5M references) under 10 MB.
+
+var magic = [4]byte{'C', 'T', 'R', '1'}
+
+const recordSize = 6
+
+// WriteBinary writes t to w in the binary container format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if len(t.Name) > 1<<16-1 {
+		return fmt.Errorf("trace name too long: %d bytes", len(t.Name))
+	}
+	var hdr [2 + 8 + 8]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(t.Name)))
+	if _, err := bw.Write(hdr[:2]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(t.WarmStart))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(t.Refs)))
+	if _, err := bw.Write(hdr[:16]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, r := range t.Refs {
+		binary.LittleEndian.PutUint32(rec[0:], r.Addr)
+		rec[4] = r.PID
+		rec[5] = byte(r.Kind)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a trace in the binary container format.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:2]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	nameLen := binary.LittleEndian.Uint16(hdr[:2])
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	if _, err := io.ReadFull(br, hdr[:16]); err != nil {
+		return nil, fmt.Errorf("trace: reading counts: %w", err)
+	}
+	warm := binary.LittleEndian.Uint64(hdr[0:])
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	const maxRefs = 1 << 31
+	if count > maxRefs {
+		return nil, fmt.Errorf("trace: unreasonable reference count %d", count)
+	}
+	t := &Trace{Name: string(name), WarmStart: int(warm), Refs: make([]Ref, count)}
+	var rec [recordSize]byte
+	for i := range t.Refs {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		t.Refs[i] = Ref{
+			Addr: binary.LittleEndian.Uint32(rec[0:]),
+			PID:  rec[4],
+			Kind: Kind(rec[5]),
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteDin writes the trace in a Dinero-style text format, one reference per
+// line: "<label> <hex word address> <pid>". Labels follow the din
+// convention: 0 = data read, 1 = data write, 2 = instruction fetch. The PID
+// column is an extension; ReadDin accepts lines with or without it.
+func WriteDin(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, r := range t.Refs {
+		var label byte
+		switch r.Kind {
+		case Load:
+			label = '0'
+		case Store:
+			label = '1'
+		case Ifetch:
+			label = '2'
+		default:
+			return fmt.Errorf("trace: cannot encode kind %d as din", r.Kind)
+		}
+		if err := bw.WriteByte(label); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(' '); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(strconv.FormatUint(uint64(r.Addr), 16)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(' '); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(strconv.FormatUint(uint64(r.PID), 10)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDin parses a Dinero-style text trace. Missing PID columns default to
+// zero. The warm-start boundary is not represented in din files; the caller
+// sets it afterwards (it defaults to 0: the whole trace is measured).
+func ReadDin(r io.Reader, name string) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{Name: name}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: %s:%d: need at least label and address", name, lineNo)
+		}
+		var kind Kind
+		switch fields[0] {
+		case "0":
+			kind = Load
+		case "1":
+			kind = Store
+		case "2":
+			kind = Ifetch
+		default:
+			return nil, fmt.Errorf("trace: %s:%d: unknown label %q", name, lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s:%d: bad address %q: %v", name, lineNo, fields[1], err)
+		}
+		var pid uint64
+		if len(fields) >= 3 {
+			pid, err = strconv.ParseUint(fields[2], 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("trace: %s:%d: bad pid %q: %v", name, lineNo, fields[2], err)
+			}
+		}
+		t.Refs = append(t.Refs, Ref{Addr: uint32(addr), PID: uint8(pid), Kind: kind})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Refs) == 0 {
+		return nil, fmt.Errorf("trace: %s: empty trace", name)
+	}
+	return t, nil
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/trace"
+)
+
+// CustomSpec builds a workload from explicit process parameters, for users
+// modelling programs beyond the Table 1 catalog. Segment bases are drawn
+// deterministically from the seed, as for catalog workloads.
+type CustomSpec struct {
+	Name string
+	// Processes holds one parameter set per simulated process.
+	Processes []ProcessParams
+	// TotalRefs is the trace length target.
+	TotalRefs int
+	// SwitchMeanRefs is the mean scheduling quantum (default 12000).
+	SwitchMeanRefs int
+	// WarmFrac is the fraction of the trace before the warm-start
+	// boundary (default 0.3).
+	WarmFrac float64
+	// Preamble prepends the unique addresses of a hidden history in
+	// last-use order, the paper's technique for warming very large
+	// caches (the R2000 trace treatment).
+	Preamble bool
+	Seed     uint64
+}
+
+// Validate reports parameter errors.
+func (c CustomSpec) Validate() error {
+	if len(c.Processes) == 0 {
+		return fmt.Errorf("workload: custom spec %q needs at least one process", c.Name)
+	}
+	if len(c.Processes) > 200 {
+		return fmt.Errorf("workload: custom spec %q has %d processes; PIDs are 8-bit", c.Name, len(c.Processes))
+	}
+	if c.TotalRefs < 100 {
+		return fmt.Errorf("workload: custom spec %q needs at least 100 references", c.Name)
+	}
+	if c.WarmFrac < 0 || c.WarmFrac >= 1 {
+		return fmt.Errorf("workload: custom spec %q warm fraction %v outside [0, 1)", c.Name, c.WarmFrac)
+	}
+	for i, p := range c.Processes {
+		for _, sp := range []struct {
+			name string
+			s    StreamParams
+		}{{"instr", p.Instr}, {"data", p.Data}} {
+			for _, pr := range []struct {
+				name string
+				v    float64
+			}{
+				{"SeqProb", sp.s.SeqProb},
+				{"ResumeProb", sp.s.ResumeProb},
+				{"NewRegionProb", sp.s.NewRegionProb},
+				{"TailNewProb", sp.s.TailNewProb},
+				{"SparseProb", sp.s.SparseProb},
+			} {
+				if pr.v < 0 || pr.v > 1 {
+					return fmt.Errorf("workload: process %d %s %s = %v outside [0, 1]",
+						i, sp.name, pr.name, pr.v)
+				}
+			}
+			if sp.s.ParetoAlpha <= 0 {
+				return fmt.Errorf("workload: process %d %s ParetoAlpha must be positive", i, sp.name)
+			}
+		}
+		if p.DataRefProb < 0 || p.DataRefProb > 1 || p.StoreFrac < 0 || p.StoreFrac > 1 {
+			return fmt.Errorf("workload: process %d couplet probabilities outside [0, 1]", i)
+		}
+	}
+	return nil
+}
+
+// GenerateCustom synthesizes the custom workload's trace.
+func GenerateCustom(c CustomSpec) (*trace.Trace, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	baseRNG := rand.New(rand.NewPCG(c.Seed^0x9b1f3c55, c.Seed+0x7a61e203))
+	procs := make([]*process, len(c.Processes))
+	for i, p := range c.Processes {
+		if p.Instr.RegionCap < 1 {
+			p.Instr.RegionCap = 16
+		}
+		if p.Data.RegionCap < 1 {
+			p.Data.RegionCap = 48
+		}
+		var instr, data []uint32
+		for k := 0; k < 2; k++ {
+			instr = append(instr, uint32(baseRNG.IntN(instrBaseRange/regionWords))*regionWords)
+		}
+		for k := 0; k < 3; k++ {
+			data = append(data, dataBase+uint32(baseRNG.IntN(dataBaseRange/regionWords))*regionWords)
+		}
+		procs[i] = newProcess(p, uint8(i+1), instr, data)
+	}
+	sched := schedParams{switchMean: c.SwitchMeanRefs, osIndex: -1}
+	if sched.switchMean <= 0 {
+		sched.switchMean = 12_000
+	}
+	g := newGenerator(c.Seed, procs, sched)
+
+	t := &trace.Trace{Name: c.Name}
+	if t.Name == "" {
+		t.Name = "custom"
+	}
+	warmFrac := c.WarmFrac
+	if warmFrac == 0 {
+		warmFrac = 0.3
+	}
+	if c.Preamble {
+		histLen := c.TotalRefs * 35 / 100
+		hist := g.run(histLen, make([]trace.Ref, 0, histLen+1))
+		pre := preamble(hist)
+		bodyLen := c.TotalRefs - len(pre)
+		if bodyLen < c.TotalRefs/4 {
+			bodyLen = c.TotalRefs / 4
+		}
+		refs := make([]trace.Ref, 0, len(pre)+bodyLen+1)
+		refs = append(refs, pre...)
+		t.Refs = g.run(bodyLen, refs)
+	} else {
+		t.Refs = g.run(c.TotalRefs, make([]trace.Ref, 0, c.TotalRefs+1))
+	}
+	t.WarmStart = clampWarm(int(float64(len(t.Refs))*warmFrac), len(t.Refs))
+	return t, nil
+}
+
+// DefaultProcess returns a reasonable starting point for custom processes:
+// the VAX-family parameters used by the catalog.
+func DefaultProcess() ProcessParams {
+	return familyDefaults(VAX)
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func customSpec() CustomSpec {
+	p := DefaultProcess()
+	p.Instr.RegionCap = 20
+	p.Data.RegionCap = 60
+	return CustomSpec{
+		Name:      "custom-test",
+		Processes: []ProcessParams{p, p},
+		TotalRefs: 30_000,
+		Seed:      99,
+	}
+}
+
+func TestCustomValidate(t *testing.T) {
+	if err := customSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := customSpec()
+	bad.Processes = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no processes accepted")
+	}
+	bad = customSpec()
+	bad.TotalRefs = 10
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny trace accepted")
+	}
+	bad = customSpec()
+	bad.WarmFrac = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("warm fraction > 1 accepted")
+	}
+	bad = customSpec()
+	bad.Processes[0].Data.SeqProb = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	bad = customSpec()
+	bad.Processes[0].Instr.ParetoAlpha = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	bad = customSpec()
+	bad.Processes[0].StoreFrac = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative store fraction accepted")
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	tr, err := GenerateCustom(customSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "custom-test" {
+		t.Errorf("name = %q", tr.Name)
+	}
+	want := 30_000
+	if tr.Len() < want*9/10 || tr.Len() > want*12/10 {
+		t.Errorf("length %d not near %d", tr.Len(), want)
+	}
+	if tr.WarmStart < tr.Len()/4 || tr.WarmStart > tr.Len()/2 {
+		t.Errorf("warm start %d not near 30%% of %d", tr.WarmStart, tr.Len())
+	}
+	s := trace.Summarize(tr)
+	if s.Processes != 2 {
+		t.Errorf("processes = %d", s.Processes)
+	}
+	if s.Stores == 0 || s.Loads == 0 || s.Ifetches == 0 {
+		t.Errorf("degenerate mix %+v", s)
+	}
+}
+
+func TestGenerateCustomDeterministic(t *testing.T) {
+	a, err := GenerateCustom(customSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCustom(customSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("refs diverge at %d", i)
+		}
+	}
+}
+
+func TestGenerateCustomPreamble(t *testing.T) {
+	spec := customSpec()
+	spec.Preamble = true
+	tr, err := GenerateCustom(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preamble: unique, read-only prefix.
+	seen := map[uint64]bool{}
+	n := 0
+	for _, r := range tr.Refs {
+		if r.Kind == trace.Store || seen[r.Extended()] {
+			break
+		}
+		seen[r.Extended()] = true
+		n++
+	}
+	if n < 200 {
+		t.Fatalf("preamble too short: %d", n)
+	}
+}
+
+func TestGenerateCustomDefaults(t *testing.T) {
+	spec := CustomSpec{
+		Processes: []ProcessParams{DefaultProcess()},
+		TotalRefs: 5_000,
+		Seed:      1,
+	}
+	tr, err := GenerateCustom(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "custom" {
+		t.Errorf("default name = %q", tr.Name)
+	}
+}

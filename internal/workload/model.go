@@ -1,0 +1,476 @@
+// Package workload synthesizes memory-reference traces with the statistical
+// structure of the eight workloads in Table 1 of the paper.
+//
+// The paper drove its simulator with two trace families that no longer
+// exist in obtainable form: ATUM-captured VAX 8200 multiprogrammed traces
+// with operating-system activity, and interleaved MIPS R2000 uniprocess
+// traces with unique-reference preambles. This package substitutes a
+// synthetic model that reproduces the properties the paper's analyses
+// actually depend on:
+//
+//   - temporal locality: each process references 1 KB regions through an
+//     LRU stack with Pareto-distributed stack distances, so recently used
+//     regions are exponentially more likely to recur;
+//   - spatial locality: within a region, references continue sequential
+//     runs with a configurable probability, and revisited regions resume
+//     near their previous offset, so larger blocks prefetch usefully;
+//   - multiprogramming: processes are time-sliced with geometrically
+//     distributed context-switch intervals, and VAX-family workloads
+//     interleave an operating-system pseudo-process, so PID-tagged virtual
+//     caches see the inter-process conflicts the paper discusses;
+//   - bounded footprints: each stream stops allocating fresh regions near
+//     a per-workload unique-address budget, with a small compulsory-miss
+//     tail thereafter, so miss-rate-versus-size curves flatten at the
+//     cache sizes Table 1's footprints imply;
+//   - RISC preambles: R2000-family workloads prepend every address touched
+//     by a hidden pre-trace history in order of last use, the paper's
+//     technique for keeping results valid for very large caches;
+//   - start-up zeroing: the grep/egrep processes in rd1n5 and rd2n7 begin
+//     with a burst of sequential stores, reproducing the elevated write
+//     traffic the paper observed for RISC traces at large cache sizes.
+//
+// Generation is fully deterministic for a given (spec, scale) pair.
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/trace"
+)
+
+// regionWords is the locality-region granularity: 64 32-bit words = 256 B.
+// Regions are the unit of temporal locality; spatial locality operates on
+// word offsets within a region, so cache block-size behaviour is modelled
+// independently of any particular cache configuration. Regions are kept
+// small so a live region's words are touched out quickly: compulsory misses
+// then concentrate around a region's first use instead of trickling through
+// the whole trace, matching the fast-flattening miss-rate-versus-size
+// curves of real programs.
+const regionWords = 64
+
+// dataHWInit is the initial touched span (high-water mark) of a fresh data
+// region: random jumps within a region land only inside the touched span,
+// so footprint growth comes from sequential walk extension, not scatter.
+const dataHWInit = 8
+
+// dataBase separates instruction and data address spaces within a process.
+// Instruction regions grow upward from 0; data regions from dataBase.
+const dataBase uint32 = 1 << 23
+
+// StreamParams controls one reference stream (instruction or data) of one
+// process.
+type StreamParams struct {
+	// SeqProb is the probability that a reference continues the current
+	// sequential run (next word in the current region).
+	SeqProb float64
+	// ResumeProb is the probability that a non-sequential reference to a
+	// revisited region resumes one past the region's previous offset
+	// rather than jumping to a random offset.
+	ResumeProb float64
+	// NewRegionProb is the probability that a non-sequential reference
+	// allocates a brand-new region while the stream is below RegionCap.
+	NewRegionProb float64
+	// TailNewProb replaces NewRegionProb once RegionCap is reached,
+	// providing the slow compulsory-miss trickle real programs exhibit.
+	TailNewProb float64
+	// ParetoAlpha shapes the LRU stack-distance distribution: the
+	// probability of reuse distance d falls off as d^-(alpha+1).
+	// Smaller values spread references across more regions.
+	ParetoAlpha float64
+	// RegionCap bounds the stream's primary footprint in regions.
+	RegionCap int
+	// SparseProb is the probability that a new region is a small-object
+	// region: a single hot record of SparseRecordWords (or half that)
+	// contiguous words, with the rest of the region never touched —
+	// heap records reached through pointers. Blocks larger than the
+	// record fetch nothing useful, so the sparse share sets where the
+	// miss-ratio payoff of growing blocks stops. Dense regions (arrays,
+	// code) are walked word by word. The mix sets how quickly miss
+	// ratio falls with block size.
+	SparseProb float64
+	// SparseRecordWords is the larger of the two record sizes (default
+	// 16; half the records are half this size).
+	SparseRecordWords int
+}
+
+// ProcessParams describes one simulated process.
+type ProcessParams struct {
+	Instr StreamParams
+	Data  StreamParams
+	// DataRefProb is the probability that an instruction carries a data
+	// reference (the CPU model issues instruction+data couplets).
+	DataRefProb float64
+	// StoreFrac is the fraction of data references that are stores.
+	StoreFrac float64
+	// StartupZeroWords, when nonzero, makes the process begin execution
+	// with a burst of sequential stores over this many words, modelling
+	// BSS zeroing at program start (grep/egrep in the paper).
+	StartupZeroWords int
+}
+
+// stream holds the mutable state of one reference stream. A stream's
+// footprint is spread across several address segments (globals, heap and
+// stack for data; program and library text for instructions), so
+// simultaneously hot regions from different segments can alias to the same
+// index of a small direct-mapped cache — the conflict misses that set
+// associativity removes.
+type stream struct {
+	p      StreamParams
+	hwInit uint16 // initial touched span of a fresh region
+
+	segBases []uint32  // word base address of each segment
+	segRegs  [][]int32 // region ids of each segment, in allocation order
+
+	// Per-region state, indexed by region id.
+	baseOf []uint32 // word base address
+	regSeg []uint8  // owning segment
+	regIdx []int32  // index within the segment
+	lastOf []uint16 // most recent offset
+	hw     []uint16 // touched span (high-water mark)
+	sparse []bool   // stride-accessed region
+
+	stack []int32 // region ids ordered by recency, most recent last
+	cur   int32   // current region id
+	off   int     // current offset within cur
+	alloc int     // regions allocated so far
+}
+
+func newStream(p StreamParams, segBases []uint32, hwInit uint16) *stream {
+	if p.RegionCap < 1 {
+		p.RegionCap = 1
+	}
+	if hwInit < 1 {
+		hwInit = 1
+	}
+	if hwInit > regionWords {
+		hwInit = regionWords
+	}
+	if p.SparseRecordWords < 2 {
+		p.SparseRecordWords = 16
+	}
+	if p.SparseRecordWords > regionWords {
+		p.SparseRecordWords = regionWords
+	}
+	return &stream{
+		p:        p,
+		hwInit:   hwInit,
+		segBases: segBases,
+		segRegs:  make([][]int32, len(segBases)),
+		cur:      -1,
+	}
+}
+
+// allocateIn creates a new dense region at the end of the given segment and
+// makes it current.
+func (s *stream) allocateIn(seg int) int32 {
+	return s.allocateKind(seg, 0)
+}
+
+// allocateKind creates a region; recordWords > 0 makes it a small-object
+// region whose touched span is pinned at that many words.
+func (s *stream) allocateKind(seg, recordWords int) int32 {
+	r := int32(s.alloc)
+	s.alloc++
+	idx := int32(len(s.segRegs[seg]))
+	s.segRegs[seg] = append(s.segRegs[seg], r)
+	s.baseOf = append(s.baseOf, s.segBases[seg]+uint32(idx)*regionWords)
+	s.regSeg = append(s.regSeg, uint8(seg))
+	s.regIdx = append(s.regIdx, idx)
+	s.lastOf = append(s.lastOf, 0)
+	hw := s.hwInit
+	if recordWords > 0 {
+		hw = uint16(recordWords)
+	}
+	s.hw = append(s.hw, hw)
+	s.sparse = append(s.sparse, recordWords > 0)
+	s.stack = append(s.stack, r)
+	return r
+}
+
+// allocate creates a new region in a random segment and makes it current.
+func (s *stream) allocate(rng *rand.Rand) int32 {
+	seg := rng.IntN(len(s.segBases))
+	record := 0
+	if rng.Float64() < s.p.SparseProb {
+		record = s.p.SparseRecordWords
+		if rng.IntN(2) == 0 {
+			record /= 2
+		}
+	}
+	return s.allocateKind(seg, record)
+}
+
+// touch records that offset off of the current region was referenced,
+// extending its high-water mark.
+func (s *stream) touch() {
+	s.lastOf[s.cur] = uint16(s.off)
+	if uint16(s.off) >= s.hw[s.cur] {
+		s.hw[s.cur] = uint16(s.off) + 1
+	}
+}
+
+// promote moves region r (known to be at stack position idx) to the most
+// recent position.
+func (s *stream) promote(idx int) int32 {
+	r := s.stack[idx]
+	copy(s.stack[idx:], s.stack[idx+1:])
+	s.stack[len(s.stack)-1] = r
+	return r
+}
+
+// sampleDistance draws an LRU stack distance in [1, n] from a truncated
+// discrete Pareto distribution with shape alpha.
+func sampleDistance(rng *rand.Rand, alpha float64, n int) int {
+	if n <= 1 {
+		return 1
+	}
+	// Inverse-CDF sampling of a continuous Pareto with xm=1, then floor.
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	d := int(math.Pow(u, -1/alpha))
+	if d < 1 {
+		d = 1
+	}
+	if d > n {
+		d = n
+	}
+	return d
+}
+
+// next produces the next word address of the stream.
+func (s *stream) next(rng *rand.Rand) uint32 {
+	if s.alloc == 0 {
+		s.cur = s.allocateIn(0)
+		s.off = 0
+		s.touch()
+		return s.addr()
+	}
+	if s.cur >= 0 && rng.Float64() < s.p.SeqProb {
+		// Continue the sequential run. Dense walks cross region
+		// boundaries into the segment's next region when one exists;
+		// small-object regions wrap within their record.
+		if s.sparse[s.cur] {
+			s.off = (s.off + 1) % int(s.hw[s.cur])
+			s.lastOf[s.cur] = uint16(s.off)
+			return s.addr()
+		}
+		s.off++
+		if s.off >= regionWords {
+			s.off = 0
+			seg := s.regSeg[s.cur]
+			if idx := s.regIdx[s.cur] + 1; int(idx) < len(s.segRegs[seg]) {
+				s.switchTo(s.segRegs[seg][idx])
+			}
+		}
+		s.touch()
+		return s.addr()
+	}
+	// Non-sequential reference: new region or LRU-stack revisit.
+	newProb := s.p.NewRegionProb
+	if s.alloc >= s.p.RegionCap {
+		newProb = s.p.TailNewProb
+	}
+	var r int32
+	if rng.Float64() < newProb {
+		r = s.allocate(rng)
+		s.cur = r
+		s.off = 0
+		s.touch()
+		return s.addr()
+	}
+	d := sampleDistance(rng, s.p.ParetoAlpha, len(s.stack))
+	r = s.promote(len(s.stack) - d)
+	s.cur = r
+	if s.sparse[r] {
+		if rng.Float64() < s.p.ResumeProb {
+			s.off = (int(s.lastOf[r]) + 1) % int(s.hw[r])
+		} else {
+			s.off = rng.IntN(int(s.hw[r]))
+		}
+		s.lastOf[r] = uint16(s.off)
+		return s.addr()
+	} else if rng.Float64() < s.p.ResumeProb {
+		s.off = (int(s.lastOf[r]) + 1) % regionWords
+	} else {
+		// Jump to a random spot inside the region's touched span, so
+		// non-sequential revisits reuse data rather than scattering
+		// compulsory misses across the region.
+		s.off = rng.IntN(int(s.hw[r]))
+	}
+	s.touch()
+	return s.addr()
+}
+
+// switchTo makes region r current, promoting it in the recency stack.
+func (s *stream) switchTo(r int32) {
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		if s.stack[i] == r {
+			s.promote(i)
+			s.cur = r
+			return
+		}
+	}
+	// Unreachable for valid region ids; fall back to keeping cur.
+}
+
+func (s *stream) addr() uint32 {
+	return s.baseOf[s.cur] + uint32(s.off)
+}
+
+// process bundles the two streams and couplet parameters of one process.
+type process struct {
+	p       ProcessParams
+	pid     uint8
+	instr   *stream
+	data    *stream
+	zeroed  int  // words already zeroed by the startup burst
+	started bool // whether the process has run at all
+}
+
+// newProcess builds a process whose streams occupy the given word-aligned
+// segment bases. Bases vary per process (different program sizes, heaps and
+// stacks), so inter-process conflicts in a direct-mapped virtual cache
+// arise from partial aliasing modulo the cache size — the paper's
+// inter-process-conflict effect — rather than from every process thrashing
+// identical indexes; segments within a process likewise alias, producing
+// the intra-process conflicts that associativity removes.
+func newProcess(p ProcessParams, pid uint8, instrBases, dataBases []uint32) *process {
+	return &process{
+		p:   p,
+		pid: pid,
+		// Code regions are fully materialized at load time: branch
+		// targets may land anywhere in them, so the touched span
+		// starts at the full region.
+		instr: newStream(p.Instr, instrBases, regionWords),
+		data:  newStream(p.Data, dataBases, dataHWInit),
+	}
+}
+
+// emitCouplet appends one instruction fetch and possibly one data reference
+// to dst, returning the extended slice.
+func (pr *process) emitCouplet(rng *rand.Rand, dst []trace.Ref) []trace.Ref {
+	if pr.p.StartupZeroWords > 0 && pr.zeroed < pr.p.StartupZeroWords {
+		// Zeroing loop: a tiny instruction loop storing sequential
+		// data words into the first data segment. Model the loop body
+		// as repeated fetches of the first code region's first words.
+		loopAddr := pr.instr.segBases[0] + uint32(pr.zeroed%4)
+		dst = append(dst, trace.Ref{Addr: loopAddr, PID: pr.pid, Kind: trace.Ifetch})
+		zeroAddr := pr.data.segBases[0] + uint32(pr.zeroed)
+		dst = append(dst, trace.Ref{Addr: zeroAddr, PID: pr.pid, Kind: trace.Store})
+		pr.zeroed++
+		if pr.instr.alloc == 0 {
+			pr.instr.cur = pr.instr.allocateIn(0)
+			pr.instr.off = 0
+			pr.instr.touch()
+		}
+		// Account the zeroed span as allocated regions of the first
+		// data segment so later references may revisit it.
+		needed := (pr.zeroed + regionWords - 1) / regionWords
+		for pr.data.alloc < needed {
+			pr.data.allocateIn(0)
+		}
+		pr.data.cur = int32(pr.data.segRegs[0][needed-1])
+		pr.data.off = (pr.zeroed - 1) % regionWords
+		pr.data.touch()
+		return dst
+	}
+	dst = append(dst, trace.Ref{Addr: pr.instr.next(rng), PID: pr.pid, Kind: trace.Ifetch})
+	if rng.Float64() < pr.p.DataRefProb {
+		kind := trace.Load
+		if rng.Float64() < pr.p.StoreFrac {
+			kind = trace.Store
+		}
+		dst = append(dst, trace.Ref{Addr: pr.data.next(rng), PID: pr.pid, Kind: kind})
+	}
+	return dst
+}
+
+// Scheduler parameters for multiprogramming.
+type schedParams struct {
+	switchMean int // mean references per scheduling quantum
+	osIndex    int // index of the OS pseudo-process, -1 if none
+	osProb     float64
+	osMean     int // mean references per OS burst
+}
+
+// generator interleaves the processes of a workload.
+type generator struct {
+	rng    *rand.Rand
+	procs  []*process
+	sched  schedParams
+	cur    int // index of the running process
+	remain int // references left in the current quantum
+}
+
+func newGenerator(seed uint64, procs []*process, sched schedParams) *generator {
+	g := &generator{
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		procs: procs,
+		sched: sched,
+	}
+	g.cur = g.pickNext()
+	g.remain = g.quantum(g.cur)
+	return g
+}
+
+// geometric draws a geometrically distributed positive integer with the
+// given mean.
+func geometric(rng *rand.Rand, mean int) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1.0 / float64(mean)
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	n := int(math.Log(u)/math.Log(1-p)) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (g *generator) pickNext() int {
+	if g.sched.osIndex >= 0 && g.rng.Float64() < g.sched.osProb {
+		return g.sched.osIndex
+	}
+	// Choose uniformly among user processes, avoiding an immediate
+	// re-selection when there is a choice.
+	n := len(g.procs)
+	idx := g.rng.IntN(n)
+	if idx == g.sched.osIndex || (idx == g.cur && n > 1) {
+		idx = (idx + 1) % n
+		if idx == g.sched.osIndex {
+			idx = (idx + 1) % n
+		}
+	}
+	return idx
+}
+
+func (g *generator) quantum(proc int) int {
+	mean := g.sched.switchMean
+	if proc == g.sched.osIndex {
+		mean = g.sched.osMean
+	}
+	return geometric(g.rng, mean)
+}
+
+// run appends approximately n references to dst (couplets are never split,
+// so the result may exceed n by one reference) and returns the new slice.
+func (g *generator) run(n int, dst []trace.Ref) []trace.Ref {
+	target := len(dst) + n
+	for len(dst) < target {
+		if g.remain <= 0 {
+			g.cur = g.pickNext()
+			g.remain = g.quantum(g.cur)
+		}
+		before := len(dst)
+		dst = g.procs[g.cur].emitCouplet(g.rng, dst)
+		g.remain -= len(dst) - before
+	}
+	return dst
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func testStream(seq, resume float64, caps int) *stream {
+	p := StreamParams{
+		SeqProb:       seq,
+		ResumeProb:    resume,
+		NewRegionProb: 0.05,
+		TailNewProb:   0.001,
+		ParetoAlpha:   1.0,
+		RegionCap:     caps,
+	}
+	return newStream(p, []uint32{0, 1 << 18, 1 << 19}, dataHWInit)
+}
+
+func TestStreamFirstReference(t *testing.T) {
+	s := testStream(0.5, 0.5, 10)
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := s.next(rng)
+	if a != s.segBases[0] {
+		t.Fatalf("first address %d not at segment 0 base", a)
+	}
+	if s.alloc != 1 {
+		t.Fatalf("allocated %d regions", s.alloc)
+	}
+}
+
+func TestStreamSequentialWalk(t *testing.T) {
+	s := testStream(1.0, 0, 10) // always sequential
+	rng := rand.New(rand.NewPCG(3, 4))
+	prev := s.next(rng)
+	for i := 0; i < regionWords-2; i++ {
+		cur := s.next(rng)
+		if cur != prev+1 {
+			t.Fatalf("walk broke at step %d: %d -> %d", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestStreamHighWaterGrowth(t *testing.T) {
+	s := testStream(1.0, 0, 10)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 30; i++ {
+		s.next(rng)
+	}
+	if got := s.hw[0]; got < 30 {
+		t.Fatalf("high water %d after a 30-word walk", got)
+	}
+}
+
+func TestStreamFootprintCapped(t *testing.T) {
+	s := testStream(0.2, 0.2, 5)
+	s.p.TailNewProb = 0 // hard cap
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 50_000; i++ {
+		s.next(rng)
+	}
+	if s.alloc > 5 {
+		t.Fatalf("allocated %d regions past the cap of 5", s.alloc)
+	}
+}
+
+func TestStreamJumpsStayInTouchedSpan(t *testing.T) {
+	s := testStream(0.0, 0.0, 3) // every access is a jump
+	s.p.NewRegionProb = 0
+	s.p.TailNewProb = 0
+	rng := rand.New(rand.NewPCG(9, 10))
+	s.next(rng) // materialize region 0
+	for i := 0; i < 5000; i++ {
+		s.next(rng)
+		r := s.cur
+		if uint16(s.off) >= s.hw[r] {
+			t.Fatalf("jump landed at %d beyond high water %d", s.off, s.hw[r])
+		}
+	}
+}
+
+func TestStreamStackPromote(t *testing.T) {
+	s := testStream(0.5, 0.5, 8)
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 2000; i++ {
+		s.next(rng)
+	}
+	// The recency stack always holds each allocated region exactly once.
+	if len(s.stack) != s.alloc {
+		t.Fatalf("stack has %d entries for %d regions", len(s.stack), s.alloc)
+	}
+	seen := map[int32]bool{}
+	for _, r := range s.stack {
+		if seen[r] {
+			t.Fatalf("region %d duplicated in stack", r)
+		}
+		seen[r] = true
+	}
+	// The current region is the most recent entry after a non-sequential
+	// access... at minimum it must be present.
+	if !seen[s.cur] {
+		t.Fatal("current region missing from stack")
+	}
+}
+
+func TestSparseRecordBounded(t *testing.T) {
+	p := StreamParams{
+		SeqProb: 0.5, ResumeProb: 0.5,
+		NewRegionProb: 1.0, // every non-sequential access allocates
+		ParetoAlpha:   1.0,
+		RegionCap:     1000,
+		SparseProb:    1.0, // all regions are records
+	}
+	s := newStream(p, []uint32{0}, dataHWInit)
+	rng := rand.New(rand.NewPCG(13, 14))
+	touched := map[uint32]bool{}
+	for i := 0; i < 20_000; i++ {
+		touched[s.next(rng)] = true
+	}
+	// Every record is at most SparseRecordWords (16) wide: the touched
+	// words per allocated region must average well below a full region.
+	perRegion := float64(len(touched)) / float64(s.alloc)
+	if perRegion > 16.5 {
+		t.Fatalf("%.1f words touched per sparse region, want <= 16", perRegion)
+	}
+	// And record accesses never leave the record span.
+	for _, r := range s.stack {
+		if s.sparse[r] && s.hw[r] > 16 {
+			t.Fatalf("sparse region %d has span %d", r, s.hw[r])
+		}
+	}
+}
+
+func TestSampleDistance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	if d := sampleDistance(rng, 1.0, 1); d != 1 {
+		t.Fatalf("distance with n=1 is %d", d)
+	}
+	// Distances are in range and skewed toward small values.
+	counts := make([]int, 65)
+	for i := 0; i < 50_000; i++ {
+		d := sampleDistance(rng, 1.0, 64)
+		if d < 1 || d > 64 {
+			t.Fatalf("distance %d out of range", d)
+		}
+		counts[d]++
+	}
+	if counts[1] < counts[2] || counts[2] < counts[8] {
+		t.Fatalf("distances not skewed to recency: d1=%d d2=%d d8=%d",
+			counts[1], counts[2], counts[8])
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	if g := geometric(rng, 1); g != 1 {
+		t.Fatalf("geometric(1) = %d", g)
+	}
+	sum := 0.0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		g := geometric(rng, 100)
+		if g < 1 {
+			t.Fatalf("geometric sample %d < 1", g)
+		}
+		sum += float64(g)
+	}
+	mean := sum / n
+	if mean < 85 || mean > 115 {
+		t.Fatalf("geometric mean %.1f not near 100", mean)
+	}
+}
+
+func TestEmitCoupletShape(t *testing.T) {
+	p := DefaultProcess()
+	p.Instr.RegionCap, p.Data.RegionCap = 8, 16
+	pr := newProcess(p, 3, []uint32{0, 4096}, []uint32{1 << 23, 1<<23 + 8192, 1<<23 + 16384})
+	rng := rand.New(rand.NewPCG(19, 20))
+	var refs []trace.Ref
+	for i := 0; i < 3000; i++ {
+		refs = pr.emitCouplet(rng, refs)
+	}
+	ifetches, data := 0, 0
+	for i, r := range refs {
+		if r.PID != 3 {
+			t.Fatalf("wrong pid on ref %d", i)
+		}
+		if r.Kind == trace.Ifetch {
+			ifetches++
+		} else {
+			data++
+		}
+	}
+	if ifetches == 0 || data == 0 {
+		t.Fatal("degenerate couplet stream")
+	}
+	// VAX DataRefProb 0.85: data refs per instruction near 0.85.
+	ratio := float64(data) / float64(ifetches)
+	if ratio < 0.7 || ratio > 1.0 {
+		t.Fatalf("data/instr ratio %.2f not near 0.85", ratio)
+	}
+}
+
+func TestStartupZeroBurst(t *testing.T) {
+	p := DefaultProcess()
+	p.StartupZeroWords = 500
+	p.Instr.RegionCap, p.Data.RegionCap = 8, 16
+	pr := newProcess(p, 1, []uint32{0, 4096}, []uint32{1 << 23, 1<<23 + 8192, 1<<23 + 16384})
+	rng := rand.New(rand.NewPCG(21, 22))
+	var refs []trace.Ref
+	for pr.zeroed < 500 {
+		refs = pr.emitCouplet(rng, refs)
+	}
+	// The burst alternates ifetch/store, stores walking sequentially.
+	stores := 0
+	var prev uint32
+	for _, r := range refs {
+		if r.Kind == trace.Store {
+			if stores > 0 && r.Addr != prev+1 {
+				t.Fatalf("zeroing not sequential: %d -> %d", prev, r.Addr)
+			}
+			prev = r.Addr
+			stores++
+		}
+	}
+	if stores != 500 {
+		t.Fatalf("%d zeroing stores, want 500", stores)
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/trace"
+)
+
+// This file provides tiny deterministic reference generators used by unit
+// and property tests across the repository. They are exported because the
+// examples and benchmark harness also use them as controlled stimuli.
+
+// Sequential returns a trace of n loads walking consecutive word addresses
+// from start. Every block is touched exactly once, so for any cache the
+// read miss count equals ceil(n / blockWords) when starting block-aligned.
+func Sequential(n int, start uint32) *trace.Trace {
+	t := &trace.Trace{Name: "sequential"}
+	t.Refs = make([]trace.Ref, n)
+	for i := range t.Refs {
+		t.Refs[i] = trace.Ref{Addr: start + uint32(i), Kind: trace.Load}
+	}
+	return t
+}
+
+// Loop returns a trace of n ifetches cycling through a code loop of the
+// given number of words. Once the loop fits in the cache, only compulsory
+// misses remain.
+func Loop(n, loopWords int) *trace.Trace {
+	t := &trace.Trace{Name: "loop"}
+	t.Refs = make([]trace.Ref, n)
+	for i := range t.Refs {
+		t.Refs[i] = trace.Ref{Addr: uint32(i % loopWords), Kind: trace.Ifetch}
+	}
+	return t
+}
+
+// Random returns a trace of n data references drawn uniformly from a
+// footprint of the given number of words, with storeFrac of them stores.
+// Deterministic for a given seed.
+func Random(n, footprintWords int, storeFrac float64, seed uint64) *trace.Trace {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	t := &trace.Trace{Name: "random"}
+	t.Refs = make([]trace.Ref, n)
+	for i := range t.Refs {
+		kind := trace.Load
+		if rng.Float64() < storeFrac {
+			kind = trace.Store
+		}
+		t.Refs[i] = trace.Ref{Addr: uint32(rng.IntN(footprintWords)), Kind: kind}
+	}
+	return t
+}
+
+// Couplets returns a trace of n references alternating ifetch and load, the
+// ifetches cycling a loop and the loads walking sequentially: the smallest
+// stimulus exercising simultaneous instruction+data couplet issue.
+func Couplets(n int) *trace.Trace {
+	t := &trace.Trace{Name: "couplets"}
+	t.Refs = make([]trace.Ref, 0, n)
+	i := 0
+	for len(t.Refs) < n {
+		t.Refs = append(t.Refs, trace.Ref{Addr: uint32(i % 64), Kind: trace.Ifetch})
+		if len(t.Refs) < n {
+			t.Refs = append(t.Refs, trace.Ref{Addr: dataBase + uint32(i), Kind: trace.Load})
+		}
+		i++
+	}
+	return t
+}
+
+// Conflict returns a trace of n loads ping-ponging between two addresses
+// that collide in any direct-mapped cache of at most maxWords words (they
+// differ only above the index bits). A 2-way associative cache of the same
+// size hits after the first two references.
+func Conflict(n int, maxWords uint32) *trace.Trace {
+	t := &trace.Trace{Name: "conflict"}
+	t.Refs = make([]trace.Ref, n)
+	for i := range t.Refs {
+		addr := uint32(0)
+		if i%2 == 1 {
+			addr = maxWords // same index, different tag
+		}
+		t.Refs[i] = trace.Ref{Addr: addr, Kind: trace.Load}
+	}
+	return t
+}

@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+const testScale = 0.1
+
+// missRatioAt runs the workload's trace against the standard split
+// organization and returns the warm read miss ratio.
+func missRatioAt(t *testing.T, tr *trace.Trace, perCacheWords, blockWords, assoc int) float64 {
+	t.Helper()
+	cfg := cache.Config{SizeWords: perCacheWords, BlockWords: blockWords, Assoc: assoc,
+		Replacement: cache.Random, WritePolicy: cache.WriteBack, Seed: 1}
+	p, err := engine.BuildProfile(engine.Org{ICache: cfg, DCache: cfg}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.WarmCounters().ReadMissRatio()
+}
+
+func TestCatalogComplete(t *testing.T) {
+	if len(Catalog) != 8 {
+		t.Fatalf("catalog has %d workloads, want 8 (Table 1)", len(Catalog))
+	}
+	seen := map[string]bool{}
+	for _, s := range Catalog {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Processes < 3 || s.TotalRefs < 1_000_000 || s.UniqueWords < 10_000 {
+			t.Errorf("%s has implausible parameters: %+v", s.Name, s)
+		}
+	}
+	for _, name := range []string{"mu3", "mu6", "mu10", "savec", "rd1n3", "rd2n4", "rd1n5", "rd2n7"} {
+		if !seen[name] {
+			t.Errorf("missing Table 1 workload %s", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("mu3")
+	if err != nil || s.Name != "mu3" {
+		t.Fatalf("ByName(mu3) = %+v, %v", s, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(Names()) != len(Catalog) {
+		t.Fatal("Names length mismatch")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := ByName("mu3")
+	a := spec.Generate(0.02)
+	b := spec.Generate(0.02)
+	if len(a.Refs) != len(b.Refs) || a.WarmStart != b.WarmStart {
+		t.Fatalf("lengths differ: %d/%d vs %d/%d", len(a.Refs), a.WarmStart, len(b.Refs), b.WarmStart)
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("refs diverge at %d", i)
+		}
+	}
+}
+
+func TestGenerateValidAndScaled(t *testing.T) {
+	for _, spec := range Catalog {
+		tr := spec.Generate(testScale)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		want := int(float64(spec.TotalRefs) * testScale)
+		if got := tr.Len(); got < want*9/10 || got > want*12/10 {
+			t.Errorf("%s: length %d not near target %d", spec.Name, got, want)
+		}
+		s := trace.Summarize(tr)
+		// Short scaled traces have only ~len/quantum scheduling slots
+		// and processes are drawn randomly, so not every declared
+		// process necessarily runs; require half the slot count up to
+		// the full process set.
+		minProcs := tr.Len() / 12_000 / 2
+		if minProcs > spec.Processes {
+			minProcs = spec.Processes
+		}
+		if minProcs < 2 {
+			minProcs = 2
+		}
+		if s.Processes < minProcs {
+			t.Errorf("%s: %d processes in trace, want >= %d", spec.Name, s.Processes, minProcs)
+		}
+		if s.Ifetches == 0 || s.Loads == 0 || s.Stores == 0 {
+			t.Errorf("%s: degenerate mix %+v", spec.Name, s)
+		}
+	}
+}
+
+func TestVAXWarmStart(t *testing.T) {
+	spec, _ := ByName("savec")
+	tr := spec.Generate(testScale)
+	want := int(float64(warmVAXRefs) * testScale)
+	if tr.WarmStart < want*9/10 || tr.WarmStart > want*11/10 {
+		t.Errorf("warm start %d not near %d", tr.WarmStart, want)
+	}
+}
+
+func TestRISCPreamble(t *testing.T) {
+	spec, _ := ByName("rd2n4")
+	tr := spec.Generate(testScale)
+	// The preamble consists only of reads (no stores), and its
+	// addresses must all be unique.
+	seen := map[uint64]bool{}
+	preambleLen := 0
+	for _, r := range tr.Refs {
+		if r.Kind == trace.Store {
+			break
+		}
+		if seen[r.Extended()] {
+			break
+		}
+		seen[r.Extended()] = true
+		preambleLen++
+	}
+	if preambleLen < 1000 {
+		t.Fatalf("preamble too short: %d", preambleLen)
+	}
+	// Measurement covers roughly the scaled final million references.
+	measured := tr.Len() - tr.WarmStart
+	want := int(measuredRISCRefs * testScale)
+	if measured < want*9/10 || measured > want*11/10 {
+		t.Errorf("measured window %d not near %d", measured, want)
+	}
+}
+
+func TestStartupZeroingRaisesWriteTraffic(t *testing.T) {
+	// rd1n5 includes egrep with start-up zeroing; rd2n4 is the same mix
+	// without it. At large caches the zeroing dominates write backs.
+	with, _ := ByName("rd1n5")
+	without, _ := ByName("rd2n4")
+	ratio := func(spec Spec) float64 {
+		tr := spec.Generate(testScale)
+		cfg := cache.Config{SizeWords: 1 << 18, BlockWords: 4, Assoc: 1,
+			Replacement: cache.Random, WritePolicy: cache.WriteBack, Seed: 1}
+		p, err := engine.BuildProfile(engine.Org{ICache: cfg, DCache: cfg}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := p.TotalCounters()
+		return w.WriteTrafficRatioBlocks()
+	}
+	if rw, ro := ratio(with), ratio(without); rw <= ro {
+		t.Errorf("zeroing workload write traffic %.4f not above %.4f", rw, ro)
+	}
+}
+
+// TestMissRatioShape asserts the calibration targets that the paper's
+// Figure 3-1 analysis depends on: monotone non-increasing miss ratio with
+// size (within tolerance), sane absolute levels, and flattening at large
+// sizes.
+func TestMissRatioShape(t *testing.T) {
+	for _, name := range []string{"mu3", "rd2n4"} {
+		spec, _ := ByName(name)
+		tr := spec.Generate(0.15)
+		sizes := []int{512, 2048, 8192, 32768, 131072, 524288} // words per cache
+		ratios := make([]float64, len(sizes))
+		for i, w := range sizes {
+			ratios[i] = missRatioAt(t, tr, w, 4, 1)
+		}
+		if ratios[0] < 0.08 || ratios[0] > 0.40 {
+			t.Errorf("%s: 2KB-per-cache miss ratio %.3f outside [0.08, 0.40]", name, ratios[0])
+		}
+		if ratios[3] > 0.12 {
+			t.Errorf("%s: 128KB-per-cache miss ratio %.3f too high", name, ratios[3])
+		}
+		for i := 1; i < len(ratios); i++ {
+			if ratios[i] > ratios[i-1]*1.05 {
+				t.Errorf("%s: miss ratio rose with size at %d words: %.4f -> %.4f",
+					name, sizes[i], ratios[i-1], ratios[i])
+			}
+		}
+		// Flattening: the last doubling buys far less than the first.
+		firstDrop := ratios[0] - ratios[1]
+		lastDrop := ratios[len(ratios)-2] - ratios[len(ratios)-1]
+		if lastDrop > firstDrop/2 {
+			t.Errorf("%s: no flattening: first drop %.4f, last drop %.4f", name, firstDrop, lastDrop)
+		}
+	}
+}
+
+// TestAssociativityHelps asserts the Figure 4-1 target: averaged over
+// traces from both families, two-way cuts the read miss ratio meaningfully
+// at mid sizes, and going beyond two-way buys much less — "smaller
+// improvements are seen for set sizes above two".
+func TestAssociativityHelps(t *testing.T) {
+	names := []string{"mu3", "mu6", "rd1n3", "rd2n7"}
+	const perCache = 16384 // 64KB per cache, 128KB total
+	var dm, w2, w4 float64
+	for _, name := range names {
+		spec, _ := ByName(name)
+		tr := spec.Generate(0.15)
+		dm += missRatioAt(t, tr, perCache, 4, 1)
+		w2 += missRatioAt(t, tr, perCache, 4, 2)
+		w4 += missRatioAt(t, tr, perCache, 4, 4)
+	}
+	if w2 >= dm*0.92 {
+		t.Errorf("2-way (%.4f) did not improve enough on direct mapped (%.4f)", w2, dm)
+	}
+	if w2-w4 > (dm-w2)*0.9 {
+		t.Errorf("diminishing returns violated: dm=%.4f 2way=%.4f 4way=%.4f", dm, w2, w4)
+	}
+}
+
+// TestSpatialLocality asserts the Figure 5-1 target: growing blocks cuts
+// the miss ratio, steeply at first and flattening by 32–128 words.
+func TestSpatialLocality(t *testing.T) {
+	spec, _ := ByName("mu3")
+	tr := spec.Generate(0.15)
+	const perCache = 16384 // 64KB
+	m2 := missRatioAt(t, tr, perCache, 2, 1)
+	m8 := missRatioAt(t, tr, perCache, 8, 1)
+	m32 := missRatioAt(t, tr, perCache, 32, 1)
+	m128 := missRatioAt(t, tr, perCache, 128, 1)
+	if m8 >= m2*0.75 {
+		t.Errorf("blocks 2W->8W did not cut misses enough: %.4f -> %.4f", m2, m8)
+	}
+	// Payoff flattens: relative improvement 32->128 much weaker than 2->8.
+	if m128 < m32*0.55 {
+		t.Errorf("payoff did not flatten: 32W %.4f -> 128W %.4f", m32, m128)
+	}
+}
+
+func TestSyntheticGenerators(t *testing.T) {
+	if n := Sequential(100, 5).Len(); n != 100 {
+		t.Errorf("sequential len %d", n)
+	}
+	lp := Loop(100, 7)
+	for i, r := range lp.Refs {
+		if r.Addr != uint32(i%7) || r.Kind != trace.Ifetch {
+			t.Fatalf("loop ref %d = %+v", i, r)
+		}
+	}
+	r1 := Random(500, 64, 0.5, 3)
+	r2 := Random(500, 64, 0.5, 3)
+	for i := range r1.Refs {
+		if r1.Refs[i] != r2.Refs[i] {
+			t.Fatal("Random not deterministic")
+		}
+	}
+	cp := Couplets(99)
+	if cp.Len() != 99 {
+		t.Errorf("couplets len %d", cp.Len())
+	}
+	cf := Conflict(10, 1024)
+	if cf.Refs[0].Addr == cf.Refs[1].Addr {
+		t.Error("conflict trace addresses equal")
+	}
+	if cf.Refs[0].Addr%1024 != cf.Refs[1].Addr%1024 {
+		t.Error("conflict trace addresses do not alias")
+	}
+}
+
+func TestGenerateAllScales(t *testing.T) {
+	traces := GenerateAll(0.01)
+	if len(traces) != len(Catalog) {
+		t.Fatalf("GenerateAll returned %d traces", len(traces))
+	}
+	for _, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero scale")
+		}
+	}()
+	Catalog[0].Generate(0)
+}
