@@ -10,6 +10,7 @@
 package cachetime_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -34,13 +35,13 @@ var (
 
 func benchSuite(b *testing.B) *experiments.Suite {
 	b.Helper()
-	suiteOnce.Do(func() { suite = experiments.NewSuite(benchScale) })
+	suiteOnce.Do(func() { suite = experiments.MustNewSuite(benchScale) })
 	return suite
 }
 
 func BenchmarkTable1Traces(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		traces := workload.GenerateAll(benchScale)
+		traces := workload.MustGenerateAll(benchScale)
 		refs := 0
 		for _, t := range traces {
 			refs += t.Len()
@@ -61,7 +62,7 @@ func BenchmarkTable2MemoryCycles(b *testing.B) {
 func BenchmarkFigure3_1(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunFigure31(nil); err != nil {
+		if _, err := s.RunFigure31(context.Background(), nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +71,7 @@ func BenchmarkFigure3_1(b *testing.B) {
 func BenchmarkFigure3_2(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		g, err := s.SpeedSizeGrid(nil, nil, 1)
+		g, err := s.SpeedSizeGrid(context.Background(), nil, nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func BenchmarkFigure3_2(b *testing.B) {
 func BenchmarkFigure3_3(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		g, err := s.SpeedSizeGrid(nil, nil, 1)
+		g, err := s.SpeedSizeGrid(context.Background(), nil, nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func BenchmarkFigure3_3(b *testing.B) {
 func BenchmarkFigure3_4(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		g, err := s.SpeedSizeGrid(nil, nil, 1)
+		g, err := s.SpeedSizeGrid(context.Background(), nil, nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkFigure3_4(b *testing.B) {
 func BenchmarkTable3MissPenalty(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		g, err := s.SpeedSizeGrid(nil, nil, 1)
+		g, err := s.SpeedSizeGrid(context.Background(), nil, nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +119,7 @@ func BenchmarkTable3MissPenalty(b *testing.B) {
 func BenchmarkFigure4_1(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunFigure41(nil, nil); err != nil {
+		if _, err := s.RunFigure41(context.Background(), nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +128,7 @@ func BenchmarkFigure4_1(b *testing.B) {
 func BenchmarkFigure4_2(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunFigure42(nil, nil, nil); err != nil {
+		if _, err := s.RunFigure42(context.Background(), nil, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -136,7 +137,7 @@ func BenchmarkFigure4_2(b *testing.B) {
 func BenchmarkFigure4_3to5(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		f, err := s.RunFigure42(nil, nil, nil)
+		f, err := s.RunFigure42(context.Background(), nil, nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkFigure4_3to5(b *testing.B) {
 func BenchmarkFigure5_1(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunFigure51(0, nil, 0); err != nil {
+		if _, err := s.RunFigure51(context.Background(), 0, nil, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +159,7 @@ func BenchmarkFigure5_1(b *testing.B) {
 func BenchmarkFigure5_2(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunFigure52(0, nil, nil, nil, 0); err != nil {
+		if _, err := s.RunFigure52(context.Background(), 0, nil, nil, nil, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -167,7 +168,7 @@ func BenchmarkFigure5_2(b *testing.B) {
 func BenchmarkFigure5_3(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		f52, err := s.RunFigure52(0, nil, nil, nil, 0)
+		f52, err := s.RunFigure52(context.Background(), 0, nil, nil, nil, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func BenchmarkFigure5_3(b *testing.B) {
 func BenchmarkFigure5_4(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		f52, err := s.RunFigure52(0, nil, nil, nil, 0)
+		f52, err := s.RunFigure52(context.Background(), 0, nil, nil, nil, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func BenchmarkFigure5_4(b *testing.B) {
 func BenchmarkMultilevel(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunMultilevel([]int{8, 32}, 512, 40); err != nil {
+		if _, err := s.RunMultilevel(context.Background(), []int{8, 32}, 512, 40); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -204,7 +205,7 @@ func BenchmarkMultilevel(b *testing.B) {
 func BenchmarkExtensionFetchSize(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunFetchSize(0, 32, nil, 0); err != nil {
+		if _, err := s.RunFetchSize(context.Background(), 0, 32, nil, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -213,7 +214,7 @@ func BenchmarkExtensionFetchSize(b *testing.B) {
 func BenchmarkExtensionSplitUnified(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunSplitUnified(nil, 0); err != nil {
+		if _, err := s.RunSplitUnified(context.Background(), nil, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -227,7 +228,7 @@ func ablationTrace(b *testing.B) *trace.Trace {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return spec.Generate(benchScale)
+	return spec.MustGenerate(benchScale)
 }
 
 func ablationConfig(mutate func(*system.Config)) system.Config {
@@ -314,7 +315,7 @@ func BenchmarkAblationTraceFamily(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tr := spec.Generate(benchScale)
+		tr := spec.MustGenerate(benchScale)
 		b.Run(spec.Family.String(), func(b *testing.B) {
 			runAblation(b, tr, ablationConfig(nil))
 		})
@@ -405,7 +406,7 @@ func BenchmarkFacadeQuickstart(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	tr := spec.Generate(benchScale)
+	tr := spec.MustGenerate(benchScale)
 	explorer, err := cachetime.NewExplorer([]*cachetime.Trace{tr})
 	if err != nil {
 		b.Fatal(err)

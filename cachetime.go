@@ -53,7 +53,8 @@ func DefaultProcess() ProcessParams { return workload.DefaultProcess() }
 
 // GenerateWorkloads synthesizes the eight Table 1 workloads at the given
 // scale (1.0 reproduces the paper's trace lengths; footprints never scale).
-func GenerateWorkloads(scale float64) []*Trace { return workload.GenerateAll(scale) }
+// A non-positive scale is an error.
+func GenerateWorkloads(scale float64) ([]*Trace, error) { return workload.GenerateAll(scale) }
 
 // WorkloadByName returns one Table 1 workload specification.
 func WorkloadByName(name string) (WorkloadSpec, error) { return workload.ByName(name) }

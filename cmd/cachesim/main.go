@@ -16,13 +16,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/cache"
 	"repro/internal/config"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/textplot"
@@ -121,6 +125,38 @@ func run() error {
 	fmt.Printf(", memory %d/%d/%d ns @ %s\n\n", cfg.Mem.ReadNs, cfg.Mem.WriteNs, cfg.Mem.RecoverNs, cfg.Mem.Transfer)
 
 	cfg.CollectLatencies = *showHist
+
+	// Ctrl-C cancels the sweep; traces that already finished are still
+	// reported, the rest are marked in the partial report below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One cell per trace: each runs its own simulator instance, so the
+	// traces run concurrently with panic isolation per trace.
+	type simOut struct {
+		res  system.Result
+		hist *stats.Hist
+	}
+	cells := make([]runner.Cell[simOut], len(traces))
+	for i, tr := range traces {
+		tr := tr
+		cells[i] = runner.Cell[simOut]{
+			Key: tr.Name,
+			Run: func(ctx context.Context) (simOut, error) {
+				sys, err := system.New(cfg)
+				if err != nil {
+					return simOut{}, err
+				}
+				res, err := sys.Run(tr)
+				if err != nil {
+					return simOut{}, err
+				}
+				return simOut{res: res, hist: sys.CoupletLatencies()}, nil
+			},
+		}
+	}
+	results := runner.Run(ctx, cells, runner.Options{})
+
 	tab := textplot.NewTable("", "trace", "refs", "cycles", "cyc/ref", "exec ms",
 		"load miss%", "ifetch miss%", "wr traffic", "buf stalls", "mem util%")
 	type histRow struct {
@@ -128,26 +164,24 @@ func run() error {
 		h    *stats.Hist
 	}
 	var hists []histRow
-	for _, tr := range traces {
-		sys, err := system.New(cfg)
-		if err != nil {
-			return err
+	var failed []*runner.CellError
+	for i, r := range results {
+		if !r.Done {
+			failed = append(failed, r.Err)
+			continue
 		}
-		res, err := sys.Run(tr)
-		if err != nil {
-			return err
-		}
+		res := r.Value.res
 		w := res.Warm
 		if *showTotal {
 			w = res.Total
 		}
-		tab.Row(tr.Name, w.Refs, w.Cycles, w.CyclesPerRef(),
+		tab.Row(traces[i].Name, w.Refs, w.Cycles, w.CyclesPerRef(),
 			float64(w.Cycles)*float64(cfg.CycleNs)/1e6,
 			100*w.LoadMissRatio(), 100*w.IfetchMissRatio(),
 			w.WriteTrafficRatioBlocks(), w.BufFullStallCycles,
 			100*res.Total.MemUtilization())
 		if *showHist {
-			hists = append(hists, histRow{tr.Name, sys.CoupletLatencies()})
+			hists = append(hists, histRow{traces[i].Name, r.Value.hist})
 		}
 	}
 	if err := tab.Render(os.Stdout); err != nil {
@@ -161,7 +195,18 @@ func run() error {
 			ht.Row(hr.name, hr.h.Mean(), hr.h.Percentile(0.5), hr.h.Percentile(0.9),
 				hr.h.Percentile(0.99), hr.h.Max)
 		}
-		return ht.Render(os.Stdout)
+		if err := ht.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if len(failed) > 0 {
+		s := runner.Summarize(results)
+		fmt.Fprintf(os.Stderr, "\npartial results: %d/%d traces done, %d failed or not run\n",
+			s.Done, s.Total, s.Failed+s.NotRun)
+		for _, ce := range failed {
+			fmt.Fprintf(os.Stderr, "  %v\n", ce)
+		}
+		return fmt.Errorf("%d trace(s) did not complete", len(failed))
 	}
 	return nil
 }
@@ -179,13 +224,17 @@ func loadTraces(wl, trPath string, scale float64) ([]*trace.Trace, error) {
 	case wl != "" && trPath != "":
 		return nil, fmt.Errorf("use either -workload or -trace, not both")
 	case wl == "all":
-		return workload.GenerateAll(scale), nil
+		return workload.GenerateAll(scale)
 	case wl != "":
 		spec, err := workload.ByName(wl)
 		if err != nil {
 			return nil, fmt.Errorf("%v (known: %s)", err, strings.Join(workload.Names(), ", "))
 		}
-		return []*trace.Trace{spec.Generate(scale)}, nil
+		t, err := spec.Generate(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []*trace.Trace{t}, nil
 	case trPath != "":
 		tr, err := trace.ReadFile(trPath)
 		if err != nil {

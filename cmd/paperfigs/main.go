@@ -11,33 +11,40 @@
 //	paperfigs -scale 1.0           # full paper-length traces (slow)
 //	paperfigs -only fig3-4,fig5-4  # a subset
 //	paperfigs -charts              # add ASCII charts to the tables
+//	paperfigs -checkpoint f.ndjson # resumable: Ctrl-C, rerun, continue
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/textplot"
 )
 
 type figure struct {
 	name  string
 	title string
-	run   func(*runner, io.Writer) error
+	run   func(*figRunner, io.Writer) error
 }
 
-// runner carries the suite and memoizes the expensive grids shared between
-// figures.
-type runner struct {
+// figRunner carries the context, the suite and the expensive grids shared
+// between figures.
+type figRunner struct {
+	ctx    context.Context
 	suite  *experiments.Suite
 	charts bool
 	csvDir string
@@ -47,7 +54,7 @@ type runner struct {
 }
 
 // writeCSV dumps one figure's raw data when -csvdir is set.
-func (r *runner) writeCSV(name string, header []string, rows [][]string) error {
+func (r *figRunner) writeCSV(name string, header []string, rows [][]string) error {
 	if r.csvDir == "" {
 		return nil
 	}
@@ -88,9 +95,9 @@ func gridCSV(sizes, cycles []int, vals [][]float64) (header []string, rows [][]s
 	return header, rows
 }
 
-func (r *runner) grid() (*analysis.PerfGrid, error) {
+func (r *figRunner) grid() (*analysis.PerfGrid, error) {
 	if r.dmGrid == nil {
-		g, err := r.suite.SpeedSizeGrid(nil, nil, 1)
+		g, err := r.suite.SpeedSizeGrid(r.ctx, nil, nil, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -99,9 +106,9 @@ func (r *runner) grid() (*analysis.PerfGrid, error) {
 	return r.dmGrid, nil
 }
 
-func (r *runner) figure42() (*experiments.Figure42, error) {
+func (r *figRunner) figure42() (*experiments.Figure42, error) {
 	if r.fig42 == nil {
-		f, err := r.suite.RunFigure42(nil, nil, nil)
+		f, err := r.suite.RunFigure42(r.ctx, nil, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -139,11 +146,14 @@ func main() {
 
 func run() error {
 	var (
-		scale  = flag.Float64("scale", experiments.DefaultScale, "workload scale (1.0 = paper trace lengths)")
-		only   = flag.String("only", "", "comma-separated figure names (default: all)")
-		charts = flag.Bool("charts", false, "render ASCII charts alongside tables")
-		csvDir = flag.String("csvdir", "", "also write each figure's raw data as CSV into this directory")
-		list   = flag.Bool("list", false, "list figure names and exit")
+		scale   = flag.Float64("scale", experiments.DefaultScale, "workload scale (1.0 = paper trace lengths)")
+		only    = flag.String("only", "", "comma-separated figure names (default: all)")
+		charts  = flag.Bool("charts", false, "render ASCII charts alongside tables")
+		csvDir  = flag.String("csvdir", "", "also write each figure's raw data as CSV into this directory")
+		list    = flag.Bool("list", false, "list figure names and exit")
+		ckpt    = flag.String("checkpoint", "", "NDJSON checkpoint log: completed sweep cells are recorded here and replayed on rerun")
+		jobs    = flag.Int("jobs", 0, "sweep worker count (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "whole-sweep deadline per figure (0 = none)")
 	)
 	flag.Parse()
 
@@ -171,9 +181,37 @@ func run() error {
 			return err
 		}
 	}
+
+	// Ctrl-C (or SIGTERM) cancels the sweep context: in-flight cells
+	// finish, the checkpoint is flushed, and the partial-grid report
+	// below says how to resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	fmt.Printf("generating the eight Table 1 workloads at scale %g...\n", *scale)
-	r := &runner{suite: experiments.NewSuite(*scale), charts: *charts, csvDir: *csvDir}
+	suite, err := experiments.NewSuite(*scale)
+	if err != nil {
+		return err
+	}
+	exec := experiments.ExecOptions{Workers: *jobs, SweepTimeout: *timeout}
+	if *ckpt != "" {
+		cp, err := runner.OpenCheckpoint(*ckpt)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := cp.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs: checkpoint:", cerr)
+			}
+		}()
+		if cp.Len() > 0 {
+			fmt.Printf("checkpoint %s: %d completed cells will be replayed\n", *ckpt, cp.Len())
+		}
+		exec.Checkpoint = cp
+	}
+	suite.SetExec(exec)
+	r := &figRunner{ctx: ctx, suite: suite, charts: *charts, csvDir: *csvDir}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 
 	for _, f := range figures {
@@ -183,12 +221,39 @@ func run() error {
 		t0 := time.Now()
 		fmt.Printf("\n================ %s ================\n", f.title)
 		if err := f.run(r, os.Stdout); err != nil {
+			var se *runner.SweepError
+			if errors.As(err, &se) {
+				reportPartial(os.Stderr, f.name, se, *ckpt)
+			}
 			return fmt.Errorf("%s: %w", f.name, err)
 		}
 		fmt.Printf("[%s in %v]\n", f.name, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("\ntotal %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// reportPartial prints what an interrupted or partly failed sweep did and
+// did not complete, and how to pick the run back up.
+func reportPartial(w io.Writer, name string, se *runner.SweepError, ckpt string) {
+	s := se.Summary
+	fmt.Fprintf(w, "\npartial grid for %s: %d/%d cells done (%d from checkpoint), %d failed, %d not run\n",
+		name, s.Done, s.Total, s.FromCheckpoint, s.Failed, s.NotRun)
+	const maxShown = 5
+	for i, ce := range se.Errs {
+		if i == maxShown {
+			fmt.Fprintf(w, "  ... and %d more\n", len(se.Errs)-maxShown)
+			break
+		}
+		fmt.Fprintf(w, "  cell %s: %v\n", ce.Key, ce.Err)
+	}
+	if se.Canceled() {
+		if ckpt != "" {
+			fmt.Fprintf(w, "interrupted; rerun the same command to resume from %s\n", ckpt)
+		} else {
+			fmt.Fprintf(w, "interrupted; rerun with -checkpoint FILE to make long sweeps resumable\n")
+		}
+	}
 }
 
 func knownFigure(name string) bool {
@@ -200,7 +265,7 @@ func knownFigure(name string) bool {
 	return false
 }
 
-func runTable1(r *runner, w io.Writer) error {
+func runTable1(r *figRunner, w io.Writer) error {
 	tab := textplot.NewTable("", "name", "procs", "refs(K)", "unique(K)", "ifetch%", "load%", "store%")
 	for _, s := range r.suite.Table1() {
 		tab.Row(s.Name, s.Processes, float64(s.Refs)/1000, float64(s.UniqueAddr)/1000,
@@ -211,7 +276,7 @@ func runTable1(r *runner, w io.Writer) error {
 	return tab.Render(w)
 }
 
-func runTable2(r *runner, w io.Writer) error {
+func runTable2(r *figRunner, w io.Writer) error {
 	tab := textplot.NewTable("(4-word blocks, 180/100/120 ns memory)",
 		"cycle ns", "read cycles", "write cycles", "recovery cycles")
 	for _, row := range experiments.Table2() {
@@ -220,8 +285,8 @@ func runTable2(r *runner, w io.Writer) error {
 	return tab.Render(w)
 }
 
-func runFig31(r *runner, w io.Writer) error {
-	f, err := r.suite.RunFigure31(nil)
+func runFig31(r *figRunner, w io.Writer) error {
+	f, err := r.suite.RunFigure31(r.ctx, nil)
 	if err != nil {
 		return err
 	}
@@ -276,7 +341,7 @@ func cycleIdx(cycles []int, want int) int {
 	return -1
 }
 
-func runFig32(r *runner, w io.Writer) error {
+func runFig32(r *figRunner, w io.Writer) error {
 	g, err := r.grid()
 	if err != nil {
 		return err
@@ -285,7 +350,7 @@ func runFig32(r *runner, w io.Writer) error {
 	return renderGrid(w, "(total cycle count, normalized to the minimum)", f.SizesKB, f.CycleNs, f.Normalized)
 }
 
-func runFig33(r *runner, w io.Writer) error {
+func runFig33(r *figRunner, w io.Writer) error {
 	g, err := r.grid()
 	if err != nil {
 		return err
@@ -318,7 +383,7 @@ func renderGrid(w io.Writer, title string, sizes, cycles []int, vals [][]float64
 	return tab.Render(w)
 }
 
-func runFig34(r *runner, w io.Writer) error {
+func runFig34(r *figRunner, w io.Writer) error {
 	g, err := r.grid()
 	if err != nil {
 		return err
@@ -350,8 +415,8 @@ func runFig34(r *runner, w io.Writer) error {
 	return nil
 }
 
-func runFig41(r *runner, w io.Writer) error {
-	f, err := r.suite.RunFigure41(nil, nil)
+func runFig41(r *figRunner, w io.Writer) error {
+	f, err := r.suite.RunFigure41(r.ctx, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -372,7 +437,7 @@ func runFig41(r *runner, w io.Writer) error {
 	return tab.Render(w)
 }
 
-func runFig42(r *runner, w io.Writer) error {
+func runFig42(r *figRunner, w io.Writer) error {
 	f, err := r.figure42()
 	if err != nil {
 		return err
@@ -399,7 +464,7 @@ func runFig42(r *runner, w io.Writer) error {
 	return tab.Render(w)
 }
 
-func runFig43to45(r *runner, w io.Writer) error {
+func runFig43to45(r *figRunner, w io.Writer) error {
 	f, err := r.figure42()
 	if err != nil {
 		return err
@@ -431,7 +496,7 @@ func runFig43to45(r *runner, w io.Writer) error {
 	return nil
 }
 
-func runTable3(r *runner, w io.Writer) error {
+func runTable3(r *figRunner, w io.Writer) error {
 	g, err := r.grid()
 	if err != nil {
 		return err
@@ -455,8 +520,8 @@ func runTable3(r *runner, w io.Writer) error {
 	return tab.Render(w)
 }
 
-func runFig51(r *runner, w io.Writer) error {
-	f, err := r.suite.RunFigure51(0, nil, 0)
+func runFig51(r *figRunner, w io.Writer) error {
+	f, err := r.suite.RunFigure51(r.ctx, 0, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -473,8 +538,8 @@ func runFig51(r *runner, w io.Writer) error {
 	return nil
 }
 
-func runFig52(r *runner, w io.Writer) error {
-	f, err := r.suite.RunFigure52(0, nil, nil, nil, 0)
+func runFig52(r *figRunner, w io.Writer) error {
+	f, err := r.suite.RunFigure52(r.ctx, 0, nil, nil, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -501,8 +566,8 @@ func runFig52(r *runner, w io.Writer) error {
 	return tab.Render(w)
 }
 
-func runFig53(r *runner, w io.Writer) error {
-	f52, err := r.suite.RunFigure52(0, nil, nil, nil, 0)
+func runFig53(r *figRunner, w io.Writer) error {
+	f52, err := r.suite.RunFigure52(r.ctx, 0, nil, nil, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -518,8 +583,8 @@ func runFig53(r *runner, w io.Writer) error {
 	return tab.Render(w)
 }
 
-func runFig54(r *runner, w io.Writer) error {
-	f52, err := r.suite.RunFigure52(0, nil, nil, nil, 0)
+func runFig54(r *figRunner, w io.Writer) error {
+	f52, err := r.suite.RunFigure52(r.ctx, 0, nil, nil, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -568,8 +633,8 @@ func joinFloats(xs []float64) string {
 	return strings.Join(parts, " ")
 }
 
-func runFetchSize(r *runner, w io.Writer) error {
-	f, err := r.suite.RunFetchSize(0, 32, nil, 0)
+func runFetchSize(r *figRunner, w io.Writer) error {
+	f, err := r.suite.RunFetchSize(r.ctx, 0, 32, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -586,8 +651,8 @@ func runFetchSize(r *runner, w io.Writer) error {
 	return nil
 }
 
-func runSplitUnified(r *runner, w io.Writer) error {
-	f, err := r.suite.RunSplitUnified(nil, 0)
+func runSplitUnified(r *figRunner, w io.Writer) error {
+	f, err := r.suite.RunSplitUnified(r.ctx, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -599,8 +664,8 @@ func runSplitUnified(r *runner, w io.Writer) error {
 	return tab.Render(w)
 }
 
-func runMultilevel(r *runner, w io.Writer) error {
-	m, err := r.suite.RunMultilevel(nil, 0, 0)
+func runMultilevel(r *figRunner, w io.Writer) error {
+	m, err := r.suite.RunMultilevel(r.ctx, nil, 0, 0)
 	if err != nil {
 		return err
 	}

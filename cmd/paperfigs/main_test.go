@@ -66,14 +66,14 @@ func TestJoinFloats(t *testing.T) {
 }
 
 func TestWriteCSVDisabled(t *testing.T) {
-	r := &runner{} // no csvDir: writeCSV is a no-op
+	r := &figRunner{} // no csvDir: writeCSV is a no-op
 	if err := r.writeCSV("x", []string{"a"}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestWriteCSVToDir(t *testing.T) {
-	r := &runner{csvDir: t.TempDir()}
+	r := &figRunner{csvDir: t.TempDir()}
 	if err := r.writeCSV("x", []string{"a", "b"}, [][]string{{"1", "2"}}); err != nil {
 		t.Fatal(err)
 	}

@@ -58,7 +58,10 @@ func run() error {
 	}
 
 	for _, spec := range specs {
-		tr := spec.Generate(*scale)
+		tr, err := spec.Generate(*scale)
+		if err != nil {
+			return err
+		}
 		path := *out
 		if path == "" {
 			path = filepath.Join(*dir, spec.Name+ext)

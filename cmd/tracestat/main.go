@@ -33,7 +33,10 @@ func run() error {
 	var notes []string
 	if flag.NArg() == 0 {
 		for _, spec := range workload.Catalog {
-			tr := spec.Generate(*scale)
+			tr, err := spec.Generate(*scale)
+			if err != nil {
+				return err
+			}
 			summaries = append(summaries, trace.Summarize(tr))
 			notes = append(notes, fmt.Sprintf("%s: %s", spec.Family, spec.Programs))
 		}

@@ -18,7 +18,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		traces = append(traces, spec.Generate(0.1))
+		traces = append(traces, spec.MustGenerate(0.1))
 	}
 	explorer, err := cachetime.NewExplorer(traces)
 	if err != nil {
@@ -59,7 +59,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			laCycles := p.Mem.Quantize(40).LatencyCycles
+			laCycles := p.Mem.MustQuantize(40).LatencyCycles
 			product := float64(laCycles) * rate.WordsPerCycle()
 			fmt.Printf("  %10d %12s %10d %12.1f %7.1f (binary %d)\n",
 				la, rate.String(), laCycles, product, fitted, binary)

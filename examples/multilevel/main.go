@@ -17,7 +17,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr := spec.Generate(0.1)
+	tr := spec.MustGenerate(0.1)
 
 	l2 := &cachetime.L2Config{
 		Cache: cachetime.CacheConfig{

@@ -17,7 +17,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr := spec.Generate(0.1)
+	tr := spec.MustGenerate(0.1)
 	sum := cachetime.SummarizeTrace(tr)
 	fmt.Printf("workload %s: %d refs (%d ifetch / %d load / %d store), %d unique words\n",
 		sum.Name, sum.Refs, sum.Ifetches, sum.Loads, sum.Stores, sum.UniqueAddr)
@@ -42,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	explorer, err := cachetime.NewExplorer([]*cachetime.Trace{tr, rd.Generate(0.1)})
+	explorer, err := cachetime.NewExplorer([]*cachetime.Trace{tr, rd.MustGenerate(0.1)})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		traces = append(traces, spec.Generate(0.1))
+		traces = append(traces, spec.MustGenerate(0.1))
 	}
 	explorer, err := cachetime.NewExplorer(traces)
 	if err != nil {

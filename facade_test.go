@@ -13,7 +13,7 @@ func TestFacadeSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := spec.Generate(0.05)
+	tr := spec.MustGenerate(0.05)
 	if got := cachetime.SummarizeTrace(tr); got.Refs == 0 {
 		t.Fatal("empty summary")
 	}
@@ -64,7 +64,11 @@ func TestFacadeMemoryHelpers(t *testing.T) {
 }
 
 func TestFacadeEngine(t *testing.T) {
-	tr := cachetime.GenerateWorkloads(0.02)[0]
+	traces, err := cachetime.GenerateWorkloads(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traces[0]
 	sys := cachetime.DefaultSystem()
 	org := cachetime.Org{ICache: sys.ICache, DCache: sys.DCache}
 	prof, err := cachetime.BuildProfile(org, tr)

@@ -181,7 +181,11 @@ func (e *Explorer) Evaluate(point DesignPoint) (Evaluation, error) {
 		}
 		miss[i] = m
 	}
-	out := Evaluation{Point: p, MissPenaltyCycles: p.Mem.Quantize(p.CycleNs).ReadCycles(p.BlockWords)}
+	qtm, err := p.Mem.Quantize(p.CycleNs)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	out := Evaluation{Point: p, MissPenaltyCycles: qtm.ReadCycles(p.BlockWords)}
 	if out.ExecNs, err = stats.GeoMean(execs); err != nil {
 		return Evaluation{}, err
 	}

@@ -24,7 +24,7 @@ func testExplorer(t *testing.T) *Explorer {
 		if err != nil {
 			t.Fatal(err)
 		}
-		traces = append(traces, spec.Generate(0.1))
+		traces = append(traces, spec.MustGenerate(0.1))
 	}
 	e, err := NewExplorer(traces)
 	if err != nil {

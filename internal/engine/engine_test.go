@@ -31,7 +31,7 @@ func crossTraces(tb testing.TB) []*trace.Trace {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	traces = append(traces, mu3.Generate(0.02), rd2n4.Generate(0.02))
+	traces = append(traces, mu3.MustGenerate(0.02), rd2n4.MustGenerate(0.02))
 	// Give the synthetic traces a warm boundary too, so warm-window
 	// accounting is exercised everywhere.
 	for _, t := range traces {
@@ -193,7 +193,7 @@ func TestEngineMatchesSystemRandomized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2 := mu3.Generate(0.01)
+	tr2 := mu3.MustGenerate(0.01)
 
 	check := func(sizeSel, blockSel, assocSel, fetchSel, polSel, cySel, depthSel uint8) bool {
 		sizes := []int{256, 1024, 4096}

@@ -82,8 +82,14 @@ func (p *Profile) Replay(t Timing) (system.Result, error) {
 	if err := t.Validate(); err != nil {
 		return system.Result{}, err
 	}
-	r := &replayer{unit: mem.NewUnit(t.Mem.Quantize(t.CycleNs))}
-	r.buf = writebuf.New(t.WriteBufDepth, &memSink{unit: r.unit})
+	tm, err := t.Mem.Quantize(t.CycleNs)
+	if err != nil {
+		return system.Result{}, err
+	}
+	r := &replayer{unit: mem.NewUnit(tm)}
+	if r.buf, err = writebuf.New(t.WriteBufDepth, &memSink{unit: r.unit}); err != nil {
+		return system.Result{}, err
+	}
 
 	ifw := p.Org.ICache.EffectiveFetchWords()
 	if p.Org.Unified {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/mem"
@@ -17,7 +18,7 @@ func testSuite(t *testing.T) *Suite {
 		t.Skip("experiment integration tests skipped in -short mode")
 	}
 	if testSuiteShared == nil {
-		testSuiteShared = NewSuite(0.08)
+		testSuiteShared = MustNewSuite(0.08)
 	}
 	return testSuiteShared
 }
@@ -59,7 +60,7 @@ func TestTable1Summaries(t *testing.T) {
 
 func TestFigure31Shape(t *testing.T) {
 	s := testSuite(t)
-	f, err := s.RunFigure31(testSizesKB)
+	f, err := s.RunFigure31(context.Background(), testSizesKB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestFigure31Shape(t *testing.T) {
 
 func TestFigure32CycleCountIllusion(t *testing.T) {
 	s := testSuite(t)
-	g, err := s.SpeedSizeGrid(testSizesKB, testCycles, 1)
+	g, err := s.SpeedSizeGrid(context.Background(), testSizesKB, testCycles, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func testGrid33And34(t *testing.T, g interface {
 	BestExec() float64
 }) {
 	s := testSuiteShared
-	grid, err := s.SpeedSizeGrid(testSizesKB, testCycles, 1)
+	grid, err := s.SpeedSizeGrid(context.Background(), testSizesKB, testCycles, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func testGrid33And34(t *testing.T, g interface {
 
 func TestFigure41AssociativitySpread(t *testing.T) {
 	s := testSuite(t)
-	f, err := s.RunFigure41(testSizesKB, []int{1, 2, 4})
+	f, err := s.RunFigure41(context.Background(), testSizesKB, []int{1, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFigure41AssociativitySpread(t *testing.T) {
 
 func TestBreakEvenSmall(t *testing.T) {
 	s := testSuite(t)
-	f, err := s.RunFigure42(testSizesKB, testCycles, []int{1, 2})
+	f, err := s.RunFigure42(context.Background(), testSizesKB, testCycles, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestBreakEvenSmall(t *testing.T) {
 
 func TestFigure51UshapeAndOptima(t *testing.T) {
 	s := testSuite(t)
-	f, err := s.RunFigure51(0, nil, 0)
+	f, err := s.RunFigure51(context.Background(), 0, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestFigure51UshapeAndOptima(t *testing.T) {
 
 func TestFigure52to54ProductLaw(t *testing.T) {
 	s := testSuite(t)
-	f52, err := s.RunFigure52(0, nil, []int{100, 260, 420}, []mem.Rate{mem.Rate4PerCycle, mem.Rate1PerCycle, mem.Rate1Per4}, 0)
+	f52, err := s.RunFigure52(context.Background(), 0, nil, []int{100, 260, 420}, []mem.Rate{mem.Rate4PerCycle, mem.Rate1PerCycle, mem.Rate1Per4}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestFigure52to54ProductLaw(t *testing.T) {
 
 func TestTable3Structure(t *testing.T) {
 	s := testSuite(t)
-	grid, err := s.SpeedSizeGrid([]int{4, 8, 16, 32, 64, 128, 256, 512}, []int{24, 28, 32, 36, 48, 60}, 1)
+	grid, err := s.SpeedSizeGrid(context.Background(), []int{4, 8, 16, 32, 64, 128, 256, 512}, []int{24, 28, 32, 36, 48, 60}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestTable3Structure(t *testing.T) {
 
 func TestMultilevelHelps(t *testing.T) {
 	s := testSuite(t)
-	m, err := s.RunMultilevel([]int{8, 32}, 512, 40)
+	m, err := s.RunMultilevel(context.Background(), []int{8, 32}, 512, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestMultilevelHelps(t *testing.T) {
 
 func TestFetchSizeStudy(t *testing.T) {
 	s := testSuite(t)
-	f, err := s.RunFetchSize(0, 32, nil, 0)
+	f, err := s.RunFetchSize(context.Background(), 0, 32, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,14 +363,14 @@ func TestFetchSizeStudy(t *testing.T) {
 	if f.BestFetchW == 32 {
 		t.Errorf("whole-block fetch won the 32W-block sweep: %v", f.RelExecTime)
 	}
-	if _, err := s.RunFetchSize(0, 32, []int{64}, 0); err == nil {
+	if _, err := s.RunFetchSize(context.Background(), 0, 32, []int{64}, 0); err == nil {
 		t.Error("fetch > block accepted")
 	}
 }
 
 func TestSplitUnifiedStudy(t *testing.T) {
 	s := testSuite(t)
-	f, err := s.RunSplitUnified([]int{16, 64}, 0)
+	f, err := s.RunSplitUnified(context.Background(), []int{16, 64}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestSuiteWithCustomTraces(t *testing.T) {
 	if len(s2.Traces) != 2 {
 		t.Fatal("custom traces not kept")
 	}
-	if _, err := s2.RunFigure31([]int{16, 32}); err != nil {
+	if _, err := s2.RunFigure31(context.Background(), []int{16, 32}); err != nil {
 		t.Fatal(err)
 	}
 }

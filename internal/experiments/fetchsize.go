@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -29,7 +31,7 @@ type FetchSizeStudy struct {
 }
 
 // RunFetchSize sweeps the fetch size at a fixed block size.
-func (s *Suite) RunFetchSize(totalKB, blockWords int, fetches []int, cycleNs int) (*FetchSizeStudy, error) {
+func (s *Suite) RunFetchSize(ctx context.Context, totalKB, blockWords int, fetches []int, cycleNs int) (*FetchSizeStudy, error) {
 	if totalKB == 0 {
 		totalKB = 128
 	}
@@ -50,30 +52,36 @@ func (s *Suite) RunFetchSize(totalKB, blockWords int, fetches []int, cycleNs int
 		}
 	}
 	out := &FetchSizeStudy{TotalKB: totalKB, BlockWords: blockWords, CycleNs: cycleNs, FetchWords: fetches}
-	execs := make([]float64, len(fetches))
-	for k, fw := range fetches {
+	var cells []runner.Cell[cellOut]
+	for _, fw := range fetches {
 		org := orgFor(totalKB, blockWords, 1)
 		org.ICache.FetchWords = fw
 		org.DCache.FetchWords = fw
-		n := len(s.Traces)
+		cells = s.counterCellsFor(cells, org)
+		cells = s.replayCellsFor(cells, org, engine.Timing{
+			CycleNs:       cycleNs,
+			Mem:           baseTiming(cycleNs).Mem,
+			WriteBufDepth: 4,
+		})
+	}
+	outs, err := s.runCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.Traces)
+	execs := make([]float64, len(fetches))
+	for k := range fetches {
+		base := k * 2 * n // counters then replays per fetch size
 		miss := make([]float64, n)
 		traffic := make([]float64, n)
-		for i := range s.Traces {
-			p, err := s.profile(i, org)
-			if err != nil {
-				return nil, err
-			}
-			w := p.WarmCounters()
+		for i := 0; i < n; i++ {
+			w := outs[base+i].Warm
 			miss[i] = w.ReadMissRatio()
 			traffic[i] = w.ReadTrafficRatio()
 		}
 		out.ReadMissRatio = append(out.ReadMissRatio, ratioGeoMean(miss))
 		out.ReadTraffic = append(out.ReadTraffic, ratioGeoMean(traffic))
-		exec, _, err := s.replayAll(org, engine.Timing{
-			CycleNs:       cycleNs,
-			Mem:           baseTiming(cycleNs).Mem,
-			WriteBufDepth: 4,
-		})
+		exec, _, err := geoExecCPR(outs[base+n : base+2*n])
 		if err != nil {
 			return nil, err
 		}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/analysis"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/system"
 )
@@ -36,22 +39,27 @@ func ratioGeoMean(xs []float64) float64 {
 }
 
 // RunFigure31 sweeps the total cache size with the base organization
-// (4-word blocks, direct mapped).
-func (s *Suite) RunFigure31(sizesKB []int) (*Figure31, error) {
+// (4-word blocks, direct mapped). The whole (size × trace) grid runs as
+// one sweep through the runner, so every cell is independently
+// checkpointed and the sweep survives interruption at any point.
+func (s *Suite) RunFigure31(ctx context.Context, sizesKB []int) (*Figure31, error) {
 	if sizesKB == nil {
 		sizesKB = TotalSizesKB
 	}
+	var cells []runner.Cell[cellOut]
+	for _, kb := range sizesKB {
+		cells = s.counterCellsFor(cells, orgFor(kb, 4, 1))
+	}
+	outs, err := s.runCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
 	out := &Figure31{TotalKB: sizesKB}
 	n := len(s.Traces)
-	for _, kb := range sizesKB {
-		org := orgFor(kb, 4, 1)
+	for k := range sizesKB {
 		counters := make([]system.Counters, n)
-		for i := range s.Traces {
-			p, err := s.profile(i, org)
-			if err != nil {
-				return nil, err
-			}
-			counters[i] = p.WarmCounters()
+		for i := 0; i < n; i++ {
+			counters[i] = outs[k*n+i].Warm
 		}
 		collect := func(get func(system.Counters) float64) float64 {
 			vals := make([]float64, n)
@@ -72,21 +80,35 @@ func (s *Suite) RunFigure31(sizesKB []int) (*Figure31, error) {
 
 // SpeedSizeGrid runs the (size × cycle time) sweep of Figures 3-2/3-3 for
 // one set size, returning a PerfGrid of execution times and cycles per
-// reference.
-func (s *Suite) SpeedSizeGrid(sizesKB, cycleNs []int, assoc int) (*analysis.PerfGrid, error) {
+// reference. The full (size × cycle × trace) cell list runs as a single
+// sweep so the worker pool sees the whole grid at once; results come back
+// in input order and are aggregated per (size, cycle) group.
+func (s *Suite) SpeedSizeGrid(ctx context.Context, sizesKB, cycleNs []int, assoc int) (*analysis.PerfGrid, error) {
 	if sizesKB == nil {
 		sizesKB = TotalSizesKB
 	}
 	if cycleNs == nil {
 		cycleNs = CycleTimesNs
 	}
-	g := &analysis.PerfGrid{SizesKB: sizesKB, CycleNs: cycleNs}
+	var cells []runner.Cell[cellOut]
 	for _, kb := range sizesKB {
 		org := orgFor(kb, 4, assoc)
+		for _, cy := range cycleNs {
+			cells = s.replayCellsFor(cells, org, baseTiming(cy))
+		}
+	}
+	outs, err := s.runCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	g := &analysis.PerfGrid{SizesKB: sizesKB, CycleNs: cycleNs}
+	n := len(s.Traces)
+	for i := range sizesKB {
 		execRow := make([]float64, len(cycleNs))
 		cprRow := make([]float64, len(cycleNs))
-		for j, cy := range cycleNs {
-			exec, cpr, err := s.replayAll(org, baseTiming(cy))
+		for j := range cycleNs {
+			base := (i*len(cycleNs) + j) * n
+			exec, cpr, err := geoExecCPR(outs[base : base+n])
 			if err != nil {
 				return nil, err
 			}

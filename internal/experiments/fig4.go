@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/runner"
 )
 
 // Figure41 is the read miss ratio versus total cache size for each set
@@ -18,26 +20,34 @@ type Figure41 struct {
 	MissRatio [][]float64
 }
 
-// RunFigure41 sweeps total size × set size.
-func (s *Suite) RunFigure41(sizesKB, setSizes []int) (*Figure41, error) {
+// RunFigure41 sweeps total size × set size as one runner sweep over the
+// full (set size × total size × trace) grid.
+func (s *Suite) RunFigure41(ctx context.Context, sizesKB, setSizes []int) (*Figure41, error) {
 	if sizesKB == nil {
 		sizesKB = TotalSizesKB
 	}
 	if setSizes == nil {
 		setSizes = SetSizes
 	}
-	out := &Figure41{TotalKB: sizesKB, SetSizes: setSizes}
+	var cells []runner.Cell[cellOut]
 	for _, assoc := range setSizes {
+		for _, kb := range sizesKB {
+			cells = s.counterCellsFor(cells, orgFor(kb, 4, assoc))
+		}
+	}
+	outs, err := s.runCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure41{TotalKB: sizesKB, SetSizes: setSizes}
+	n := len(s.Traces)
+	for a := range setSizes {
 		row := make([]float64, len(sizesKB))
-		for k, kb := range sizesKB {
-			org := orgFor(kb, 4, assoc)
-			vals := make([]float64, len(s.Traces))
-			for i := range s.Traces {
-				p, err := s.profile(i, org)
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = p.WarmCounters().ReadMissRatio()
+		for k := range sizesKB {
+			base := (a*len(sizesKB) + k) * n
+			vals := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vals[i] = outs[base+i].Warm.ReadMissRatio()
 			}
 			row[k] = ratioGeoMean(vals)
 		}
@@ -54,13 +64,13 @@ type Figure42 struct {
 }
 
 // RunFigure42 sweeps (size × cycle time) for each set size.
-func (s *Suite) RunFigure42(sizesKB, cycleNs, setSizes []int) (*Figure42, error) {
+func (s *Suite) RunFigure42(ctx context.Context, sizesKB, cycleNs, setSizes []int) (*Figure42, error) {
 	if setSizes == nil {
 		setSizes = SetSizes
 	}
 	out := &Figure42{SetSizes: setSizes}
 	for _, assoc := range setSizes {
-		g, err := s.SpeedSizeGrid(sizesKB, cycleNs, assoc)
+		g, err := s.SpeedSizeGrid(ctx, sizesKB, cycleNs, assoc)
 		if err != nil {
 			return nil, err
 		}

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/runner"
 )
 
 // Figure51 is the block-size study at the default organization (separate
@@ -29,8 +32,9 @@ type Figure51 struct {
 // memory".
 const fig51LatencyNs = 260
 
-// RunFigure51 sweeps the block size at a fixed total size.
-func (s *Suite) RunFigure51(totalKB int, blockWords []int, cycleNs int) (*Figure51, error) {
+// RunFigure51 sweeps the block size at a fixed total size. Counter and
+// replay cells for every block size go through the runner as one sweep.
+func (s *Suite) RunFigure51(ctx context.Context, totalKB int, blockWords []int, cycleNs int) (*Figure51, error) {
 	if totalKB == 0 {
 		totalKB = 128 // two 64 KB caches
 	}
@@ -46,19 +50,25 @@ func (s *Suite) RunFigure51(totalKB int, blockWords []int, cycleNs int) (*Figure
 		Mem:           mem.UniformLatency(fig51LatencyNs, mem.Rate1PerCycle),
 		WriteBufDepth: 4,
 	}
-	execs := make([]float64, len(blockWords))
-	for k, bs := range blockWords {
+	var cells []runner.Cell[cellOut]
+	for _, bs := range blockWords {
 		org := orgFor(totalKB, bs, 1)
-		n := len(s.Traces)
+		cells = s.counterCellsFor(cells, org)
+		cells = s.replayCellsFor(cells, org, tm)
+	}
+	outs, err := s.runCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.Traces)
+	execs := make([]float64, len(blockWords))
+	for k := range blockWords {
+		base := k * 2 * n // counters then replays per block size
 		loads := make([]float64, n)
 		ifetches := make([]float64, n)
 		reads := make([]float64, n)
-		for i := range s.Traces {
-			p, err := s.profile(i, org)
-			if err != nil {
-				return nil, err
-			}
-			w := p.WarmCounters()
+		for i := 0; i < n; i++ {
+			w := outs[base+i].Warm
 			loads[i] = w.LoadMissRatio()
 			ifetches[i] = w.IfetchMissRatio()
 			reads[i] = w.ReadMissRatio()
@@ -66,7 +76,7 @@ func (s *Suite) RunFigure51(totalKB int, blockWords []int, cycleNs int) (*Figure
 		out.LoadMissRatio = append(out.LoadMissRatio, ratioGeoMean(loads))
 		out.IfetchMissRatio = append(out.IfetchMissRatio, ratioGeoMean(ifetches))
 		out.ReadMissRatio = append(out.ReadMissRatio, ratioGeoMean(reads))
-		exec, _, err := s.replayAll(org, tm)
+		exec, _, err := geoExecCPR(outs[base+n : base+2*n])
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +130,7 @@ type Figure52 struct {
 // RunFigure52 sweeps block size × memory latency × transfer rate. The
 // latency is represented by the read and write operation times and the
 // recovery time, all three made equal, as in the paper.
-func (s *Suite) RunFigure52(totalKB int, blockWords, latenciesNs []int, rates []mem.Rate, cycleNs int) (*Figure52, error) {
+func (s *Suite) RunFigure52(ctx context.Context, totalKB int, blockWords, latenciesNs []int, rates []mem.Rate, cycleNs int) (*Figure52, error) {
 	if totalKB == 0 {
 		totalKB = 128
 	}
@@ -137,31 +147,46 @@ func (s *Suite) RunFigure52(totalKB int, blockWords, latenciesNs []int, rates []
 		cycleNs = 40
 	}
 	out := &Figure52{CycleNs: cycleNs, TotalKB: totalKB, BlockWords: blockWords}
+	var cells []runner.Cell[cellOut]
 	for _, la := range latenciesNs {
 		for _, rate := range rates {
 			cfg := mem.UniformLatency(la, rate)
+			qtm, err := cfg.Quantize(cycleNs)
+			if err != nil {
+				return nil, err
+			}
 			pt := MemPoint{
 				LatencyNs:     la,
 				Rate:          rate,
-				LatencyCycles: cfg.Quantize(cycleNs).LatencyCycles,
+				LatencyCycles: qtm.LatencyCycles,
 			}
 			pt.Product = analysis.MemorySpeedProduct(float64(pt.LatencyCycles), rate.WordsPerCycle())
-			row := make([]float64, len(blockWords))
-			for b, bs := range blockWords {
-				org := orgFor(totalKB, bs, 1)
-				exec, _, err := s.replayAll(org, engine.Timing{
+			out.Points = append(out.Points, pt)
+			for _, bs := range blockWords {
+				cells = s.replayCellsFor(cells, orgFor(totalKB, bs, 1), engine.Timing{
 					CycleNs:       cycleNs,
 					Mem:           cfg,
 					WriteBufDepth: 4,
 				})
-				if err != nil {
-					return nil, err
-				}
-				row[b] = exec
 			}
-			out.Points = append(out.Points, pt)
-			out.ExecNs = append(out.ExecNs, row)
 		}
+	}
+	outs, err := s.runCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.Traces)
+	for p := range out.Points {
+		row := make([]float64, len(blockWords))
+		for b := range blockWords {
+			base := (p*len(blockWords) + b) * n
+			exec, _, err := geoExecCPR(outs[base : base+n])
+			if err != nil {
+				return nil, err
+			}
+			row[b] = exec
+		}
+		out.ExecNs = append(out.ExecNs, row)
 	}
 	return out, nil
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/runner"
 	"repro/internal/system"
 )
 
@@ -39,7 +42,7 @@ type Multilevel struct {
 
 // RunMultilevel sweeps L1 total sizes with and without a 512 KB 4-word...
 // block second-level cache. The L2 uses the paper's base memory behind it.
-func (s *Suite) RunMultilevel(l1SizesKB []int, l2KB, cycleNs int) (*Multilevel, error) {
+func (s *Suite) RunMultilevel(ctx context.Context, l1SizesKB []int, l2KB, cycleNs int) (*Multilevel, error) {
 	if l1SizesKB == nil {
 		l1SizesKB = []int{4, 16, 64}
 	}
@@ -50,9 +53,17 @@ func (s *Suite) RunMultilevel(l1SizesKB []int, l2KB, cycleNs int) (*Multilevel, 
 		cycleNs = 40
 	}
 	memCfg := mem.DefaultConfig()
-	timing := memCfg.Quantize(cycleNs)
+	timing, err := memCfg.Quantize(cycleNs)
+	if err != nil {
+		return nil, err
+	}
 	out := &Multilevel{CycleNs: cycleNs, L2KB: l2KB}
+	const l2Access = 3
 
+	// One sweep over the whole (L1 size × {single, multi} × trace) grid:
+	// every cell is a full single-phase simulation through the runner.
+	var cells []runner.Cell[cellOut]
+	n := len(s.Traces)
 	for _, kb := range l1SizesKB {
 		perCache := kb * 1024 / 4 / 2
 		l1 := l1Config(perCache, 4, 1)
@@ -63,7 +74,6 @@ func (s *Suite) RunMultilevel(l1SizesKB []int, l2KB, cycleNs int) (*Multilevel, 
 			WriteBufDepth: 4,
 			Mem:           memCfg,
 		}
-		const l2Access = 3
 		multi := single
 		multi.L2 = &system.L2Config{
 			Cache: cache.Config{
@@ -78,24 +88,33 @@ func (s *Suite) RunMultilevel(l1SizesKB []int, l2KB, cycleNs int) (*Multilevel, 
 			AccessCycles:  l2Access,
 			WriteBufDepth: 4,
 		}
+		for i := 0; i < n; i++ {
+			cells = append(cells, s.systemCell(i, single))
+		}
+		for i := 0; i < n; i++ {
+			cells = append(cells, s.systemCell(i, multi))
+		}
+	}
+	outs, err := s.runCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
 
-		execS, cprS, err := s.SimulateSystem(single)
+	for k, kb := range l1SizesKB {
+		base := k * 2 * n
+		execS, cprS, err := geoExecCPR(outs[base : base+n])
 		if err != nil {
 			return nil, err
 		}
-		n := len(s.Traces)
+		mouts := outs[base+n : base+2*n]
 		execs := make([]float64, n)
 		cprs := make([]float64, n)
 		hits := make([]float64, n)
-		for i, t := range s.Traces {
-			res, err := system.Simulate(multi, t)
-			if err != nil {
-				return nil, err
-			}
-			execs[i] = res.ExecTimeNs()
-			cprs[i] = res.Warm.CyclesPerRef()
-			if res.Warm.L2Reads > 0 {
-				hits[i] = float64(res.Warm.L2ReadHits) / float64(res.Warm.L2Reads)
+		for i, o := range mouts {
+			execs[i] = o.ExecNs
+			cprs[i] = o.CPR
+			if o.Warm.L2Reads > 0 {
+				hits[i] = float64(o.Warm.L2ReadHits) / float64(o.Warm.L2Reads)
 			}
 		}
 		execM := ratioGeoMean(execs)

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/engine"
+	"repro/internal/runner"
 )
 
 // SplitUnifiedStudy compares the paper's Harvard organization against a
@@ -21,8 +24,9 @@ type SplitUnifiedStudy struct {
 	UnifiedCPR       []float64
 }
 
-// RunSplitUnified sweeps the total size for both organizations.
-func (s *Suite) RunSplitUnified(sizesKB []int, cycleNs int) (*SplitUnifiedStudy, error) {
+// RunSplitUnified sweeps the total size for both organizations as one
+// runner sweep: counter and replay cells for each (size × variant).
+func (s *Suite) RunSplitUnified(ctx context.Context, sizesKB []int, cycleNs int) (*SplitUnifiedStudy, error) {
 	if sizesKB == nil {
 		sizesKB = []int{8, 16, 32, 64, 128, 256}
 	}
@@ -30,33 +34,43 @@ func (s *Suite) RunSplitUnified(sizesKB []int, cycleNs int) (*SplitUnifiedStudy,
 		cycleNs = 40
 	}
 	out := &SplitUnifiedStudy{TotalKB: sizesKB, CycleNs: cycleNs}
+	orgsFor := func(kb int) [2]engine.Org {
+		return [2]engine.Org{
+			orgFor(kb, 4, 1),
+			{DCache: l1Config(kb*1024/4, 4, 1), Unified: true},
+		}
+	}
+	var cells []runner.Cell[cellOut]
 	for _, kb := range sizesKB {
-		split := orgFor(kb, 4, 1)
-		unified := engine.Org{DCache: l1Config(kb*1024/4, 4, 1), Unified: true}
-
-		for _, variant := range []struct {
-			org  engine.Org
+		for _, org := range orgsFor(kb) {
+			cells = s.counterCellsFor(cells, org)
+			cells = s.replayCellsFor(cells, org, baseTiming(cycleNs))
+		}
+	}
+	outs, err := s.runCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.Traces)
+	for k := range sizesKB {
+		for v, dst := range []struct {
 			miss *[]float64
 			cpr  *[]float64
 		}{
-			{split, &out.SplitMissRatio, &out.SplitCPR},
-			{unified, &out.UnifiedMissRatio, &out.UnifiedCPR},
+			{&out.SplitMissRatio, &out.SplitCPR},
+			{&out.UnifiedMissRatio, &out.UnifiedCPR},
 		} {
-			n := len(s.Traces)
+			base := (k*2 + v) * 2 * n // counters then replays per variant
 			miss := make([]float64, n)
-			for i := range s.Traces {
-				p, err := s.profile(i, variant.org)
-				if err != nil {
-					return nil, err
-				}
-				miss[i] = p.WarmCounters().ReadMissRatio()
+			for i := 0; i < n; i++ {
+				miss[i] = outs[base+i].Warm.ReadMissRatio()
 			}
-			*variant.miss = append(*variant.miss, ratioGeoMean(miss))
-			_, cpr, err := s.replayAll(variant.org, baseTiming(cycleNs))
+			*dst.miss = append(*dst.miss, ratioGeoMean(miss))
+			_, cpr, err := geoExecCPR(outs[base+n : base+2*n])
 			if err != nil {
 				return nil, err
 			}
-			*variant.cpr = append(*variant.cpr, cpr)
+			*dst.cpr = append(*dst.cpr, cpr)
 		}
 	}
 	return out, nil

@@ -12,12 +12,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -47,13 +49,28 @@ var (
 	SetSizes = []int{1, 2, 4, 8}
 )
 
-// Suite holds the generated traces and the profile cache.
+// Suite holds the generated traces and the profile cache. The profile
+// cache is safe for concurrent use: sweep cells running on the worker pool
+// share behavioural profiles through it, with single-flight construction
+// so concurrent cells needing the same profile build it exactly once.
 type Suite struct {
 	Scale  float64
 	Traces []*trace.Trace
 
+	exec ExecOptions
+
 	mu       sync.Mutex
-	profiles map[profileKey]*engine.Profile
+	profiles map[profileKey]*profileEntry
+
+	fpOnce sync.Once
+	fps    []string // per-trace checkpoint fingerprints
+}
+
+// profileEntry is a single-flight slot in the profile cache.
+type profileEntry struct {
+	once sync.Once
+	p    *engine.Profile
+	err  error
 }
 
 type profileKey struct {
@@ -68,22 +85,36 @@ type profileKey struct {
 }
 
 // NewSuite generates the eight Table 1 workloads at the given scale
-// (DefaultScale if 0).
-func NewSuite(scale float64) *Suite {
+// (DefaultScale if 0). A negative scale is an error.
+func NewSuite(scale float64) (*Suite, error) {
 	if scale == 0 {
 		scale = DefaultScale
 	}
+	traces, err := workload.GenerateAll(scale)
+	if err != nil {
+		return nil, err
+	}
 	return &Suite{
 		Scale:    scale,
-		Traces:   workload.GenerateAll(scale),
-		profiles: make(map[profileKey]*engine.Profile),
+		Traces:   traces,
+		profiles: make(map[profileKey]*profileEntry),
+	}, nil
+}
+
+// MustNewSuite is NewSuite that panics on error, for tests and benchmarks
+// with known-good scales.
+func MustNewSuite(scale float64) *Suite {
+	s, err := NewSuite(scale)
+	if err != nil {
+		panic(err)
 	}
+	return s
 }
 
 // NewSuiteWithTraces builds a suite over caller-provided traces (tests use
 // tiny synthetic ones).
 func NewSuiteWithTraces(traces []*trace.Trace) *Suite {
-	return &Suite{Scale: 1, Traces: traces, profiles: make(map[profileKey]*engine.Profile)}
+	return &Suite{Scale: 1, Traces: traces, profiles: make(map[profileKey]*profileEntry)}
 }
 
 // l1Config builds the standard split-cache configuration for one side:
@@ -109,7 +140,9 @@ func orgFor(totalKB, blockWords, assoc int) engine.Org {
 }
 
 // profile returns the cached behavioural profile of the organization
-// against trace i, building it on first use.
+// against trace i, building it on first use. Safe for concurrent callers:
+// the expensive behavioural pass runs exactly once per key, with
+// contending cells blocking on the builder rather than duplicating it.
 func (s *Suite) profile(i int, org engine.Org) (*engine.Profile, error) {
 	key := profileKey{
 		traceIdx:   i,
@@ -122,52 +155,44 @@ func (s *Suite) profile(i int, org engine.Org) (*engine.Profile, error) {
 		unified:    org.Unified,
 	}
 	s.mu.Lock()
-	p, ok := s.profiles[key]
-	s.mu.Unlock()
-	if ok {
-		return p, nil
+	e, ok := s.profiles[key]
+	if !ok {
+		e = &profileEntry{}
+		s.profiles[key] = e
 	}
-	p, err := engine.BuildProfile(org, s.Traces[i])
+	s.mu.Unlock()
+	e.once.Do(func() {
+		p, err := engine.BuildProfile(org, s.Traces[i])
+		if err != nil {
+			e.err = fmt.Errorf("experiments: profiling %s against %s: %w",
+				org.DCache.String(), s.Traces[i].Name, err)
+			return
+		}
+		e.p = p
+	})
+	return e.p, e.err
+}
+
+// replayAll replays the organization at the timing for every trace through
+// the sweep runner and returns the geometric means of execution time (ns)
+// and cycles per reference.
+func (s *Suite) replayAll(ctx context.Context, org engine.Org, tm engine.Timing) (execNs, cpr float64, err error) {
+	outs, err := s.runCells(ctx, s.replayCellsFor(nil, org, tm))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: profiling %s against %s: %w",
-			org.DCache.String(), s.Traces[i].Name, err)
+		return 0, 0, err
 	}
-	s.mu.Lock()
-	s.profiles[key] = p
-	s.mu.Unlock()
-	return p, nil
+	return geoExecCPR(outs)
 }
 
-// geoOver aggregates one positive metric geometrically over the traces.
-func (s *Suite) geoOver(f func(i int) (float64, error)) (float64, error) {
-	vals := make([]float64, len(s.Traces))
-	for i := range s.Traces {
-		v, err := f(i)
-		if err != nil {
-			return 0, err
-		}
-		vals[i] = v
-	}
-	return stats.GeoMean(vals)
-}
-
-// replayAll replays the organization at the timing for every trace and
-// returns the geometric means of execution time (ns) and cycles per
-// reference.
-func (s *Suite) replayAll(org engine.Org, tm engine.Timing) (execNs, cpr float64, err error) {
-	execs := make([]float64, len(s.Traces))
-	cprs := make([]float64, len(s.Traces))
-	for i := range s.Traces {
-		p, err := s.profile(i, org)
-		if err != nil {
-			return 0, 0, err
-		}
-		res, err := p.Replay(tm)
-		if err != nil {
-			return 0, 0, err
-		}
-		execs[i] = res.ExecTimeNs()
-		cprs[i] = res.Warm.CyclesPerRef()
+// geoExecCPR aggregates one trace-group of cell outputs geometrically.
+// Outputs arrive in trace order (the runner preserves input order), so the
+// aggregation is deterministic regardless of completion order.
+func geoExecCPR(outs []cellOut) (execNs, cpr float64, err error) {
+	execs := make([]float64, len(outs))
+	cprs := make([]float64, len(outs))
+	for i, o := range outs {
+		execs[i] = o.ExecNs
+		cprs[i] = o.CPR
 	}
 	if execNs, err = stats.GeoMean(execs); err != nil {
 		return 0, 0, err
@@ -210,7 +235,7 @@ func Table2() []Table2Row {
 	cycles := []int{20, 24, 28, 32, 36, 40, 48, 52, 60}
 	out := make([]Table2Row, len(cycles))
 	for i, cy := range cycles {
-		tm := cfg.Quantize(cy)
+		tm := cfg.MustQuantize(cy)
 		out[i] = Table2Row{
 			CycleNs:        cy,
 			ReadCycles:     tm.ReadCycles(4),
@@ -223,21 +248,16 @@ func Table2() []Table2Row {
 
 // SimulateSystem runs the full single-phase simulator for configurations
 // the engine does not cover (multilevel hierarchies, early-continue fetch
-// policies), aggregating geometrically over the suite's traces.
-func (s *Suite) SimulateSystem(cfg system.Config) (execNs, cpr float64, err error) {
-	execs := make([]float64, len(s.Traces))
-	cprs := make([]float64, len(s.Traces))
-	for i, t := range s.Traces {
-		res, err := system.Simulate(cfg, t)
-		if err != nil {
-			return 0, 0, err
-		}
-		execs[i] = res.ExecTimeNs()
-		cprs[i] = res.Warm.CyclesPerRef()
+// policies) through the sweep runner, aggregating geometrically over the
+// suite's traces.
+func (s *Suite) SimulateSystem(ctx context.Context, cfg system.Config) (execNs, cpr float64, err error) {
+	cells := make([]runner.Cell[cellOut], 0, len(s.Traces))
+	for i := range s.Traces {
+		cells = append(cells, s.systemCell(i, cfg))
 	}
-	if execNs, err = stats.GeoMean(execs); err != nil {
+	outs, err := s.runCells(ctx, cells)
+	if err != nil {
 		return 0, 0, err
 	}
-	cpr, err = stats.GeoMean(cprs)
-	return execNs, cpr, err
+	return geoExecCPR(outs)
 }

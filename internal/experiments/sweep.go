@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/runner"
+	"repro/internal/system"
+)
+
+// ExecOptions tunes how a suite executes its sweeps: worker count, retry
+// budget, per-cell and whole-sweep deadlines, and an optional checkpoint
+// log that makes interrupted sweeps resumable. The zero value runs on
+// GOMAXPROCS workers with no deadlines and no checkpoint.
+type ExecOptions struct {
+	// Workers bounds sweep concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// Retries grants each failing cell this many extra attempts.
+	Retries int
+	// CellTimeout bounds one (organization × timing × trace) cell.
+	CellTimeout time.Duration
+	// SweepTimeout bounds one whole figure sweep.
+	SweepTimeout time.Duration
+	// Checkpoint, when set, records each completed cell and replays
+	// completed cells on resume instead of recomputing them.
+	Checkpoint *runner.Checkpoint
+}
+
+// SetExec configures sweep execution. Call before running figures; the
+// options apply to every subsequent sweep.
+func (s *Suite) SetExec(opts ExecOptions) { s.exec = opts }
+
+func (s *Suite) runnerOptions() runner.Options {
+	return runner.Options{
+		Workers:      s.exec.Workers,
+		Retries:      s.exec.Retries,
+		CellTimeout:  s.exec.CellTimeout,
+		SweepTimeout: s.exec.SweepTimeout,
+		Checkpoint:   s.exec.Checkpoint,
+	}
+}
+
+// cellOut is the checkpointable product of one sweep cell. JSON encoding
+// round-trips float64 exactly (shortest-form encoding), so a figure
+// aggregated from replayed checkpoint entries is byte-identical to one
+// computed in a single uninterrupted run.
+type cellOut struct {
+	ExecNs float64 `json:"exec_ns,omitempty"`
+	CPR    float64 `json:"cpr,omitempty"`
+	// Warm holds the measured-window counters (timing fields populated
+	// for replay/system cells, zero for pure behavioural cells).
+	Warm system.Counters `json:"warm"`
+}
+
+// traceFingerprint identifies trace i for checkpoint keys: a content hash
+// over the name, warm boundary and every reference, so a checkpoint from a
+// different trace set (or scale) never replays into this one.
+func (s *Suite) traceFingerprint(i int) string {
+	s.fpOnce.Do(func() {
+		s.fps = make([]string, len(s.Traces))
+		for k, t := range s.Traces {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s|%d|%d|", t.Name, t.WarmStart, len(t.Refs))
+			var buf [8]byte
+			for _, r := range t.Refs {
+				buf[0] = byte(r.Addr)
+				buf[1] = byte(r.Addr >> 8)
+				buf[2] = byte(r.Addr >> 16)
+				buf[3] = byte(r.Addr >> 24)
+				buf[4] = r.PID
+				buf[5] = byte(r.Kind)
+				h.Write(buf[:6])
+			}
+			s.fps[k] = fmt.Sprintf("%s-%016x", t.Name, h.Sum64())
+		}
+	})
+	return s.fps[i]
+}
+
+// replayCell builds the runner cell for one (organization × timing ×
+// trace) unit: behavioural profile (cached, single-flight) plus timing
+// replay. The result carries execution time, cycles per reference and the
+// warm-window counters.
+func (s *Suite) replayCell(i int, org engine.Org, tm engine.Timing) runner.Cell[cellOut] {
+	return runner.Cell[cellOut]{
+		Key: runner.Key("replay/v1", s.traceFingerprint(i), s.Scale, org, tm),
+		Run: func(ctx context.Context) (cellOut, error) {
+			if err := ctx.Err(); err != nil {
+				return cellOut{}, err
+			}
+			p, err := s.profile(i, org)
+			if err != nil {
+				return cellOut{}, err
+			}
+			if err := ctx.Err(); err != nil {
+				return cellOut{}, err
+			}
+			res, err := p.Replay(tm)
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{ExecNs: res.ExecTimeNs(), CPR: res.Warm.CyclesPerRef(), Warm: res.Warm}, nil
+		},
+	}
+}
+
+// countersCell builds the runner cell for the timing-independent
+// behavioural statistics of one (organization × trace) unit.
+func (s *Suite) countersCell(i int, org engine.Org) runner.Cell[cellOut] {
+	return runner.Cell[cellOut]{
+		Key: runner.Key("counters/v1", s.traceFingerprint(i), s.Scale, org),
+		Run: func(ctx context.Context) (cellOut, error) {
+			if err := ctx.Err(); err != nil {
+				return cellOut{}, err
+			}
+			p, err := s.profile(i, org)
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{Warm: p.WarmCounters()}, nil
+		},
+	}
+}
+
+// systemCell builds the runner cell for one full single-phase simulation
+// (multilevel hierarchies and other configurations the engine does not
+// cover).
+func (s *Suite) systemCell(i int, cfg system.Config) runner.Cell[cellOut] {
+	return runner.Cell[cellOut]{
+		Key: runner.Key("system/v1", s.traceFingerprint(i), s.Scale, cfg),
+		Run: func(ctx context.Context) (cellOut, error) {
+			if err := ctx.Err(); err != nil {
+				return cellOut{}, err
+			}
+			res, err := system.Simulate(cfg, s.Traces[i])
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{ExecNs: res.ExecTimeNs(), CPR: res.Warm.CyclesPerRef(), Warm: res.Warm}, nil
+		},
+	}
+}
+
+// runCells executes a sweep through the hardened runner and returns the
+// cell outputs in input order, or a *runner.SweepError naming every failed
+// or cancelled cell.
+func (s *Suite) runCells(ctx context.Context, cells []runner.Cell[cellOut]) ([]cellOut, error) {
+	return runner.Values(runner.Run(ctx, cells, s.runnerOptions()))
+}
+
+// replayCellsFor appends one replay cell per trace for the organization
+// and timing.
+func (s *Suite) replayCellsFor(cells []runner.Cell[cellOut], org engine.Org, tm engine.Timing) []runner.Cell[cellOut] {
+	for i := range s.Traces {
+		cells = append(cells, s.replayCell(i, org, tm))
+	}
+	return cells
+}
+
+// counterCellsFor appends one counters cell per trace for the organization.
+func (s *Suite) counterCellsFor(cells []runner.Cell[cellOut], org engine.Org) []runner.Cell[cellOut] {
+	for i := range s.Traces {
+		cells = append(cells, s.countersCell(i, org))
+	}
+	return cells
+}

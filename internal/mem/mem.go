@@ -107,10 +107,12 @@ type Timing struct {
 	Transfer       Rate
 }
 
-// Quantize computes the cycle-quantized timing at cycle time T (ns).
-func (c Config) Quantize(cycleNs int) Timing {
+// Quantize computes the cycle-quantized timing at cycle time T (ns). It
+// rejects non-positive cycle times with an error so user-supplied cycle
+// times (CLI flags, spec files) fail cleanly instead of panicking.
+func (c Config) Quantize(cycleNs int) (Timing, error) {
 	if cycleNs <= 0 {
-		panic(fmt.Sprintf("mem: non-positive cycle time %d", cycleNs))
+		return Timing{}, fmt.Errorf("mem: non-positive cycle time %d", cycleNs)
 	}
 	return Timing{
 		CycleNs:        cycleNs,
@@ -118,7 +120,17 @@ func (c Config) Quantize(cycleNs int) Timing {
 		WriteLagCycles: ceilDiv(c.WriteNs, cycleNs),
 		RecoveryCycles: ceilDiv(c.RecoverNs, cycleNs),
 		Transfer:       c.Transfer,
+	}, nil
+}
+
+// MustQuantize is Quantize that panics on error, for static tables and
+// call sites whose cycle time is already validated.
+func (c Config) MustQuantize(cycleNs int) Timing {
+	tm, err := c.Quantize(cycleNs)
+	if err != nil {
+		panic(err)
 	}
+	return tm
 }
 
 // TransferCycles returns the cycles needed to move the given number of

@@ -28,7 +28,7 @@ func TestTable2(t *testing.T) {
 	cfg := DefaultConfig()
 	const blockWords = 4
 	for _, row := range rows {
-		tm := cfg.Quantize(row.cycleNs)
+		tm := cfg.MustQuantize(row.cycleNs)
 		if got := tm.ReadCycles(blockWords); got != row.read {
 			t.Errorf("cycle %dns: read cycles = %d, want %d", row.cycleNs, got, row.read)
 		}
@@ -42,7 +42,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestQuantizeDefaults(t *testing.T) {
-	tm := DefaultConfig().Quantize(40)
+	tm := DefaultConfig().MustQuantize(40)
 	// "the latency becomes 1 + ceil(180ns/40ns) or 6 cycles"
 	if tm.LatencyCycles != 6 {
 		t.Errorf("latency = %d cycles, want 6", tm.LatencyCycles)
@@ -70,12 +70,12 @@ func TestTransferRates(t *testing.T) {
 		{Rate4PerCycle, 5, 2}, // partial beat rounds up
 	}
 	for _, c := range cases {
-		tm := Config{ReadNs: 180, WriteNs: 100, RecoverNs: 120, Transfer: c.rate}.Quantize(40)
+		tm := Config{ReadNs: 180, WriteNs: 100, RecoverNs: 120, Transfer: c.rate}.MustQuantize(40)
 		if got := tm.TransferCycles(c.words); got != c.want {
 			t.Errorf("rate %v transfer(%dW) = %d, want %d", c.rate, c.words, got, c.want)
 		}
 	}
-	if got := DefaultConfig().Quantize(40).TransferCycles(0); got != 0 {
+	if got := DefaultConfig().MustQuantize(40).TransferCycles(0); got != 0 {
 		t.Errorf("transfer(0W) = %d, want 0", got)
 	}
 }
@@ -119,13 +119,13 @@ func TestUniformLatency(t *testing.T) {
 	}
 	// "A 260ns latency makes for a 12 cycle read request for a block size
 	// of 4 and a cycle time of 40ns."
-	if got := c.Quantize(40).ReadCycles(4); got != 12 {
+	if got := c.MustQuantize(40).ReadCycles(4); got != 12 {
 		t.Errorf("260ns latency read(4W) = %d cycles, want 12", got)
 	}
 }
 
 func TestUnitReadScheduling(t *testing.T) {
-	u := NewUnit(DefaultConfig().Quantize(40))
+	u := NewUnit(DefaultConfig().MustQuantize(40))
 	// Idle read at cycle 0: data at ReadCycles(4) = 10.
 	if got := u.StartRead(0, 4); got != 10 {
 		t.Fatalf("first read data at %d, want 10", got)
@@ -146,7 +146,7 @@ func TestUnitReadScheduling(t *testing.T) {
 }
 
 func TestUnitWriteScheduling(t *testing.T) {
-	u := NewUnit(DefaultConfig().Quantize(40))
+	u := NewUnit(DefaultConfig().MustQuantize(40))
 	// Write of a 4-word block: accepted after 1+4 = 5 cycles; busy
 	// through 1+4+ceil(100/40)=8, plus 3 recovery.
 	if got := u.StartWrite(0, 4); got != 5 {
@@ -161,7 +161,7 @@ func TestUnitWriteScheduling(t *testing.T) {
 }
 
 func TestStartReadBlockedVictimOverlap(t *testing.T) {
-	u := NewUnit(DefaultConfig().Quantize(40))
+	u := NewUnit(DefaultConfig().MustQuantize(40))
 	// 4-word victim hides entirely inside the 6-cycle latency.
 	dataAt, fillStart := u.StartReadBlocked(0, 4, 4)
 	if fillStart != 6 || dataAt != 10 {
@@ -179,7 +179,7 @@ func TestStartReadBlockedVictimOverlap(t *testing.T) {
 }
 
 func TestUnitReset(t *testing.T) {
-	u := NewUnit(DefaultConfig().Quantize(40))
+	u := NewUnit(DefaultConfig().MustQuantize(40))
 	u.StartRead(0, 4)
 	u.StartWrite(0, 4)
 	u.Reset()
@@ -197,7 +197,7 @@ func TestReadCyclesMonotonic(t *testing.T) {
 		la := lats[int(latSel)%len(lats)]
 		cy := cycles[int(cySel)%len(cycles)]
 		bs := 1 << (bsSel % 8) // 1..128 words
-		tm := UniformLatency(la, Rate1PerCycle).Quantize(cy)
+		tm := UniformLatency(la, Rate1PerCycle).MustQuantize(cy)
 		r := tm.ReadCycles(bs)
 		if r < tm.LatencyCycles+1 {
 			return false
@@ -206,7 +206,7 @@ func TestReadCyclesMonotonic(t *testing.T) {
 			return false
 		}
 		if la >= 180 {
-			smaller := UniformLatency(la-80, Rate1PerCycle).Quantize(cy)
+			smaller := UniformLatency(la-80, Rate1PerCycle).MustQuantize(cy)
 			if smaller.ReadCycles(bs) > r {
 				return false
 			}
@@ -224,7 +224,7 @@ func TestQuantizationCoversNs(t *testing.T) {
 	f := func(cySel, laSel uint8) bool {
 		cy := 20 + int(cySel%16)*4
 		la := 100 + int(laSel%9)*40
-		tm := UniformLatency(la, Rate1PerCycle).Quantize(cy)
+		tm := UniformLatency(la, Rate1PerCycle).MustQuantize(cy)
 		if (tm.LatencyCycles-1)*cy < la {
 			return false
 		}

@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint is an append-only NDJSON log of completed cells, keyed by cell
+// Key. One line per cell: {"key":"...","value":<cell value JSON>}. Each
+// record is flushed as it is written, so a crash or SIGINT loses at most the
+// entry being written — and a torn final line is dropped (and truncated
+// away) on the next open, keeping the log appendable.
+type Checkpoint struct {
+	path string
+
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]json.RawMessage
+	err  error // first write failure, reported by Close
+}
+
+type checkpointEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// OpenCheckpoint opens (creating if absent) the checkpoint log at path,
+// loading every complete entry already present. A truncated final line —
+// the signature of a crash mid-write — is discarded and trimmed from the
+// file; corruption anywhere else is an error.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runner: reading checkpoint %s: %w", path, err)
+	}
+	done := make(map[string]json.RawMessage)
+	valid := 0 // byte length of the valid prefix
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No newline: a torn final record. Drop it.
+			break
+		}
+		line := data[off : off+nl]
+		if len(bytes.TrimSpace(line)) > 0 {
+			var e checkpointEntry
+			if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+				return nil, fmt.Errorf("runner: checkpoint %s: corrupt entry at byte %d: %v", path, off, err)
+			}
+			done[e.Key] = e.Value
+		}
+		off += nl + 1
+		valid = off
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: opening checkpoint %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: trimming checkpoint %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: seeking checkpoint %s: %w", path, err)
+	}
+	return &Checkpoint{path: path, f: f, done: done}, nil
+}
+
+// Path returns the log's file path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Len returns how many completed cells the log currently holds.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Lookup returns the recorded value for key, if present.
+func (c *Checkpoint) Lookup(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.done[key]
+	return raw, ok
+}
+
+// record appends one completed cell and flushes it to the OS. Write
+// failures are sticky and surface from Close; the in-memory map is updated
+// regardless so the running sweep still benefits.
+func (c *Checkpoint) record(key string, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		c.fail(fmt.Errorf("runner: checkpoint %s: encoding cell %s: %w", c.path, key, err))
+		return
+	}
+	line, err := json.Marshal(checkpointEntry{Key: key, Value: raw})
+	if err != nil {
+		c.fail(fmt.Errorf("runner: checkpoint %s: encoding entry %s: %w", c.path, key, err))
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[key] = raw
+	if c.err != nil || c.f == nil {
+		return
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		c.err = fmt.Errorf("runner: checkpoint %s: appending %s: %w", c.path, key, err)
+	}
+}
+
+func (c *Checkpoint) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Close syncs and closes the log, returning the first write failure if any
+// record could not be persisted.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return c.err
+	}
+	syncErr := c.f.Sync()
+	closeErr := c.f.Close()
+	c.f = nil
+	if c.err != nil {
+		return c.err
+	}
+	if syncErr != nil {
+		return fmt.Errorf("runner: syncing checkpoint %s: %w", c.path, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("runner: closing checkpoint %s: %w", c.path, closeErr)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Key derives a stable cell key from its identifying parts (cell spec,
+// trace identity, suite scale, …) by hashing their JSON encodings. JSON
+// keeps the hash stable across runs: struct fields encode in declaration
+// order and maps sort their keys. Parts that cannot encode (channels,
+// funcs) are a programming error and panic — keys must never silently
+// collide.
+func Key(parts ...any) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			panic(fmt.Sprintf("runner: unencodable key part %T: %v", p, err))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}

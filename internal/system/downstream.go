@@ -58,7 +58,9 @@ func newLevel(cfg *L2Config, next Downstream) (*cacheLevel, error) {
 		access: int64(cfg.AccessCycles),
 		next:   next,
 	}
-	l.buf = writebuf.New(cfg.WriteBufDepth, next)
+	if l.buf, err = writebuf.New(cfg.WriteBufDepth, next); err != nil {
+		return nil, err
+	}
 	return l, nil
 }
 

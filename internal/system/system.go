@@ -38,8 +38,11 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, timing: cfg.Mem.Quantize(cfg.CycleNs)}
-	return s, nil
+	tm, err := cfg.Mem.Quantize(cfg.CycleNs)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, timing: tm}, nil
 }
 
 // MustNew is New that panics on configuration errors.
@@ -82,7 +85,9 @@ func (s *System) reset() error {
 		next = lvl
 	}
 	s.down = next
-	s.l1buf = writebuf.New(s.cfg.WriteBufDepth, s.down)
+	if s.l1buf, err = writebuf.New(s.cfg.WriteBufDepth, s.down); err != nil {
+		return err
+	}
 	s.iBusy, s.dBusy = 0, 0
 	s.live = Counters{}
 	if s.cfg.CollectLatencies {

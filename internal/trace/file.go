@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,33 +11,23 @@ import (
 // ReadFile loads a trace from disk, detecting the format: files ending in
 // .din parse as Dinero-style text, everything else as the binary container
 // (falling back to din if the magic does not match, so renamed text traces
-// still load).
+// still load). The file is read once; both format attempts parse the same
+// bytes, so the fallback cannot race a concurrent rewrite of the file.
 func ReadFile(path string) (*Trace, error) {
 	name := filepath.Base(path)
-	if strings.HasSuffix(path, ".din") {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return ReadDin(f, name)
-	}
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	t, berr := ReadBinary(f)
-	f.Close()
+	if strings.HasSuffix(path, ".din") {
+		return ReadDin(bytes.NewReader(data), name)
+	}
+	t, berr := ReadBinary(bytes.NewReader(data))
 	if berr == nil {
 		return t, nil
 	}
 	// Fallback: maybe a text trace without the .din suffix.
-	f, err = os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	t, derr := ReadDin(f, name)
+	t, derr := ReadDin(bytes.NewReader(data), name)
 	if derr != nil {
 		return nil, fmt.Errorf("trace: %s is neither binary (%v) nor din (%v)", path, berr, derr)
 	}

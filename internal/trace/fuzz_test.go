@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedTrace is a small valid trace used to seed both fuzzers with
+// well-formed inputs via the round-trip encoders.
+func fuzzSeedTrace() *Trace {
+	return &Trace{
+		Name:      "seed",
+		WarmStart: 1,
+		Refs: []Ref{
+			{Addr: 0x100, PID: 0, Kind: Ifetch},
+			{Addr: 0x2000, PID: 1, Kind: Load},
+			{Addr: 0x2001, PID: 1, Kind: Store},
+		},
+	}
+}
+
+// FuzzReadBinary feeds arbitrary bytes to the binary container reader: it
+// must either parse to a valid trace or return an error — never panic and
+// never allocate based on an untrusted header count alone.
+func FuzzReadBinary(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteBinary(&valid, fuzzSeedTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+
+	// A header that claims far more records than the file holds.
+	truncated := append([]byte(nil), valid.Bytes()...)
+	truncated = truncated[:len(truncated)-recordSize]
+	f.Add(truncated)
+	f.Add([]byte("CTR1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Errorf("ReadBinary returned an invalid trace: %v", verr)
+		}
+	})
+}
+
+// FuzzReadDin feeds arbitrary text to the din parser: parse or error,
+// never panic.
+func FuzzReadDin(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteDin(&valid, fuzzSeedTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add("0 100 1\n1 2000\n2 4\n")
+	f.Add("# comment only\n")
+	f.Add("9 nothex\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadDin(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if len(tr.Refs) == 0 {
+			t.Error("ReadDin returned an empty trace without error")
+		}
+	})
+}

@@ -87,17 +87,25 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if count > maxRefs {
 		return nil, fmt.Errorf("trace: unreasonable reference count %d", count)
 	}
-	t := &Trace{Name: string(name), WarmStart: int(warm), Refs: make([]Ref, count)}
+	// Cap the up-front allocation and let append grow the slice as
+	// records actually arrive: a corrupt 30-byte file claiming 2^31
+	// records must fail on the first short read, not demand gigabytes.
+	const initialCap = 1 << 16
+	startCap := count
+	if startCap > initialCap {
+		startCap = initialCap
+	}
+	t := &Trace{Name: string(name), WarmStart: int(warm), Refs: make([]Ref, 0, startCap)}
 	var rec [recordSize]byte
-	for i := range t.Refs {
+	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
 		}
-		t.Refs[i] = Ref{
+		t.Refs = append(t.Refs, Ref{
 			Addr: binary.LittleEndian.Uint32(rec[0:]),
 			PID:  rec[4],
 			Kind: Kind(rec[5]),
-		}
+		})
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

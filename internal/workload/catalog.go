@@ -268,10 +268,11 @@ func regionCap(words, avgWordsPerRegion float64) int {
 // Generate synthesizes the workload's trace at the given scale. Scale
 // multiplies reference counts (1.0 reproduces the paper's trace lengths);
 // footprints are never scaled, so miss-rate-versus-size shapes are
-// preserved at reduced scales. Panics if scale is not positive.
-func (s Spec) Generate(scale float64) *trace.Trace {
+// preserved at reduced scales. A non-positive scale is an error, so
+// user-supplied scales (CLI -scale flags) fail cleanly.
+func (s Spec) Generate(scale float64) (*trace.Trace, error) {
 	if scale <= 0 {
-		panic(fmt.Sprintf("workload %s: non-positive scale %v", s.Name, scale))
+		return nil, fmt.Errorf("workload %s: non-positive scale %v", s.Name, scale)
 	}
 	target := int(float64(s.TotalRefs) * scale)
 	if target < 1_000 {
@@ -300,6 +301,16 @@ func (s Spec) Generate(scale float64) *trace.Trace {
 		t.Refs = refs
 		measured := int(float64(measuredRISCRefs) * scale)
 		t.WarmStart = clampWarm(len(t.Refs)-measured, len(t.Refs))
+	}
+	return t, nil
+}
+
+// MustGenerate is Generate that panics on error, for tests and examples
+// with known-good scales.
+func (s Spec) MustGenerate(scale float64) *trace.Trace {
+	t, err := s.Generate(scale)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }
@@ -356,10 +367,24 @@ func preamble(hist []trace.Ref) []trace.Ref {
 }
 
 // GenerateAll synthesizes every catalog workload at the given scale.
-func GenerateAll(scale float64) []*trace.Trace {
+func GenerateAll(scale float64) ([]*trace.Trace, error) {
 	out := make([]*trace.Trace, len(Catalog))
 	for i, s := range Catalog {
-		out[i] = s.Generate(scale)
+		t, err := s.Generate(scale)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
 	}
-	return out
+	return out, nil
+}
+
+// MustGenerateAll is GenerateAll that panics on error, for tests and
+// benchmarks with known-good scales.
+func MustGenerateAll(scale float64) []*trace.Trace {
+	ts, err := GenerateAll(scale)
+	if err != nil {
+		panic(err)
+	}
+	return ts
 }

@@ -59,8 +59,8 @@ func TestByName(t *testing.T) {
 
 func TestGenerateDeterministic(t *testing.T) {
 	spec, _ := ByName("mu3")
-	a := spec.Generate(0.02)
-	b := spec.Generate(0.02)
+	a := spec.MustGenerate(0.02)
+	b := spec.MustGenerate(0.02)
 	if len(a.Refs) != len(b.Refs) || a.WarmStart != b.WarmStart {
 		t.Fatalf("lengths differ: %d/%d vs %d/%d", len(a.Refs), a.WarmStart, len(b.Refs), b.WarmStart)
 	}
@@ -73,7 +73,7 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestGenerateValidAndScaled(t *testing.T) {
 	for _, spec := range Catalog {
-		tr := spec.Generate(testScale)
+		tr := spec.MustGenerate(testScale)
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("%s: %v", spec.Name, err)
 		}
@@ -104,7 +104,7 @@ func TestGenerateValidAndScaled(t *testing.T) {
 
 func TestVAXWarmStart(t *testing.T) {
 	spec, _ := ByName("savec")
-	tr := spec.Generate(testScale)
+	tr := spec.MustGenerate(testScale)
 	want := int(float64(warmVAXRefs) * testScale)
 	if tr.WarmStart < want*9/10 || tr.WarmStart > want*11/10 {
 		t.Errorf("warm start %d not near %d", tr.WarmStart, want)
@@ -113,7 +113,7 @@ func TestVAXWarmStart(t *testing.T) {
 
 func TestRISCPreamble(t *testing.T) {
 	spec, _ := ByName("rd2n4")
-	tr := spec.Generate(testScale)
+	tr := spec.MustGenerate(testScale)
 	// The preamble consists only of reads (no stores), and its
 	// addresses must all be unique.
 	seen := map[uint64]bool{}
@@ -145,7 +145,7 @@ func TestStartupZeroingRaisesWriteTraffic(t *testing.T) {
 	with, _ := ByName("rd1n5")
 	without, _ := ByName("rd2n4")
 	ratio := func(spec Spec) float64 {
-		tr := spec.Generate(testScale)
+		tr := spec.MustGenerate(testScale)
 		cfg := cache.Config{SizeWords: 1 << 18, BlockWords: 4, Assoc: 1,
 			Replacement: cache.Random, WritePolicy: cache.WriteBack, Seed: 1}
 		p, err := engine.BuildProfile(engine.Org{ICache: cfg, DCache: cfg}, tr)
@@ -167,7 +167,7 @@ func TestStartupZeroingRaisesWriteTraffic(t *testing.T) {
 func TestMissRatioShape(t *testing.T) {
 	for _, name := range []string{"mu3", "rd2n4"} {
 		spec, _ := ByName(name)
-		tr := spec.Generate(0.15)
+		tr := spec.MustGenerate(0.15)
 		sizes := []int{512, 2048, 8192, 32768, 131072, 524288} // words per cache
 		ratios := make([]float64, len(sizes))
 		for i, w := range sizes {
@@ -204,7 +204,7 @@ func TestAssociativityHelps(t *testing.T) {
 	var dm, w2, w4 float64
 	for _, name := range names {
 		spec, _ := ByName(name)
-		tr := spec.Generate(0.15)
+		tr := spec.MustGenerate(0.15)
 		dm += missRatioAt(t, tr, perCache, 4, 1)
 		w2 += missRatioAt(t, tr, perCache, 4, 2)
 		w4 += missRatioAt(t, tr, perCache, 4, 4)
@@ -221,7 +221,7 @@ func TestAssociativityHelps(t *testing.T) {
 // the miss ratio, steeply at first and flattening by 32–128 words.
 func TestSpatialLocality(t *testing.T) {
 	spec, _ := ByName("mu3")
-	tr := spec.Generate(0.15)
+	tr := spec.MustGenerate(0.15)
 	const perCache = 16384 // 64KB
 	m2 := missRatioAt(t, tr, perCache, 2, 1)
 	m8 := missRatioAt(t, tr, perCache, 8, 1)
@@ -267,7 +267,10 @@ func TestSyntheticGenerators(t *testing.T) {
 }
 
 func TestGenerateAllScales(t *testing.T) {
-	traces := GenerateAll(0.01)
+	traces, err := GenerateAll(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(traces) != len(Catalog) {
 		t.Fatalf("GenerateAll returned %d traces", len(traces))
 	}
@@ -278,11 +281,20 @@ func TestGenerateAllScales(t *testing.T) {
 	}
 }
 
-func TestGeneratePanicsOnBadScale(t *testing.T) {
+func TestGenerateRejectsBadScale(t *testing.T) {
+	if _, err := Catalog[0].Generate(0); err == nil {
+		t.Fatal("no error for zero scale")
+	}
+	if _, err := Catalog[0].Generate(-1); err == nil {
+		t.Fatal("no error for negative scale")
+	}
+	if _, err := GenerateAll(0); err == nil {
+		t.Fatal("GenerateAll: no error for zero scale")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("no panic for zero scale")
+			t.Fatal("MustGenerate did not panic for zero scale")
 		}
 	}()
-	Catalog[0].Generate(0)
+	Catalog[0].MustGenerate(0)
 }

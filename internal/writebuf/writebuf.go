@@ -50,12 +50,23 @@ type Buffer struct {
 }
 
 // New constructs a buffer of the given depth draining into sink. Depth 0
-// means no buffering: every write stalls the writer until accepted.
-func New(depth int, sink Sink) *Buffer {
+// means no buffering: every write stalls the writer until accepted. A
+// negative depth is a configuration error.
+func New(depth int, sink Sink) (*Buffer, error) {
 	if depth < 0 {
-		panic(fmt.Sprintf("writebuf: negative depth %d", depth))
+		return nil, fmt.Errorf("writebuf: negative depth %d", depth)
 	}
-	return &Buffer{depth: depth, sink: sink}
+	return &Buffer{depth: depth, sink: sink}, nil
+}
+
+// MustNew is New that panics on error, for tests and call sites whose
+// depth is already validated.
+func MustNew(depth int, sink Sink) *Buffer {
+	b, err := New(depth, sink)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // Depth returns the configured capacity.

@@ -35,11 +35,11 @@ func (r *recorder) StartWrite(now int64, addr uint64, words int) int64 {
 func (r *recorder) NextFree() int64 { return r.free }
 
 func newMemSink() *sink {
-	return &sink{u: mem.NewUnit(mem.DefaultConfig().Quantize(40))}
+	return &sink{u: mem.NewUnit(mem.DefaultConfig().MustQuantize(40))}
 }
 
 func TestEnqueueNoStallWhenSpace(t *testing.T) {
-	b := New(4, newMemSink())
+	b := MustNew(4, newMemSink())
 	for i := 0; i < 4; i++ {
 		if rel := b.Enqueue(10, uint64(i*16), 4, 10); rel != 10 {
 			t.Fatalf("enqueue %d stalled to %d", i, rel)
@@ -55,7 +55,7 @@ func TestEnqueueNoStallWhenSpace(t *testing.T) {
 
 func TestBackgroundDrain(t *testing.T) {
 	r := &recorder{busy: 10}
-	b := New(4, r)
+	b := MustNew(4, r)
 	b.Enqueue(0, 0, 4, 0)
 	b.Enqueue(0, 16, 4, 0)
 	// Long compute gap: both writes start in the background.
@@ -70,7 +70,7 @@ func TestBackgroundDrain(t *testing.T) {
 
 func TestDrainStopsAtNow(t *testing.T) {
 	r := &recorder{busy: 10}
-	b := New(4, r)
+	b := MustNew(4, r)
 	b.Enqueue(0, 0, 4, 0)
 	b.Enqueue(0, 16, 4, 0)
 	// At cycle 5 the first write started (cycle 0) but the second has
@@ -86,7 +86,7 @@ func TestDrainStopsAtNow(t *testing.T) {
 
 func TestFullBufferStalls(t *testing.T) {
 	r := &recorder{busy: 10}
-	b := New(2, r)
+	b := MustNew(2, r)
 	b.Enqueue(0, 0, 4, 0)         // starts at 0 in background later
 	b.Enqueue(0, 16, 4, 0)        // queued
 	rel := b.Enqueue(1, 32, 4, 1) // full: head must drain first
@@ -109,7 +109,7 @@ func TestFullBufferStalls(t *testing.T) {
 
 func TestDepthZeroWritesThrough(t *testing.T) {
 	r := &recorder{busy: 7}
-	b := New(0, r)
+	b := MustNew(0, r)
 	rel := b.Enqueue(3, 0, 4, 3)
 	if rel != 10 {
 		t.Fatalf("unbuffered release = %d, want 10", rel)
@@ -121,7 +121,7 @@ func TestDepthZeroWritesThrough(t *testing.T) {
 
 func TestFlushMatching(t *testing.T) {
 	r := &recorder{busy: 10}
-	b := New(4, r)
+	b := MustNew(4, r)
 	b.Enqueue(0, 0, 4, 0)
 	b.Enqueue(0, 16, 4, 0)
 	b.Enqueue(0, 32, 4, 0)
@@ -142,7 +142,7 @@ func TestFlushMatching(t *testing.T) {
 }
 
 func TestFlushMatchingPartialOverlap(t *testing.T) {
-	b := New(4, &recorder{busy: 5})
+	b := MustNew(4, &recorder{busy: 5})
 	b.Enqueue(0, 10, 4, 0) // words 10..13
 	if !b.FlushMatching(0, 12, 8) {
 		t.Fatal("overlapping ranges not matched")
@@ -153,7 +153,7 @@ func TestFlushMatchingPartialOverlap(t *testing.T) {
 }
 
 func TestFlushMatchingMiss(t *testing.T) {
-	b := New(4, &recorder{busy: 5})
+	b := MustNew(4, &recorder{busy: 5})
 	b.Enqueue(0, 0, 4, 0)
 	if b.FlushMatching(0, 100, 4) {
 		t.Fatal("unrelated read matched")
@@ -165,7 +165,7 @@ func TestFlushMatchingMiss(t *testing.T) {
 
 func TestFlushAll(t *testing.T) {
 	r := &recorder{busy: 10}
-	b := New(4, r)
+	b := MustNew(4, r)
 	b.Enqueue(0, 0, 4, 0)
 	b.Enqueue(0, 16, 1, 0)
 	last := b.FlushAll(5)
@@ -179,7 +179,7 @@ func TestFlushAll(t *testing.T) {
 
 func TestReadyTimeRespected(t *testing.T) {
 	r := &recorder{busy: 10}
-	b := New(4, r)
+	b := MustNew(4, r)
 	// Write back ready only at cycle 50 (fill completing).
 	b.Enqueue(40, 0, 4, 50)
 	b.Drain(45) // not ready yet
@@ -193,7 +193,7 @@ func TestReadyTimeRespected(t *testing.T) {
 }
 
 func TestMaxOccupancy(t *testing.T) {
-	b := New(8, &recorder{busy: 1000})
+	b := MustNew(8, &recorder{busy: 1000})
 	for i := 0; i < 5; i++ {
 		b.Enqueue(0, uint64(i*16), 4, 0)
 	}
@@ -203,7 +203,7 @@ func TestMaxOccupancy(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	b := New(4, newMemSink())
+	b := MustNew(4, newMemSink())
 	b.Enqueue(0, 0, 4, 0)
 	b.FlushMatching(0, 0, 4)
 	b.Reset()
@@ -218,7 +218,7 @@ func TestNegativeDepthPanics(t *testing.T) {
 			t.Fatal("no panic for negative depth")
 		}
 	}()
-	New(-1, newMemSink())
+	MustNew(-1, newMemSink())
 }
 
 func TestOverlaps(t *testing.T) {
