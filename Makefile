@@ -1,25 +1,35 @@
 # Pre-PR gate: run `make check` before sending changes for review.
 #
-#   build  — compile every package
-#   vet    — static analysis
-#   test   — full unit-test suite
-#   race   — race-detector pass over the concurrent packages (the sweep
-#            runner, the experiment suite and the CLIs that drive them)
-#   fuzz   — fuzz seed corpora in regression mode (no new input
-#            generation; just replays the checked-in seeds)
-#   check  — all of the above
+#   build        — compile every package, in both the default and the
+#                  obs_debug (deep-profiling) build configurations
+#   vet          — static analysis
+#   test         — full unit-test suite
+#   race         — race-detector pass over the concurrent packages (the
+#                  sweep runner, the experiment suite, the observability
+#                  layer and the CLIs that drive them)
+#   fuzz         — fuzz seed corpora in regression mode (no new input
+#                  generation; just replays the checked-in seeds)
+#   vulncheck    — govulncheck when installed; advisory only, never fails
+#                  the gate (the container may not ship it)
+#   check        — all of the above
 #
 # `make fuzz-long` runs the trace-format fuzzers for 30 s each and is not
 # part of the gate.
+#
+# `make bench` snapshots the benchmark suite (with allocation stats) to
+# BENCH_<date>.json via cmd/bench2json. Compare two snapshots with:
+#
+#   go run ./cmd/bench2json -diff BENCH_<old>.json BENCH_<new>.json
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz fuzz-long clean
+.PHONY: check build vet test race fuzz fuzz-long vulncheck bench clean
 
-check: vet build test race fuzz
+check: vet build test race fuzz vulncheck
 
 build:
 	$(GO) build ./...
+	$(GO) build -tags obs_debug ./...
 
 vet:
 	$(GO) vet ./...
@@ -28,7 +38,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./cmd/...
+	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/obs/ ./cmd/...
 
 # Go runs fuzz seed corpora as ordinary tests when -fuzz is absent; this
 # target exists so the gate states the intent explicitly.
@@ -38,6 +48,16 @@ fuzz:
 fuzz-long:
 	$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 30s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzReadDin -fuzztime 30s ./internal/trace/
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "vulncheck: advisories found (non-fatal)"; \
+	else \
+		echo "vulncheck: govulncheck not installed, skipping"; \
+	fi
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/bench2json -o BENCH_$$(date +%Y%m%d).json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,211 @@
+// bench2json converts `go test -bench -benchmem` text output into a stable
+// JSON snapshot, and diffs two snapshots.
+//
+//	go test -run '^$' -bench . -benchmem . | bench2json -o BENCH_20260805.json
+//	bench2json -diff BENCH_20260701.json BENCH_20260805.json
+//
+// The snapshot keeps every metric the benchmark reported (ns/op, B/op,
+// allocs/op and custom b.ReportMetric units such as refs/s), so `make bench`
+// runs taken weeks apart can be compared without re-running the baseline.
+// Diff output flags regressions: a positive ns/op delta means the new run is
+// slower.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the on-disk format: the environment header `go test` prints,
+// plus one entry per benchmark.
+type Snapshot struct {
+	GOOS    string  `json:"goos,omitempty"`
+	GOARCH  string  `json:"goarch,omitempty"`
+	Package string  `json:"pkg,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Benches []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark result line. Metrics maps unit → value, e.g.
+// "ns/op" → 1.2e9, "allocs/op" → 42, "refs" → 98304.
+type Bench struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON snapshot to this file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two snapshots: bench2json -diff OLD.json NEW.json")
+	flag.Parse()
+
+	var err error
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench2json -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		err = runDiff(os.Stdout, flag.Arg(0), flag.Arg(1))
+	} else {
+		err = runConvert(os.Stdin, *out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func runConvert(in io.Reader, out string) error {
+	snap, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benches) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin (pipe `go test -bench` output in)")
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(snap.Benches), out)
+	return nil
+}
+
+// Parse reads `go test -bench` text output. Lines it does not recognise
+// (PASS, ok, test logs) are skipped.
+func Parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				snap.Benches = append(snap.Benches, b)
+			}
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseBenchLine parses e.g.
+//
+//	BenchmarkFigure3_1-8  5  230123456 ns/op  96 B/op  2 allocs/op  9.8e+04 refs
+func parseBenchLine(line string) (Bench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: f[0], Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+func runDiff(w io.Writer, oldPath, newPath string) error {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, DiffString(oldSnap, newSnap))
+	return nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// DiffString renders a per-benchmark comparison. ns/op always leads; the
+// remaining metrics follow in name order. Benchmarks present on only one
+// side are listed so renames don't silently vanish from the report.
+func DiffString(oldSnap, newSnap *Snapshot) string {
+	var sb strings.Builder
+	oldBy := map[string]Bench{}
+	for _, b := range oldSnap.Benches {
+		oldBy[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, nb := range newSnap.Benches {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-32s (new benchmark)\n", nb.Name)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-32s", nb.Name)
+		for _, unit := range metricOrder(nb.Metrics) {
+			nv := nb.Metrics[unit]
+			ov, has := ob.Metrics[unit]
+			if !has || ov == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %s %+.1f%%", unit, (nv-ov)/ov*100)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, ob := range oldSnap.Benches {
+		if !seen[ob.Name] {
+			fmt.Fprintf(&sb, "%-32s (removed)\n", ob.Name)
+		}
+	}
+	return sb.String()
+}
+
+func metricOrder(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		if u != "ns/op" {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	if _, ok := m["ns/op"]; ok {
+		units = append([]string{"ns/op"}, units...)
+	}
+	return units
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkFigure3_1-8   	       5	 230123456 ns/op	  98304 refs	   96 B/op	       2 allocs/op
+BenchmarkTable2MemoryCycles-8  	 1000000	      1042 ns/op	     0 B/op	       0 allocs/op
+some test log line that should be ignored
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" || snap.Package != "repro" {
+		t.Errorf("header = %+v", snap)
+	}
+	if len(snap.Benches) != 2 {
+		t.Fatalf("benches = %+v", snap.Benches)
+	}
+	b := snap.Benches[0]
+	if b.Name != "BenchmarkFigure3_1-8" || b.Iters != 5 {
+		t.Errorf("bench[0] = %+v", b)
+	}
+	want := map[string]float64{"ns/op": 230123456, "refs": 98304, "B/op": 96, "allocs/op": 2}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseScientificNotation(t *testing.T) {
+	snap, err := Parse(strings.NewReader("BenchmarkX-4  3  1.5e+09 ns/op  9.8e+04 refs/s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benches) != 1 || snap.Benches[0].Metrics["refs/s"] != 9.8e4 {
+		t.Errorf("snap = %+v", snap)
+	}
+}
+
+func TestDiffString(t *testing.T) {
+	oldSnap := &Snapshot{Benches: []Bench{
+		{Name: "BenchmarkA-8", Iters: 10, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 4}},
+		{Name: "BenchmarkGone-8", Iters: 1, Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	newSnap := &Snapshot{Benches: []Bench{
+		{Name: "BenchmarkA-8", Iters: 10, Metrics: map[string]float64{"ns/op": 150, "allocs/op": 2}},
+		{Name: "BenchmarkNew-8", Iters: 1, Metrics: map[string]float64{"ns/op": 7}},
+	}}
+	out := DiffString(oldSnap, newSnap)
+	for _, want := range []string{
+		"ns/op +50.0%", "allocs/op -50.0%",
+		"BenchmarkNew-8", "(new benchmark)",
+		"BenchmarkGone-8", "(removed)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output lacks %q:\n%s", want, out)
+		}
+	}
+	// ns/op leads the metric list.
+	lineA := strings.SplitN(out, "\n", 2)[0]
+	if !strings.Contains(lineA, "BenchmarkA-8") || strings.Index(lineA, "ns/op") > strings.Index(lineA, "allocs/op") {
+		t.Errorf("ns/op not first on line: %q", lineA)
+	}
+}

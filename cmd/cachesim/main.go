@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/system"
@@ -155,7 +157,13 @@ func run() error {
 			},
 		}
 	}
-	results := runner.Run(ctx, cells, runner.Options{})
+	// All per-trace failures route through one slog handler, which
+	// serializes each record into a single write — traces failing
+	// concurrently on the worker pool can no longer interleave their
+	// error text on stderr.
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, slog.String("run", obs.RunID()))
+	_, onDone := obs.RunnerHooks(nil, logger)
+	results := runner.Run(ctx, cells, runner.Options{OnCellDone: onDone})
 
 	tab := textplot.NewTable("", "trace", "refs", "cycles", "cyc/ref", "exec ms",
 		"load miss%", "ifetch miss%", "wr traffic", "buf stalls", "mem util%")
@@ -200,12 +208,11 @@ func run() error {
 		}
 	}
 	if len(failed) > 0 {
+		// Each failure was already logged through the slog handler as it
+		// happened; finish with the tally only.
 		s := runner.Summarize(results)
 		fmt.Fprintf(os.Stderr, "\npartial results: %d/%d traces done, %d failed or not run\n",
 			s.Done, s.Total, s.Failed+s.NotRun)
-		for _, ce := range failed {
-			fmt.Fprintf(os.Stderr, "  %v\n", ce)
-		}
 		return fmt.Errorf("%d trace(s) did not complete", len(failed))
 	}
 	return nil

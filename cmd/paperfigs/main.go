@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/textplot"
 )
@@ -144,7 +146,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		scale   = flag.Float64("scale", experiments.DefaultScale, "workload scale (1.0 = paper trace lengths)")
 		only    = flag.String("only", "", "comma-separated figure names (default: all)")
@@ -154,6 +156,11 @@ func run() error {
 		ckpt    = flag.String("checkpoint", "", "NDJSON checkpoint log: completed sweep cells are recorded here and replayed on rerun")
 		jobs    = flag.Int("jobs", 0, "sweep worker count (0 = GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 0, "whole-sweep deadline per figure (0 = none)")
+
+		progress  = flag.Duration("progress", 0, "print sweep progress/ETA lines to stderr at this interval (0 = off)")
+		debugAddr = flag.String("debug-addr", "", "serve live expvar and pprof on this address (e.g. :8080; :0 picks a free port)")
+		manifest  = flag.String("manifest", "", "write the run manifest JSON here (default when observability is on: <checkpoint>.manifest.json, else paperfigs.manifest.json)")
+		logLevel  = flag.String("log", "info", "structured log level on stderr: debug, info, warn, error")
 	)
 	flag.Parse()
 
@@ -182,9 +189,51 @@ func run() error {
 		}
 	}
 
+	// The structured event stream: cell errors, retries and checkpoint
+	// events share one machine-parseable stderr stream with run-scoped
+	// attributes.
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	runID := obs.RunID()
+	logger := obs.NewLogger(os.Stderr, level,
+		slog.String("run", runID), slog.Float64("scale", *scale))
+
+	// Observability is off by default: the registry, reporter, debug
+	// server and manifest only exist when one of their flags asks.
+	obsOn := *progress > 0 || *debugAddr != "" || *manifest != ""
+	manifestPath := *manifest
+	if obsOn && manifestPath == "" {
+		if *ckpt != "" {
+			manifestPath = *ckpt + ".manifest.json"
+		} else {
+			manifestPath = "paperfigs.manifest.json"
+		}
+	}
+	var reg *obs.Registry
+	if obsOn {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		srv, serr := obs.Serve(*debugAddr, reg)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s — /debug/vars (expvar), /debug/pprof/\n", srv.Addr)
+	}
+	var rep *obs.Reporter
+	if *progress > 0 {
+		rep = obs.NewReporter(os.Stderr, reg, *progress)
+		rep.Start()
+		defer rep.Stop()
+		rep.Phase("generate")
+	}
+
 	// Ctrl-C (or SIGTERM) cancels the sweep context: in-flight cells
-	// finish, the checkpoint is flushed, and the partial-grid report
-	// below says how to resume.
+	// finish, the checkpoint is flushed, the manifest is written, and the
+	// partial-grid report below says how to resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -194,17 +243,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	exec := experiments.ExecOptions{Workers: *jobs, SweepTimeout: *timeout}
+	exec := experiments.ExecOptions{Workers: *jobs, SweepTimeout: *timeout, Metrics: reg, Log: logger}
+	var cp *runner.Checkpoint
 	if *ckpt != "" {
-		cp, err := runner.OpenCheckpoint(*ckpt)
-		if err != nil {
+		if cp, err = runner.OpenCheckpoint(*ckpt); err != nil {
 			return err
 		}
 		defer func() {
 			if cerr := cp.Close(); cerr != nil {
-				fmt.Fprintln(os.Stderr, "paperfigs: checkpoint:", cerr)
+				logger.Error("checkpoint close failed", "path", *ckpt, "err", cerr)
 			}
 		}()
+		logger.Info("checkpoint opened", "path", *ckpt, "entries", cp.Len())
 		if cp.Len() > 0 {
 			fmt.Printf("checkpoint %s: %d completed cells will be replayed\n", *ckpt, cp.Len())
 		}
@@ -214,9 +264,54 @@ func run() error {
 	r := &figRunner{ctx: ctx, suite: suite, charts: *charts, csvDir: *csvDir}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 
+	// The figures this invocation will run, in run order (for the
+	// manifest's configuration identity).
+	var figNames []string
+	for _, f := range figures {
+		if len(selected) == 0 || selected[f.name] {
+			figNames = append(figNames, f.name)
+		}
+	}
+	if obsOn {
+		m := obs.NewManifest()
+		m.RunID = runID
+		m.Scale = suite.Scale
+		m.Figures = figNames
+		m.TraceFingerprints = suite.Fingerprints()
+		m.ConfigHash = obs.ConfigHash("paperfigs/v1", suite.Scale, figNames, m.TraceFingerprints)
+		if *ckpt != "" {
+			m.Checkpoint = &obs.ManifestCheckpoint{Path: *ckpt}
+		}
+		defer func() {
+			m.FillFromRegistry(reg, time.Since(start))
+			if cp != nil {
+				m.Checkpoint.Entries = cp.Len()
+			}
+			if rep != nil {
+				m.Phases = rep.PhaseDurations()
+			}
+			switch {
+			case err == nil:
+				m.Outcome = "ok"
+			case ctx.Err() != nil:
+				m.Outcome = "interrupted"
+			default:
+				m.Outcome = "failed: " + err.Error()
+			}
+			if werr := m.Write(manifestPath); werr != nil {
+				logger.Error("manifest write failed", "path", manifestPath, "err", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "manifest: %s\n", manifestPath)
+			}
+		}()
+	}
+
 	for _, f := range figures {
 		if len(selected) > 0 && !selected[f.name] {
 			continue
+		}
+		if rep != nil {
+			rep.Phase(f.name)
 		}
 		t0 := time.Now()
 		fmt.Printf("\n================ %s ================\n", f.title)
@@ -231,6 +326,22 @@ func run() error {
 	}
 	fmt.Printf("\ntotal %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// parseLogLevel maps the -log flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown -log level %q (debug, info, warn, error)", s)
+	}
 }
 
 // reportPartial prints what an interrupted or partly failed sweep did and

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/system"
 )
@@ -27,6 +29,14 @@ type ExecOptions struct {
 	// Checkpoint, when set, records each completed cell and replays
 	// completed cells on resume instead of recomputing them.
 	Checkpoint *runner.Checkpoint
+	// Metrics, when set, receives cell lifecycle events (counts, latency
+	// histogram, in-flight gauge) and aggregate simulator throughput
+	// (simulated references) from every sweep the suite runs. Nil keeps
+	// all instrumentation out of the sweep entirely.
+	Metrics *obs.Registry
+	// Log, when set, carries the structured event stream: cell failures,
+	// retries and checkpoint replays. Nil disables logging.
+	Log *slog.Logger
 }
 
 // SetExec configures sweep execution. Call before running figures; the
@@ -34,12 +44,15 @@ type ExecOptions struct {
 func (s *Suite) SetExec(opts ExecOptions) { s.exec = opts }
 
 func (s *Suite) runnerOptions() runner.Options {
+	onStart, onDone := obs.RunnerHooks(s.exec.Metrics, s.exec.Log)
 	return runner.Options{
 		Workers:      s.exec.Workers,
 		Retries:      s.exec.Retries,
 		CellTimeout:  s.exec.CellTimeout,
 		SweepTimeout: s.exec.SweepTimeout,
 		Checkpoint:   s.exec.Checkpoint,
+		OnCellStart:  onStart,
+		OnCellDone:   onDone,
 	}
 }
 
@@ -148,7 +161,45 @@ func (s *Suite) systemCell(i int, cfg system.Config) runner.Cell[cellOut] {
 // cell outputs in input order, or a *runner.SweepError naming every failed
 // or cancelled cell.
 func (s *Suite) runCells(ctx context.Context, cells []runner.Cell[cellOut]) ([]cellOut, error) {
+	cells = s.instrument(cells)
 	return runner.Values(runner.Run(ctx, cells, s.runnerOptions()))
+}
+
+// instrument announces the sweep's cells to the registry and wraps each
+// cell to count its simulated warm-window references — the aggregate
+// throughput metric. Instrumentation stays at cell granularity: the wrapper
+// runs once per cell, never inside the simulator's inner loop. No-op
+// without a registry.
+func (s *Suite) instrument(cells []runner.Cell[cellOut]) []runner.Cell[cellOut] {
+	m := s.exec.Metrics
+	if m == nil {
+		return cells
+	}
+	m.Counter(obs.MCellsPlanned).Add(int64(len(cells)))
+	refs := m.Counter(obs.MSimRefs)
+	out := make([]runner.Cell[cellOut], len(cells))
+	for i, c := range cells {
+		run := c.Run
+		out[i] = runner.Cell[cellOut]{Key: c.Key, Run: func(ctx context.Context) (cellOut, error) {
+			v, err := run(ctx)
+			if err == nil {
+				refs.Add(v.Warm.Refs)
+			}
+			return v, err
+		}}
+	}
+	return out
+}
+
+// Fingerprints returns the per-trace content fingerprints the checkpoint
+// keys embed, for run manifests: two runs with equal fingerprints swept the
+// same stimulus.
+func (s *Suite) Fingerprints() []string {
+	out := make([]string, len(s.Traces))
+	for i := range s.Traces {
+		out[i] = s.traceFingerprint(i)
+	}
+	return out
 }
 
 // replayCellsFor appends one replay cell per trace for the organization

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer is the optional live-inspection HTTP listener: /debug/vars
+// serves expvar (including the sweep registry snapshot under "sweep") and
+// /debug/pprof/* serves the standard profiles, so a stuck 30-minute sweep
+// can be profiled without restarting it.
+type DebugServer struct {
+	// Addr is the bound address (resolves ":0" to the chosen port).
+	Addr string
+	srv  *http.Server
+}
+
+// expvar names are global to the process; publish once and swap the backing
+// registry behind a lock so repeated Serve calls (tests) stay legal.
+var (
+	pubOnce sync.Once
+	pubMu   sync.Mutex
+	pubReg  *Registry
+)
+
+func publishRegistry(reg *Registry) {
+	pubMu.Lock()
+	pubReg = reg
+	pubMu.Unlock()
+	pubOnce.Do(func() {
+		expvar.Publish("sweep", expvar.Func(func() any {
+			pubMu.Lock()
+			defer pubMu.Unlock()
+			if pubReg == nil {
+				return nil
+			}
+			return pubReg.Snapshot()
+		}))
+	})
+}
+
+// Serve binds addr (":0" picks a free port), publishes the registry to
+// expvar and serves /debug/vars plus /debug/pprof/* until Close. Under the
+// obs_debug build tag it also enables mutex and block profiling.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener %s: %w", addr, err)
+	}
+	publishRegistry(reg)
+	enableDeepProfiling()
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close stops the listener immediately (in-flight profile requests are
+// dropped; the sweep itself is unaffected).
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDebugServer boots the listener on :0 and checks both surfaces: the
+// expvar snapshot carries the live registry, and the pprof index responds.
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MCellsDone).Add(7)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(srv.Addr, ":") {
+		t.Fatalf("unresolved addr %q", srv.Addr)
+	}
+
+	body := get(t, fmt.Sprintf("http://%s/debug/vars", srv.Addr))
+	var vars struct {
+		Sweep map[string]any `json:"sweep"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar not JSON: %v\n%s", err, body)
+	}
+	if got, ok := vars.Sweep[MCellsDone].(float64); !ok || got != 7 {
+		t.Errorf("sweep.%s = %v, want 7", MCellsDone, vars.Sweep[MCellsDone])
+	}
+
+	// Live updates flow through the same snapshot func.
+	reg.Counter(MCellsDone).Add(3)
+	body = get(t, fmt.Sprintf("http://%s/debug/vars", srv.Addr))
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if got := vars.Sweep[MCellsDone].(float64); got != 10 {
+		t.Errorf("after update sweep.%s = %v, want 10", MCellsDone, got)
+	}
+
+	if !strings.Contains(string(get(t, fmt.Sprintf("http://%s/debug/pprof/", srv.Addr))), "goroutine") {
+		t.Error("pprof index lacks goroutine profile")
+	}
+}
+
+// TestDebugServerRepublish: a second Serve call (second sweep in one
+// process) swaps the registry behind the one expvar name instead of
+// panicking on duplicate publish.
+func TestDebugServerRepublish(t *testing.T) {
+	reg1 := NewRegistry()
+	srv1, err := Serve("127.0.0.1:0", reg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	reg2 := NewRegistry()
+	reg2.Counter(MCellsDone).Add(42)
+	srv2, err := Serve("127.0.0.1:0", reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	var vars struct {
+		Sweep map[string]any `json:"sweep"`
+	}
+	if err := json.Unmarshal(get(t, fmt.Sprintf("http://%s/debug/vars", srv2.Addr)), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if got := vars.Sweep[MCellsDone].(float64); got != 42 {
+		t.Errorf("second registry not live: %v", got)
+	}
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"log/slog"
+
+	"repro/internal/runner"
+)
+
+// RunnerHooks bridges the runner's cell lifecycle to the registry's
+// standard sweep metrics and, when log is non-nil, to one structured
+// stream: cell failures log at Error with the key, attempts, duration and
+// panic flag; retried successes log at Warn; checkpoint replays at Debug.
+// Either argument may be nil; when both are, the hooks are nil and the
+// runner pays nothing.
+func RunnerHooks(reg *Registry, log *slog.Logger) (onStart func(key string, index int), onDone func(runner.CellEvent)) {
+	if reg == nil && log == nil {
+		return nil, nil
+	}
+	var (
+		inflight *Gauge
+		done     *Counter
+		replayed *Counter
+		failed   *Counter
+		panicked *Counter
+		retried  *Counter
+		latency  *Timing
+	)
+	if reg != nil {
+		inflight = reg.Gauge(MCellsInflight)
+		done = reg.Counter(MCellsDone)
+		replayed = reg.Counter(MCellsReplayed)
+		failed = reg.Counter(MCellsFailed)
+		panicked = reg.Counter(MCellsPanicked)
+		retried = reg.Counter(MCellsRetried)
+		latency = reg.Timing(MCellLatency)
+	}
+	if reg != nil {
+		onStart = func(key string, index int) { inflight.Add(1) }
+	}
+	onDone = func(ev runner.CellEvent) {
+		if reg != nil {
+			if !ev.FromCheckpoint {
+				inflight.Add(-1)
+				latency.Observe(ev.Duration)
+			}
+			if ev.Attempts > 1 {
+				retried.Add(1)
+			}
+			switch {
+			case ev.FromCheckpoint:
+				replayed.Add(1)
+			case ev.Err != nil:
+				failed.Add(1)
+				if ev.Panicked {
+					panicked.Add(1)
+				}
+			default:
+				done.Add(1)
+			}
+		}
+		if log == nil {
+			return
+		}
+		switch {
+		case ev.Err != nil:
+			log.Error("cell failed",
+				"key", ev.Key, "attempts", ev.Attempts,
+				"duration", ev.Duration, "panicked", ev.Panicked,
+				"err", ev.Err)
+		case ev.FromCheckpoint:
+			log.Debug("cell replayed from checkpoint", "key", ev.Key)
+		case ev.Attempts > 1:
+			log.Warn("cell succeeded after retry",
+				"key", ev.Key, "attempts", ev.Attempts, "duration", ev.Duration)
+		}
+	}
+	return onStart, onDone
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+func TestRunnerHooksNilWhenUnconfigured(t *testing.T) {
+	onStart, onDone := RunnerHooks(nil, nil)
+	if onStart != nil || onDone != nil {
+		t.Error("hooks not nil without registry or logger")
+	}
+}
+
+func TestRunnerHooksFeedRegistry(t *testing.T) {
+	reg := NewRegistry()
+	onStart, onDone := RunnerHooks(reg, nil)
+
+	onStart("k1", 0)
+	if got := reg.Gauge(MCellsInflight).Value(); got != 1 {
+		t.Errorf("inflight after start = %d", got)
+	}
+	onDone(runner.CellEvent{Key: "k1", Attempts: 1, Duration: 3 * time.Millisecond})
+	onStart("k2", 1)
+	onDone(runner.CellEvent{Key: "k2", Attempts: 3, Duration: time.Millisecond,
+		Err: errors.New("boom"), Panicked: true})
+	onDone(runner.CellEvent{Key: "k3", FromCheckpoint: true})
+
+	checks := map[string]int64{
+		MCellsDone:     1,
+		MCellsFailed:   1,
+		MCellsPanicked: 1,
+		MCellsRetried:  1,
+		MCellsReplayed: 1,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge(MCellsInflight).Value(); got != 0 {
+		t.Errorf("inflight after done = %d", got)
+	}
+	// Replays never ran: only the two fresh cells have latencies.
+	if got := reg.Timing(MCellLatency).Count(); got != 2 {
+		t.Errorf("latency count = %d, want 2", got)
+	}
+}
+
+func TestRunnerHooksLogStream(t *testing.T) {
+	var buf strings.Builder
+	log := NewLogger(&buf, slog.LevelDebug, slog.String("run", "test-run"))
+	_, onDone := RunnerHooks(nil, log)
+
+	onDone(runner.CellEvent{Key: "fail-key", Attempts: 2, Err: errors.New("synthetic")})
+	onDone(runner.CellEvent{Key: "retry-key", Attempts: 2})
+	onDone(runner.CellEvent{Key: "replay-key", FromCheckpoint: true})
+	onDone(runner.CellEvent{Key: "ok-key", Attempts: 1}) // success: silent
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 log lines, got %d:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "run=test-run") {
+			t.Errorf("line lacks run-scoped attr: %q", line)
+		}
+	}
+	if !strings.Contains(lines[0], "level=ERROR") || !strings.Contains(lines[0], "fail-key") {
+		t.Errorf("failure line wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "level=WARN") || !strings.Contains(lines[1], "retry-key") {
+		t.Errorf("retry line wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "level=DEBUG") || !strings.Contains(lines[2], "replay-key") {
+		t.Errorf("replay line wrong: %q", lines[2])
+	}
+	if strings.Contains(out, "ok-key") {
+		t.Errorf("clean success logged: %s", out)
+	}
+}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"time"
+)
+
+// NewLogger returns a slog.Logger writing one structured text line per
+// record to w, with the given run-scoped attributes (run id, scale, …)
+// attached to every line. The handler serializes each record into a single
+// Write, so concurrent cell failures from the worker pool never interleave
+// on stderr.
+func NewLogger(w io.Writer, level slog.Leveler, attrs ...slog.Attr) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(h.WithAttrs(attrs))
+}
+
+// RunID returns a human-sortable identifier for one CLI invocation, used as
+// the run-scoped logging attribute and the manifest run id.
+func RunID() string {
+	return fmt.Sprintf("%s-%d", time.Now().UTC().Format("20060102T150405Z"), os.Getpid())
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// manifestSchemaVersion bumps when the manifest layout changes shape.
+const manifestSchemaVersion = 1
+
+// Manifest records what one sweep run actually did: the exact invocation,
+// the configuration identity (hashed, so two runs are comparable at a
+// glance), the trace fingerprints, the host, per-cell latency percentiles
+// and aggregate throughput. Written at sweep end (or SIGINT) next to the
+// run's outputs, it makes every figure reproducible and every performance
+// regression diffable.
+type Manifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	RunID         string `json:"run_id"`
+	// ConfigHash identifies the sweep configuration (scale, figure
+	// selection, trace fingerprints). A resumed run hashes identically to
+	// the run it resumes.
+	ConfigHash string `json:"config_hash"`
+	// Invocation is the exact command line (os.Args).
+	Invocation []string `json:"invocation"`
+	Scale      float64  `json:"scale,omitempty"`
+	Figures    []string `json:"figures,omitempty"`
+	// TraceFingerprints are the per-trace content hashes the checkpoint
+	// keys embed.
+	TraceFingerprints []string            `json:"trace_fingerprints,omitempty"`
+	Checkpoint        *ManifestCheckpoint `json:"checkpoint,omitempty"`
+	Host              ManifestHost        `json:"host"`
+	StartTime         time.Time           `json:"start_time"`
+	WallMs            int64               `json:"wall_ms"`
+	// Outcome is "ok", "interrupted", or "failed: <reason>".
+	Outcome string `json:"outcome"`
+
+	Cells       ManifestCells      `json:"cells"`
+	CellLatency TimingSnapshot     `json:"cell_latency"`
+	Throughput  ManifestThroughput `json:"throughput"`
+	Phases      []PhaseDuration    `json:"phases,omitempty"`
+}
+
+// ManifestCheckpoint identifies the checkpoint log a run used.
+type ManifestCheckpoint struct {
+	Path string `json:"path"`
+	// Entries is how many completed cells the log held when the run
+	// finished.
+	Entries int `json:"entries"`
+}
+
+// ManifestHost records where the run executed.
+type ManifestHost struct {
+	Hostname   string `json:"hostname"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// ManifestCells tallies cell outcomes.
+type ManifestCells struct {
+	Planned  int64 `json:"planned"`
+	Done     int64 `json:"done"`
+	Replayed int64 `json:"replayed"`
+	Failed   int64 `json:"failed"`
+	Panicked int64 `json:"panicked"`
+	Retried  int64 `json:"retried"`
+}
+
+// ManifestThroughput is the aggregate simulator throughput of the run.
+type ManifestThroughput struct {
+	RefsSimulated int64   `json:"refs_simulated"`
+	RefsPerSec    float64 `json:"refs_per_sec"`
+	CellsPerSec   float64 `json:"cells_per_sec"`
+}
+
+// NewManifest starts a manifest for the current process: run id, host and
+// invocation filled in, start time set to now.
+func NewManifest() *Manifest {
+	host, _ := os.Hostname()
+	return &Manifest{
+		SchemaVersion: manifestSchemaVersion,
+		RunID:         RunID(),
+		Invocation:    os.Args,
+		StartTime:     time.Now().UTC(),
+		Host: ManifestHost{
+			Hostname:   host,
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+	}
+}
+
+// ConfigHash derives the manifest's configuration identity from its parts
+// (scale, figure selection, trace fingerprints, …) the same way checkpoint
+// cell keys are derived, so it is stable across runs and resumes.
+func ConfigHash(parts ...any) string { return runner.Key(parts...) }
+
+// FillFromRegistry copies the registry's sweep metrics into the manifest:
+// cell tallies, latency percentiles and throughput over the given wall
+// time.
+func (m *Manifest) FillFromRegistry(reg *Registry, wall time.Duration) {
+	m.WallMs = wall.Milliseconds()
+	m.Cells = ManifestCells{
+		Planned:  reg.Counter(MCellsPlanned).Value(),
+		Done:     reg.Counter(MCellsDone).Value(),
+		Replayed: reg.Counter(MCellsReplayed).Value(),
+		Failed:   reg.Counter(MCellsFailed).Value(),
+		Panicked: reg.Counter(MCellsPanicked).Value(),
+		Retried:  reg.Counter(MCellsRetried).Value(),
+	}
+	m.CellLatency = reg.Timing(MCellLatency).Snapshot()
+	refs := reg.Counter(MSimRefs).Value()
+	m.Throughput = ManifestThroughput{
+		RefsSimulated: refs,
+		RefsPerSec:    rate(refs, wall.Seconds()),
+		CellsPerSec:   rate(m.Cells.Done+m.Cells.Failed, wall.Seconds()),
+	}
+}
+
+// Write atomically writes the manifest as indented JSON: a temp file in the
+// target directory, fsynced, then renamed over path, so a manifest is never
+// half-written even on SIGINT.
+func (m *Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("obs: writing manifest %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("obs: writing manifest %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("obs: syncing manifest %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("obs: closing manifest %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("obs: renaming manifest %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadManifest loads a manifest written by Write.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading manifest %s: %w", path, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: decoding manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestManifestRoundTrip: write → read → deep-equal, the manifest's storage
+// contract.
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest()
+	m.Scale = 0.25
+	m.Figures = []string{"fig3-1", "fig3-2"}
+	m.TraceFingerprints = []string{"rnd-a-0123", "coup-4567"}
+	m.ConfigHash = ConfigHash("test/v1", 0.25, m.Figures, m.TraceFingerprints)
+	m.Checkpoint = &ManifestCheckpoint{Path: "f.ndjson", Entries: 12}
+	m.Outcome = "ok"
+	m.WallMs = 1234
+	m.Cells = ManifestCells{Planned: 24, Done: 20, Replayed: 2, Failed: 1, Panicked: 1, Retried: 3}
+	m.CellLatency = TimingSnapshot{Count: 21, MeanUs: 1500, P50Us: 1023, P95Us: 4095, MaxUs: 3999}
+	m.Throughput = ManifestThroughput{RefsSimulated: 1_000_000, RefsPerSec: 810_372.5, CellsPerSec: 17.02}
+	m.Phases = []PhaseDuration{{Name: "generate", WallMs: 100}, {Name: "fig3-1", WallMs: 1134}}
+	// JSON round-trips time only at its marshaled precision.
+	m.StartTime = m.StartTime.Truncate(time.Second)
+
+	path := filepath.Join(t.TempDir(), "run.manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.StartTime.Equal(m.StartTime) {
+		t.Errorf("start time %v != %v", got.StartTime, m.StartTime)
+	}
+	// Normalize the time zone representation before the deep compare.
+	got.StartTime = m.StartTime
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestManifestWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	m := NewManifest()
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings left behind.
+	leftovers, err := filepath.Glob(filepath.Join(dir, ".manifest-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf("temp files left after Write: %v", leftovers)
+	}
+}
+
+func TestConfigHashStableAndSensitive(t *testing.T) {
+	fps := []string{"a-1", "b-2"}
+	h1 := ConfigHash("paperfigs/v1", 0.25, []string{"fig3-1"}, fps)
+	h2 := ConfigHash("paperfigs/v1", 0.25, []string{"fig3-1"}, []string{"a-1", "b-2"})
+	if h1 != h2 {
+		t.Error("identical inputs hash differently")
+	}
+	if h1 == ConfigHash("paperfigs/v1", 0.5, []string{"fig3-1"}, fps) {
+		t.Error("scale change did not change the hash")
+	}
+	if h1 == ConfigHash("paperfigs/v1", 0.25, []string{"fig3-2"}, fps) {
+		t.Error("figure change did not change the hash")
+	}
+}
+
+func TestFillFromRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MCellsPlanned).Add(10)
+	reg.Counter(MCellsDone).Add(8)
+	reg.Counter(MCellsFailed).Add(2)
+	reg.Counter(MCellsRetried).Add(1)
+	reg.Counter(MSimRefs).Add(500_000)
+	reg.Timing(MCellLatency).Observe(2 * time.Millisecond)
+
+	m := NewManifest()
+	m.FillFromRegistry(reg, 5*time.Second)
+	if m.Cells.Planned != 10 || m.Cells.Done != 8 || m.Cells.Failed != 2 || m.Cells.Retried != 1 {
+		t.Errorf("cells = %+v", m.Cells)
+	}
+	if m.Throughput.RefsSimulated != 500_000 || m.Throughput.RefsPerSec != 100_000 {
+		t.Errorf("throughput = %+v", m.Throughput)
+	}
+	if m.Throughput.CellsPerSec != 2 { // (8 done + 2 failed) / 5 s
+		t.Errorf("cells/s = %v", m.Throughput.CellsPerSec)
+	}
+	if m.CellLatency.Count != 1 || m.CellLatency.MaxUs == 0 {
+		t.Errorf("latency = %+v", m.CellLatency)
+	}
+	if m.WallMs != 5000 {
+		t.Errorf("wall = %d", m.WallMs)
+	}
+}
+
+func TestReadManifestErrors(t *testing.T) {
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bad); err == nil || !strings.Contains(err.Error(), "decoding") {
+		t.Errorf("corrupt file error = %v", err)
+	}
+}

@@ -1,0 +1,18 @@
+//go:build obs_debug
+
+package obs
+
+import "runtime"
+
+// DeepProfiling reports whether the binary was built with the obs_debug
+// tag, which arms contention profiling for the debug server.
+const DeepProfiling = true
+
+// enableDeepProfiling arms mutex and block profiling so /debug/pprof/mutex
+// and /debug/pprof/block carry data. Sampled (1 in 8 mutex events, block
+// events >= 100µs) to keep overhead negligible at cell granularity; still
+// kept behind the build tag so release binaries never pay it.
+func enableDeepProfiling() {
+	runtime.SetMutexProfileFraction(8)
+	runtime.SetBlockProfileRate(int(100_000)) // report blocks >= 100µs
+}

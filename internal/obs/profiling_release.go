@@ -1,0 +1,11 @@
+//go:build !obs_debug
+
+package obs
+
+// DeepProfiling reports whether the binary was built with the obs_debug
+// tag, which arms contention profiling for the debug server.
+const DeepProfiling = false
+
+// enableDeepProfiling is a no-op in release builds: mutex/block profiling
+// stays off unless the binary was built with -tags obs_debug.
+func enableDeepProfiling() {}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter prints periodic progress/ETA lines for a running sweep by
+// polling the registry's standard metrics, and renders a final per-phase
+// wall-time breakdown on Stop. Safe for concurrent use with the sweep; the
+// zero Clock uses the real time.
+type Reporter struct {
+	// Clock supplies the current time; tests inject a fake. Set before
+	// Start; nil means time.Now.
+	Clock func() time.Time
+
+	w        io.Writer
+	reg      *Registry
+	interval time.Duration
+
+	mu       sync.Mutex
+	started  bool
+	start    time.Time
+	phases   []phaseSpan
+	lastTick time.Time
+	lastDone int64
+	lastRefs int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type phaseSpan struct {
+	name  string
+	start time.Time
+}
+
+// NewReporter builds a reporter writing to w at the given interval. It does
+// nothing until Start.
+func NewReporter(w io.Writer, reg *Registry, interval time.Duration) *Reporter {
+	return &Reporter{w: w, reg: reg, interval: interval}
+}
+
+func (r *Reporter) now() time.Time {
+	if r.Clock != nil {
+		return r.Clock()
+	}
+	return time.Now()
+}
+
+// Start begins the periodic reporting goroutine. Calling Start twice is a
+// no-op.
+func (r *Reporter) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.start = r.now()
+	r.lastTick = r.start
+	stop := make(chan struct{})
+	r.stop = stop
+	r.mu.Unlock()
+
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.tick()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Phase marks the start of a named phase (one figure, typically). Wall time
+// between marks is attributed to the earlier phase in the final breakdown.
+func (r *Reporter) Phase(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if !r.started {
+		// Phase before Start still records, anchored at the first mark.
+		r.started, r.start, r.lastTick = true, now, now
+	}
+	r.phases = append(r.phases, phaseSpan{name: name, start: now})
+}
+
+// Stop halts the reporting goroutine, prints one final progress line and
+// the per-phase wall-time breakdown. Safe to call once after Start.
+func (r *Reporter) Stop() {
+	r.mu.Lock()
+	stopped := r.stop
+	r.stop = nil
+	r.mu.Unlock()
+	if stopped != nil {
+		close(stopped)
+		r.wg.Wait()
+	}
+	r.tick()
+	r.breakdown()
+}
+
+// tick emits one progress line. Split out (and clock-injected) so tests can
+// drive it without the goroutine.
+func (r *Reporter) tick() {
+	now := r.now()
+	planned := r.reg.Counter(MCellsPlanned).Value()
+	done := r.reg.Counter(MCellsDone).Value()
+	replayed := r.reg.Counter(MCellsReplayed).Value()
+	failed := r.reg.Counter(MCellsFailed).Value()
+	refs := r.reg.Counter(MSimRefs).Value()
+	finished := done + replayed + failed
+
+	r.mu.Lock()
+	phase := "sweep"
+	if n := len(r.phases); n > 0 {
+		phase = r.phases[n-1].name
+	}
+	windowDt := now.Sub(r.lastTick).Seconds()
+	windowDone := finished - r.lastDone
+	windowRefs := refs - r.lastRefs
+	totalDt := now.Sub(r.start).Seconds()
+	r.lastTick, r.lastDone, r.lastRefs = now, finished, refs
+	r.mu.Unlock()
+
+	// Windowed rates when the window saw work; cumulative otherwise.
+	cellRate := rate(windowDone, windowDt)
+	refRate := rate(windowRefs, windowDt)
+	if windowDone == 0 {
+		cellRate = rate(finished, totalDt)
+		refRate = rate(refs, totalDt)
+	}
+
+	line := fmt.Sprintf("[obs] %s: %d/%d cells", phase, finished, planned)
+	if failed > 0 {
+		line += fmt.Sprintf(" (%d failed)", failed)
+	}
+	line += fmt.Sprintf(" | %.1f cells/s, %s refs/s", cellRate, fmtCount(int64(refRate)))
+	if remaining := planned - finished; remaining > 0 && cellRate > 0 {
+		eta := time.Duration(float64(remaining) / cellRate * float64(time.Second)).Round(time.Second)
+		line += fmt.Sprintf(" | ETA %s", eta)
+	}
+	fmt.Fprintln(r.w, line)
+}
+
+// breakdown renders the per-phase wall-time table.
+func (r *Reporter) breakdown() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.phases) == 0 {
+		return
+	}
+	end := r.now()
+	fmt.Fprintf(r.w, "[obs] wall-time breakdown (total %s):\n",
+		end.Sub(r.start).Round(time.Millisecond))
+	for i, p := range r.phases {
+		stop := end
+		if i+1 < len(r.phases) {
+			stop = r.phases[i+1].start
+		}
+		fmt.Fprintf(r.w, "[obs]   %-14s %s\n", p.name, stop.Sub(p.start).Round(time.Millisecond))
+	}
+}
+
+// PhaseDurations returns the recorded phases and their wall times as of
+// now, for the manifest.
+func (r *Reporter) PhaseDurations() []PhaseDuration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	end := r.now()
+	out := make([]PhaseDuration, len(r.phases))
+	for i, p := range r.phases {
+		stop := end
+		if i+1 < len(r.phases) {
+			stop = r.phases[i+1].start
+		}
+		out[i] = PhaseDuration{Name: p.name, WallMs: stop.Sub(p.start).Milliseconds()}
+	}
+	return out
+}
+
+// PhaseDuration is one phase's wall time, as recorded in the manifest.
+type PhaseDuration struct {
+	Name   string `json:"name"`
+	WallMs int64  `json:"wall_ms"`
+}
+
+func rate(n int64, dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return float64(n) / dt
+}
+
+// fmtCount renders large counts compactly (12.3k, 4.5M).
+func fmtCount(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for reporter tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}
+}
+
+// TestReporterProgressLine drives the reporter with a fake clock, no
+// goroutine: tick() is what the ticker calls.
+func TestReporterProgressLine(t *testing.T) {
+	reg := NewRegistry()
+	var buf strings.Builder
+	clk := newFakeClock()
+	r := NewReporter(&buf, reg, time.Second)
+	r.Clock = clk.Now
+	r.Phase("fig3-1")
+
+	reg.Counter(MCellsPlanned).Add(100)
+	reg.Counter(MCellsDone).Add(20)
+	reg.Counter(MSimRefs).Add(2_000_000)
+	clk.Advance(10 * time.Second)
+	r.tick()
+
+	line := buf.String()
+	if !strings.Contains(line, "fig3-1") {
+		t.Errorf("line lacks phase name: %q", line)
+	}
+	if !strings.Contains(line, "20/100 cells") {
+		t.Errorf("line lacks cell progress: %q", line)
+	}
+	// 20 cells in 10 s → 2.0 cells/s; 80 remaining → ETA 40 s.
+	if !strings.Contains(line, "2.0 cells/s") {
+		t.Errorf("line lacks cell rate: %q", line)
+	}
+	if !strings.Contains(line, "200.0k refs/s") {
+		t.Errorf("line lacks refs rate: %q", line)
+	}
+	if !strings.Contains(line, "ETA 40s") {
+		t.Errorf("line lacks ETA: %q", line)
+	}
+	if strings.Contains(line, "failed") {
+		t.Errorf("failure count shown with zero failures: %q", line)
+	}
+}
+
+func TestReporterWindowedRateAndFailures(t *testing.T) {
+	reg := NewRegistry()
+	var buf strings.Builder
+	clk := newFakeClock()
+	r := NewReporter(&buf, reg, time.Second)
+	r.Clock = clk.Now
+	r.Phase("sweep")
+
+	reg.Counter(MCellsPlanned).Add(50)
+	reg.Counter(MCellsDone).Add(10)
+	clk.Advance(10 * time.Second)
+	r.tick()
+	buf.Reset()
+
+	// Second window: 30 more cells in 2 s → windowed rate 15 cells/s,
+	// not the cumulative 40/12.
+	reg.Counter(MCellsDone).Add(28)
+	reg.Counter(MCellsFailed).Add(2)
+	clk.Advance(2 * time.Second)
+	r.tick()
+	line := buf.String()
+	if !strings.Contains(line, "40/50 cells") {
+		t.Errorf("progress wrong: %q", line)
+	}
+	if !strings.Contains(line, "(2 failed)") {
+		t.Errorf("failed count missing: %q", line)
+	}
+	if !strings.Contains(line, "15.0 cells/s") {
+		t.Errorf("windowed rate wrong: %q", line)
+	}
+}
+
+func TestReporterBreakdown(t *testing.T) {
+	reg := NewRegistry()
+	var buf strings.Builder
+	clk := newFakeClock()
+	r := NewReporter(&buf, reg, time.Second)
+	r.Clock = clk.Now
+
+	r.Phase("generate")
+	clk.Advance(3 * time.Second)
+	r.Phase("fig3-1")
+	clk.Advance(7 * time.Second)
+	r.breakdown()
+
+	out := buf.String()
+	if !strings.Contains(out, "generate") || !strings.Contains(out, "3s") {
+		t.Errorf("breakdown lacks generate/3s: %q", out)
+	}
+	if !strings.Contains(out, "fig3-1") || !strings.Contains(out, "7s") {
+		t.Errorf("breakdown lacks fig3-1/7s: %q", out)
+	}
+	if !strings.Contains(out, "total 10s") {
+		t.Errorf("breakdown lacks total: %q", out)
+	}
+
+	ds := r.PhaseDurations()
+	if len(ds) != 2 || ds[0].WallMs != 3000 || ds[1].WallMs != 7000 {
+		t.Errorf("PhaseDurations = %+v", ds)
+	}
+}
+
+// TestReporterStartStop exercises the real goroutine path briefly: no fake
+// clock, just proving Start/Stop don't race or deadlock and Stop emits a
+// final line.
+func TestReporterStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MCellsPlanned).Add(1)
+	reg.Counter(MCellsDone).Add(1)
+	var mu syncWriter
+	r := NewReporter(&mu, reg, time.Hour) // interval never fires; Stop ticks
+	r.Start()
+	r.Phase("p")
+	r.Stop()
+	if !strings.Contains(mu.String(), "1/1 cells") {
+		t.Errorf("final line missing: %q", mu.String())
+	}
+}
+
+// syncWriter is a mutex-guarded strings.Builder: the reporter goroutine and
+// the test both write/read.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}

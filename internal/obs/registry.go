@@ -1,0 +1,220 @@
+// Package obs is the sweep observability layer: a lightweight metrics
+// registry fed by the runner's cell hooks, a progress/ETA reporter, a run
+// manifest that makes every figure reproducible and every performance
+// change diffable, and an optional expvar + pprof debug server.
+//
+// Everything here is off by default and instruments at cell granularity
+// only — nothing in this package runs inside the simulator's inner loop.
+// When no registry is attached to a sweep, the runner's hook fields stay
+// nil and the hot path pays nothing.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Standard metric names fed by the runner hooks (see RunnerHooks). CLIs and
+// tests read these back from the registry by name.
+const (
+	// MCellsPlanned counts cells submitted to sweeps so far. It grows as
+	// figures start, so ETA estimates cover only the work announced yet.
+	MCellsPlanned = "cells_planned"
+	// MCellsDone counts freshly computed successful cells.
+	MCellsDone = "cells_done"
+	// MCellsReplayed counts cells served from the checkpoint log.
+	MCellsReplayed = "cells_replayed"
+	// MCellsFailed counts cells whose final attempt failed.
+	MCellsFailed = "cells_failed"
+	// MCellsPanicked counts failed cells whose final attempt panicked.
+	MCellsPanicked = "cells_panicked"
+	// MCellsRetried counts cells that needed more than one attempt.
+	MCellsRetried = "cells_retried"
+	// MCellsInflight gauges cells currently on a worker.
+	MCellsInflight = "cells_inflight"
+	// MSimRefs counts simulated references (warm window) across cells.
+	MSimRefs = "sim_refs"
+	// MCellLatency is the per-cell wall-clock timing histogram.
+	MCellLatency = "cell_latency"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time metric, safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Timing is a duration histogram backed by stats.Hist (power-of-two
+// microsecond buckets), safe for concurrent use.
+type Timing struct {
+	mu sync.Mutex
+	h  stats.Hist
+}
+
+// Observe records one duration.
+func (t *Timing) Observe(d time.Duration) {
+	t.mu.Lock()
+	t.h.Add(d.Microseconds())
+	t.mu.Unlock()
+}
+
+// Count returns how many durations were recorded.
+func (t *Timing) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.h.Count
+}
+
+// Percentile returns the p-quantile upper bound (p in [0, 1]).
+func (t *Timing) Percentile(p float64) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.h.Percentile(p)) * time.Microsecond
+}
+
+// Max returns the largest recorded duration.
+func (t *Timing) Max() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.h.Max) * time.Microsecond
+}
+
+// Mean returns the arithmetic mean of the recorded durations.
+func (t *Timing) Mean() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.h.Mean()) * time.Microsecond
+}
+
+// TimingSnapshot is a JSON-able summary of a Timing, in microseconds.
+type TimingSnapshot struct {
+	Count  int64 `json:"count"`
+	MeanUs int64 `json:"mean_us"`
+	P50Us  int64 `json:"p50_us"`
+	P95Us  int64 `json:"p95_us"`
+	MaxUs  int64 `json:"max_us"`
+}
+
+// Snapshot summarizes the timing under one lock acquisition.
+func (t *Timing) Snapshot() TimingSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TimingSnapshot{
+		Count:  t.h.Count,
+		MeanUs: int64(t.h.Mean()),
+		P50Us:  t.h.Percentile(0.50),
+		P95Us:  t.h.Percentile(0.95),
+		MaxUs:  t.h.Max,
+	}
+}
+
+// Registry holds named counters, gauges and timings. Metrics are created on
+// first use and live for the registry's lifetime; all methods are safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timings  map[string]*Timing
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timings:  make(map[string]*Timing),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timing returns the named timing histogram, creating it on first use.
+func (r *Registry) Timing(name string) *Timing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timings[name]
+	if !ok {
+		t = &Timing{}
+		r.timings[name] = t
+	}
+	return t
+}
+
+// Snapshot returns a JSON-able view of every metric: counters and gauges as
+// int64, timings as TimingSnapshot. The view is a copy; mutating it does
+// not affect the registry.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	names := make([]string, 0, len(r.counters))
+	for n, c := range r.counters {
+		names = append(names, n)
+		counters = append(counters, c)
+	}
+	gnames := make([]string, 0, len(r.gauges))
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gnames = append(gnames, n)
+		gauges = append(gauges, g)
+	}
+	tnames := make([]string, 0, len(r.timings))
+	timings := make([]*Timing, 0, len(r.timings))
+	for n, t := range r.timings {
+		tnames = append(tnames, n)
+		timings = append(timings, t)
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]any, len(names)+len(gnames)+len(tnames))
+	for i, n := range names {
+		out[n] = counters[i].Value()
+	}
+	for i, n := range gnames {
+		out[n] = gauges[i].Value()
+	}
+	for i, n := range tnames {
+		out[n] = timings[i].Snapshot()
+	}
+	return out
+}

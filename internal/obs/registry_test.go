@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// creation races, counter adds, timing observes and snapshot reads — and
+// checks the totals. Run under -race (the Makefile race target includes
+// this package).
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		workers = 16
+		perG    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Get-or-create on every iteration: the racy path.
+				reg.Counter(MCellsDone).Add(1)
+				reg.Gauge(MCellsInflight).Add(1)
+				reg.Timing(MCellLatency).Observe(time.Duration(i) * time.Microsecond)
+				reg.Gauge(MCellsInflight).Add(-1)
+			}
+		}()
+	}
+	// Concurrent snapshot readers.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := reg.Counter(MCellsDone).Value(); got != workers*perG {
+		t.Errorf("counter = %d, want %d", got, workers*perG)
+	}
+	if got := reg.Gauge(MCellsInflight).Value(); got != 0 {
+		t.Errorf("inflight gauge = %d, want 0", got)
+	}
+	if got := reg.Timing(MCellLatency).Count(); got != workers*perG {
+		t.Errorf("timing count = %d, want %d", got, workers*perG)
+	}
+}
+
+func TestRegistryGetOrCreateReturnsSameMetric(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("Counter(x) returned distinct instances")
+	}
+	if reg.Gauge("y") != reg.Gauge("y") {
+		t.Error("Gauge(y) returned distinct instances")
+	}
+	if reg.Timing("z") != reg.Timing("z") {
+		t.Error("Timing(z) returned distinct instances")
+	}
+}
+
+func TestTimingSnapshotPercentiles(t *testing.T) {
+	var tm Timing
+	for i := 1; i <= 100; i++ {
+		tm.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := tm.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Power-of-two buckets: percentiles are upper bounds, never below the
+	// true quantile and never above the max.
+	if s.P50Us < 50_000 || s.P50Us > s.MaxUs {
+		t.Errorf("p50 = %dµs, want within [50ms, max]", s.P50Us)
+	}
+	if s.P95Us < 95_000 || s.P95Us > s.MaxUs {
+		t.Errorf("p95 = %dµs, want within [95ms, max]", s.P95Us)
+	}
+	if s.MaxUs != 100_000 {
+		t.Errorf("max = %dµs, want 100ms", s.MaxUs)
+	}
+	if s.MeanUs < 40_000 || s.MeanUs > 60_000 {
+		t.Errorf("mean = %dµs, want ≈50.5ms", s.MeanUs)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(3)
+	snap := reg.Snapshot()
+	if snap["c"].(int64) != 3 {
+		t.Fatalf("snapshot c = %v", snap["c"])
+	}
+	snap["c"] = int64(99)
+	if got := reg.Counter("c").Value(); got != 3 {
+		t.Errorf("mutating snapshot changed registry: %d", got)
+	}
+}

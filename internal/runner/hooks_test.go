@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCellHooksFire: every cell a worker picks up produces one start and
+// one done event; checkpoint replays produce a done event only.
+func TestCellHooksFire(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.ndjson")
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []Cell[int]{
+		{Key: "a", Run: func(ctx context.Context) (int, error) { return 1, nil }},
+		{Key: "b", Run: func(ctx context.Context) (int, error) { return 2, nil }},
+		{Key: "c", Run: func(ctx context.Context) (int, error) { return 0, errors.New("nope") }},
+	}
+	var mu sync.Mutex
+	starts := map[string]int{}
+	dones := map[string]CellEvent{}
+	opts := Options{
+		Checkpoint: cp,
+		OnCellStart: func(key string, index int) {
+			mu.Lock()
+			starts[key]++
+			mu.Unlock()
+		},
+		OnCellDone: func(ev CellEvent) {
+			mu.Lock()
+			dones[ev.Key] = ev
+			mu.Unlock()
+		},
+	}
+	Run(context.Background(), cells, opts)
+	if len(starts) != 3 || len(dones) != 3 {
+		t.Fatalf("starts=%v dones=%v", starts, dones)
+	}
+	if ev := dones["a"]; ev.Err != nil || ev.Attempts != 1 || ev.FromCheckpoint {
+		t.Errorf("a event = %+v", ev)
+	}
+	if ev := dones["c"]; ev.Err == nil {
+		t.Errorf("c event lacks error: %+v", ev)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: a and b replay (done event, no start); c runs again.
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	starts, dones = map[string]int{}, map[string]CellEvent{}
+	opts.Checkpoint = cp2
+	Run(context.Background(), cells, opts)
+	if starts["a"] != 0 || starts["b"] != 0 || starts["c"] != 1 {
+		t.Errorf("resume starts = %v", starts)
+	}
+	if !dones["a"].FromCheckpoint || !dones["b"].FromCheckpoint {
+		t.Errorf("resume dones = %+v", dones)
+	}
+}
+
+// TestResultDuration: freshly run cells carry a positive wall-clock
+// duration; replays and never-started cells carry zero.
+func TestResultDuration(t *testing.T) {
+	cells := []Cell[int]{{
+		Key: "slow",
+		Run: func(ctx context.Context) (int, error) {
+			time.Sleep(5 * time.Millisecond)
+			return 1, nil
+		},
+	}}
+	rs := Run(context.Background(), cells, Options{})
+	if rs[0].Duration < 5*time.Millisecond {
+		t.Errorf("duration = %v, want >= 5ms", rs[0].Duration)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs = Run(ctx, cells, Options{})
+	if rs[0].Duration != 0 {
+		t.Errorf("cancelled-before-start duration = %v, want 0", rs[0].Duration)
+	}
+}
+
+// TestDurationSpansRetries: the recorded duration covers every attempt, and
+// the retried cell is tallied by Summarize.
+func TestDurationSpansRetries(t *testing.T) {
+	var attempts int
+	cells := []Cell[int]{{
+		Key: "flaky",
+		Run: func(ctx context.Context) (int, error) {
+			attempts++
+			time.Sleep(2 * time.Millisecond)
+			if attempts < 3 {
+				return 0, fmt.Errorf("transient %d", attempts)
+			}
+			return 42, nil
+		},
+	}}
+	rs := Run(context.Background(), cells, Options{Workers: 1, Retries: 2})
+	if !rs[0].Done || rs[0].Attempts != 3 {
+		t.Fatalf("result = %+v", rs[0])
+	}
+	if rs[0].Duration < 6*time.Millisecond {
+		t.Errorf("duration %v does not span 3 attempts", rs[0].Duration)
+	}
+	s := Summarize(rs)
+	if s.Retried != 1 {
+		t.Errorf("Summarize.Retried = %d, want 1", s.Retried)
+	}
+	if want := "1/1 cells done (0 from checkpoint, 0 failed, 0 panicked, 1 retried, 0 not run)"; s.String() != want {
+		t.Errorf("summary = %q, want %q", s.String(), want)
+	}
+}
+
+// TestSummarizeRetriedIncludesFailures: a cell that exhausts its retries
+// still counts as retried.
+func TestSummarizeRetriedIncludesFailures(t *testing.T) {
+	cells := []Cell[int]{{
+		Key: "doomed",
+		Run: func(ctx context.Context) (int, error) { return 0, errors.New("always") },
+	}}
+	rs := Run(context.Background(), cells, Options{Retries: 1})
+	s := Summarize(rs)
+	if s.Failed != 1 || s.Retried != 1 {
+		t.Errorf("summary = %+v, want 1 failed and 1 retried", s)
+	}
+}

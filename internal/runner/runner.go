@@ -78,8 +78,30 @@ type Result[T any] struct {
 	// Attempts counts how many times the cell ran (0 for checkpoint
 	// replays and cells cancelled before starting).
 	Attempts int
+	// Duration is the wall-clock time the cell spent on a worker, summed
+	// over every attempt including retries (0 for checkpoint replays and
+	// cells cancelled before starting).
+	Duration time.Duration
 	// Err is set when the cell failed or was never run.
 	Err *CellError
+}
+
+// CellEvent describes one cell outcome for Options.OnCellDone. Exactly one
+// event fires per cell a worker picked up (after its final attempt) and per
+// checkpoint replay; cells cancelled before reaching a worker produce none.
+type CellEvent struct {
+	Key   string
+	Index int // position in the input cell slice
+	// Duration is wall-clock time across all attempts (0 for replays).
+	Duration time.Duration
+	// Attempts is how many times the cell ran (0 for replays).
+	Attempts int
+	// FromCheckpoint marks a replayed cell, which never fired OnCellStart.
+	FromCheckpoint bool
+	// Panicked reports whether the final attempt panicked.
+	Panicked bool
+	// Err is the terminal error, nil on success.
+	Err error
 }
 
 // Options configures a sweep.
@@ -99,6 +121,15 @@ type Options struct {
 	// Checkpoint, when set, replays completed cells by Key before the
 	// sweep and records each freshly completed cell after it finishes.
 	Checkpoint *Checkpoint
+	// OnCellStart, when set, fires as a worker picks up a cell, before its
+	// first attempt. Called concurrently from worker goroutines; must be
+	// safe for concurrent use. Checkpoint replays do not fire it.
+	OnCellStart func(key string, index int)
+	// OnCellDone, when set, fires once per finished cell: after the final
+	// attempt (success or failure) and once per checkpoint replay. Called
+	// concurrently from worker goroutines; must be safe for concurrent
+	// use.
+	OnCellDone func(CellEvent)
 }
 
 func (o Options) workers() int {
@@ -130,6 +161,9 @@ func Run[T any](ctx context.Context, cells []Cell[T], opts Options) []Result[T] 
 					results[i].Value = v
 					results[i].Done = true
 					results[i].FromCheckpoint = true
+					if opts.OnCellDone != nil {
+						opts.OnCellDone(CellEvent{Key: c.Key, Index: i, FromCheckpoint: true})
+					}
 					continue
 				}
 				// Undecodable entry (e.g. the value type changed):
@@ -146,7 +180,25 @@ func Run[T any](ctx context.Context, cells []Cell[T], opts Options) []Result[T] 
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if opts.OnCellStart != nil {
+					opts.OnCellStart(cells[i].Key, i)
+				}
+				start := time.Now()
 				results[i] = runCell(ctx, cells[i], opts, results[i])
+				results[i].Duration = time.Since(start)
+				if opts.OnCellDone != nil {
+					ev := CellEvent{
+						Key:      cells[i].Key,
+						Index:    i,
+						Duration: results[i].Duration,
+						Attempts: results[i].Attempts,
+					}
+					if ce := results[i].Err; ce != nil {
+						ev.Panicked = ce.Panicked
+						ev.Err = ce
+					}
+					opts.OnCellDone(ev)
+				}
 			}
 		}()
 	}
@@ -234,18 +286,22 @@ type Summary struct {
 	FromCheckpoint int
 	Failed         int // ran and failed (panic or error)
 	Panicked       int
+	Retried        int // needed more than one attempt (done or failed)
 	NotRun         int // cancelled before starting
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("%d/%d cells done (%d from checkpoint, %d failed, %d panicked, %d not run)",
-		s.Done, s.Total, s.FromCheckpoint, s.Failed, s.Panicked, s.NotRun)
+	return fmt.Sprintf("%d/%d cells done (%d from checkpoint, %d failed, %d panicked, %d retried, %d not run)",
+		s.Done, s.Total, s.FromCheckpoint, s.Failed, s.Panicked, s.Retried, s.NotRun)
 }
 
 // Summarize tallies a result slice.
 func Summarize[T any](rs []Result[T]) Summary {
 	s := Summary{Total: len(rs)}
 	for i := range rs {
+		if rs[i].Attempts > 1 {
+			s.Retried++
+		}
 		switch {
 		case rs[i].Done:
 			s.Done++
