@@ -9,6 +9,10 @@
 #                  layer and the CLIs that drive them)
 #   fuzz         — fuzz seed corpora in regression mode (no new input
 #                  generation; just replays the checked-in seeds)
+#   selfcheck    — the differential-oracle pass: every simulator run in the
+#                  lockstep tests must agree with the reference cache model
+#   faults       — deterministic fault-injection pass: seeded panics, delays
+#                  and transient errors driven through the sweep runner
 #   vulncheck    — govulncheck when installed; advisory only, never fails
 #                  the gate (the container may not ship it)
 #   check        — all of the above
@@ -23,9 +27,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz fuzz-long vulncheck bench clean
+.PHONY: check build vet test race fuzz fuzz-long selfcheck faults vulncheck bench clean
 
-check: vet build test race fuzz vulncheck
+check: vet build test race fuzz selfcheck faults vulncheck
 
 build:
 	$(GO) build ./...
@@ -43,11 +47,23 @@ race:
 # Go runs fuzz seed corpora as ordinary tests when -fuzz is absent; this
 # target exists so the gate states the intent explicitly.
 fuzz:
-	$(GO) test -run 'Fuzz' ./internal/trace/
+	$(GO) test -run 'Fuzz' ./internal/trace/ ./internal/check/
 
 fuzz-long:
 	$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 30s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzReadDin -fuzztime 30s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzOracleLockstep -fuzztime 30s ./internal/check/
+
+# The lockstep-oracle tests across the cache, engine, system and sweep
+# layers, plus the metamorphic cache properties they rest on.
+selfcheck:
+	$(GO) test -run 'SelfCheck|Shadow|Lockstep|BufOracle|Checked|LRUAssoc|LRUSize|FullyAssoc' \
+		./internal/check/ ./internal/cache/ ./internal/system/ ./internal/engine/ ./internal/experiments/
+
+# The deterministic fault-injection suite: injected panics, delays,
+# transient errors and corrupt traces through the hardened runner.
+faults:
+	$(GO) test -run 'Fault|Wrap|Corrupt|Flaky|Decide' ./internal/faultinject/ ./internal/experiments/
 
 vulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \

@@ -26,6 +26,7 @@ import (
 	"syscall"
 
 	"repro/internal/cache"
+	"repro/internal/check"
 	"repro/internal/config"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -61,6 +62,8 @@ func run() error {
 		unified   = flag.Bool("unified", false, "unified cache instead of split I/D")
 		showTotal = flag.Bool("total", false, "report the whole trace, not just the warm window")
 		showHist  = flag.Bool("hist", false, "report couplet service-time percentiles")
+		selfcheck = flag.Bool("selfcheck", false, "run in lockstep with the reference cache model, failing on any divergence")
+		checkEvry = flag.Int("selfcheck-every", check.DefaultEvery, "structural invariant interval in references (with -selfcheck)")
 	)
 	flag.Parse()
 
@@ -127,6 +130,10 @@ func run() error {
 	fmt.Printf(", memory %d/%d/%d ns @ %s\n\n", cfg.Mem.ReadNs, cfg.Mem.WriteNs, cfg.Mem.RecoverNs, cfg.Mem.Transfer)
 
 	cfg.CollectLatencies = *showHist
+	if *selfcheck {
+		cfg.SelfCheck = &check.Options{Every: *checkEvry}
+		fmt.Println("selfcheck: differential oracle enabled; divergences abort the run")
+	}
 
 	// Ctrl-C cancels the sweep; traces that already finished are still
 	// reported, the rest are marked in the partial report below.
@@ -225,13 +232,18 @@ func describe(c cache.Config, unified bool) string {
 	return c.String()
 }
 
-// loadTraces resolves the stimulus selection.
+// loadTraces resolves the stimulus selection. Every trace is validated at
+// this single ingestion point, whether synthesized or read from disk.
 func loadTraces(wl, trPath string, scale float64) ([]*trace.Trace, error) {
+	var traces []*trace.Trace
 	switch {
 	case wl != "" && trPath != "":
 		return nil, fmt.Errorf("use either -workload or -trace, not both")
 	case wl == "all":
-		return workload.GenerateAll(scale)
+		var err error
+		if traces, err = workload.GenerateAll(scale); err != nil {
+			return nil, err
+		}
 	case wl != "":
 		spec, err := workload.ByName(wl)
 		if err != nil {
@@ -241,14 +253,20 @@ func loadTraces(wl, trPath string, scale float64) ([]*trace.Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []*trace.Trace{t}, nil
+		traces = []*trace.Trace{t}
 	case trPath != "":
 		tr, err := trace.ReadFile(trPath)
 		if err != nil {
 			return nil, err
 		}
-		return []*trace.Trace{tr}, nil
+		traces = []*trace.Trace{tr}
 	default:
 		return nil, fmt.Errorf("choose a stimulus: -workload <name|all> or -trace <file>")
 	}
+	for _, t := range traces {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("stimulus %s: %w", t.Name, err)
+		}
+	}
+	return traces, nil
 }

@@ -31,7 +31,9 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/check"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/textplot"
@@ -156,6 +158,11 @@ func run() (err error) {
 		ckpt    = flag.String("checkpoint", "", "NDJSON checkpoint log: completed sweep cells are recorded here and replayed on rerun")
 		jobs    = flag.Int("jobs", 0, "sweep worker count (0 = GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 0, "whole-sweep deadline per figure (0 = none)")
+		retries = flag.Int("retries", 0, "extra attempts granted to each failing sweep cell")
+
+		selfcheck = flag.Bool("selfcheck", false, "run every sweep cell in lockstep with the reference cache model, failing on any divergence")
+		checkEvry = flag.Int("selfcheck-every", check.DefaultEvery, "structural invariant interval in references (with -selfcheck)")
+		faultSpec = flag.String("faults", "", "deterministic fault-injection plan, e.g. 'seed=1,panic=0.02,slow=0.01,transient=0.1' (testing the runner)")
 
 		progress  = flag.Duration("progress", 0, "print sweep progress/ETA lines to stderr at this interval (0 = off)")
 		debugAddr = flag.String("debug-addr", "", "serve live expvar and pprof on this address (e.g. :8080; :0 picks a free port)")
@@ -243,7 +250,19 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	exec := experiments.ExecOptions{Workers: *jobs, SweepTimeout: *timeout, Metrics: reg, Log: logger}
+	exec := experiments.ExecOptions{Workers: *jobs, Retries: *retries, SweepTimeout: *timeout, Metrics: reg, Log: logger}
+	if *selfcheck {
+		exec.SelfCheck = &check.Options{Every: *checkEvry}
+		fmt.Println("selfcheck: differential oracle enabled; divergences fail their cells")
+	}
+	if *faultSpec != "" {
+		plan, perr := faultinject.ParsePlan(*faultSpec)
+		if perr != nil {
+			return perr
+		}
+		exec.Faults = plan
+		fmt.Fprintf(os.Stderr, "fault injection armed: %s\n", *faultSpec)
+	}
 	var cp *runner.Checkpoint
 	if *ckpt != "" {
 		if cp, err = runner.OpenCheckpoint(*ckpt); err != nil {

@@ -37,6 +37,9 @@ func run() error {
 			if err != nil {
 				return err
 			}
+			if err := tr.Validate(); err != nil {
+				return fmt.Errorf("generated %s: %w", tr.Name, err)
+			}
 			summaries = append(summaries, trace.Summarize(tr))
 			notes = append(notes, fmt.Sprintf("%s: %s", spec.Family, spec.Programs))
 		}
@@ -45,6 +48,9 @@ func run() error {
 			tr, err := trace.ReadFile(path)
 			if err != nil {
 				return err
+			}
+			if err := tr.Validate(); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
 			}
 			summaries = append(summaries, trace.Summarize(tr))
 			notes = append(notes, "")

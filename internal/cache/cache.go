@@ -197,6 +197,14 @@ type Cache struct {
 	rng  *rand.Rand
 }
 
+// ReplacementRNG returns the random-replacement stream for a seed. It is
+// exported so the check package's reference model can consume the
+// identical stream: run in lockstep, both models then pick the same
+// victims and any disagreement is a logic bug rather than noise.
+func ReplacementRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+}
+
 // New constructs a cache; the configuration must validate.
 func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
@@ -218,7 +226,7 @@ func New(cfg Config) (*Cache, error) {
 		masks:      make([]uint64, lines*maskWords),
 		used:       make([]uint64, lines),
 		fifo:       make([]uint16, sets),
-		rng:        rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xda3e39cb94b95bdb)),
+		rng:        ReplacementRNG(cfg.Seed),
 	}
 	if cfg.SubBlocked() {
 		c.vmask = make([]uint64, lines*maskWords)
@@ -504,6 +512,25 @@ func (c *Cache) ValidLines() int {
 		}
 	}
 	return n
+}
+
+// LineState describes one way of a set, for state dumps and cross-model
+// residency comparison.
+type LineState struct {
+	Way   int
+	Tag   uint64 // extended block number
+	Valid bool
+	Dirty bool
+}
+
+// SetState returns every way of the set in way order.
+func (c *Cache) SetState(set int) []LineState {
+	base := set * c.assoc
+	out := make([]LineState, c.assoc)
+	for w := 0; w < c.assoc; w++ {
+		out[w] = LineState{Way: w, Tag: c.tags[base+w], Valid: c.valid[base+w], Dirty: c.dirty[base+w]}
+	}
+	return out
 }
 
 // CheckInvariants verifies structural invariants, for property tests:

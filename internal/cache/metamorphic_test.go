@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Metamorphic properties: relations between runs of the same trace through
+// related configurations that must hold without knowing any absolute miss
+// count. LRU inclusion arguments make these theorems for some geometries;
+// for the rest they are well-established empirical regularities on real
+// reference streams, which the Table 1 workloads are synthesized to be.
+// Either way, a violation has always meant a simulator bug, never a
+// legitimate workload: these traces are fixed, so the assertions are
+// deterministic.
+
+// metaTraces returns the deterministic stimulus for the metamorphic
+// properties: two generated Table 1 workloads plus a looping synthetic.
+func metaTraces(t *testing.T) []*trace.Trace {
+	t.Helper()
+	var out []*trace.Trace
+	for _, name := range []string{"mu3", "rd2n4"} {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := spec.Generate(0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	out = append(out, workload.Loop(6000, 900))
+	return out
+}
+
+// readMisses drives every reference through one cache as a read and
+// returns the miss count. Reads-only keeps the property clean: write
+// policy and allocation cannot blur the replacement comparison.
+func readMisses(t *testing.T, cfg Config, tr *trace.Trace) int64 {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	var misses int64
+	for _, r := range tr.Refs {
+		if res := c.Read(r.Extended()); !res.Hit {
+			misses++
+		}
+	}
+	return misses
+}
+
+// TestLRUAssocDoublingNeverHurts: at a fixed total size, doubling the set
+// size of an LRU cache never increases the miss count on these traces.
+// With the set count fixed this is Mattson's inclusion theorem; across the
+// halving set count it is the associativity side of the paper's
+// speed-size tradeoff, and it must hold on every Table 1 workload.
+func TestLRUAssocDoublingNeverHurts(t *testing.T) {
+	for _, tr := range metaTraces(t) {
+		for _, sizeWords := range []int{256, 1024, 4096} {
+			prev := int64(-1)
+			for assoc := 1; assoc <= 8; assoc *= 2 {
+				cfg := Config{
+					SizeWords:   sizeWords,
+					BlockWords:  4,
+					Assoc:       assoc,
+					Replacement: LRU,
+					WritePolicy: WriteBack,
+					Seed:        1,
+				}
+				m := readMisses(t, cfg, tr)
+				if prev >= 0 && m > prev {
+					t.Errorf("%s %dW: misses rose %d -> %d when assoc doubled to %d",
+						tr.Name, sizeWords, prev, m, assoc)
+				}
+				prev = m
+			}
+		}
+	}
+}
+
+// TestLRUSizeMonotone: growing an LRU cache (fixed associativity, more
+// sets) never increases the miss count on these traces. For the
+// fully-associative column this is the stack property exactly; for the
+// set-indexed ones it is the monotone size behaviour Figure 3-1 depends
+// on.
+func TestLRUSizeMonotone(t *testing.T) {
+	for _, tr := range metaTraces(t) {
+		for _, assoc := range []int{1, 4} {
+			prev := int64(-1)
+			for sizeWords := 256; sizeWords <= 8192; sizeWords *= 2 {
+				cfg := Config{
+					SizeWords:   sizeWords,
+					BlockWords:  4,
+					Assoc:       assoc,
+					Replacement: LRU,
+					WritePolicy: WriteBack,
+					Seed:        1,
+				}
+				m := readMisses(t, cfg, tr)
+				if prev >= 0 && m > prev {
+					t.Errorf("%s %d-way: misses rose %d -> %d when size doubled to %dW",
+						tr.Name, assoc, prev, m, sizeWords)
+				}
+				prev = m
+			}
+		}
+	}
+}
+
+// TestFullyAssocLRUInclusion: the exact Mattson stack property, checked
+// directly — a fully-associative LRU cache of 2N blocks hits on every
+// reference a cache of N blocks hits on. This one is a theorem, not an
+// empirical regularity, so it runs hit-by-hit rather than on totals.
+func TestFullyAssocLRUInclusion(t *testing.T) {
+	tr := metaTraces(t)[0]
+	mk := func(blocks int) *Cache {
+		c, err := New(Config{
+			SizeWords:   blocks * 4,
+			BlockWords:  4,
+			Assoc:       blocks,
+			Replacement: LRU,
+			WritePolicy: WriteBack,
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	small, large := mk(16), mk(32)
+	for i, r := range tr.Refs {
+		sh := small.Read(r.Extended()).Hit
+		lh := large.Read(r.Extended()).Hit
+		if sh && !lh {
+			t.Fatalf("ref %d (%#x): small cache hit but larger cache missed", i, r.Extended())
+		}
+	}
+}

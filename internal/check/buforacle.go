@@ -1,0 +1,72 @@
+package check
+
+import "fmt"
+
+// bufEntry is one pending write in the naive buffer model.
+type bufEntry struct {
+	addr  uint64
+	words int
+}
+
+// BufOracle is the naive write-buffer model: a plain FIFO slice audited
+// against the real buffer through the writebuf.Auditor hooks. Every write
+// the real buffer starts must match the oracle's head (FIFO order
+// preserved) and the queue must never exceed the configured depth.
+type BufOracle struct {
+	chk   *Checker
+	label string
+	depth int
+	queue []bufEntry
+}
+
+// BufOracle builds a buffer oracle of the given capacity (0 = unbuffered
+// pass-through) and registers it with the checker.
+func (c *Checker) BufOracle(label string, depth int) *BufOracle {
+	b := &BufOracle{chk: c, label: label, depth: depth}
+	c.bufs = append(c.bufs, b)
+	return b
+}
+
+// Len returns the oracle queue's occupancy, for cross-checking against
+// the real buffer's.
+func (b *BufOracle) Len() int { return len(b.queue) }
+
+// Enqueued records a write entering the real buffer. Implements
+// writebuf.Auditor.
+func (b *BufOracle) Enqueued(addr uint64, words int) {
+	if b.chk.diverged != nil {
+		return
+	}
+	if words <= 0 {
+		b.chk.fail(&Divergence{Label: b.label, Kind: "writebuf",
+			Detail: fmt.Sprintf("enqueue of %d words at %#x", words, addr)})
+		return
+	}
+	b.queue = append(b.queue, bufEntry{addr: addr, words: words})
+	if b.depth > 0 && len(b.queue) > b.depth {
+		b.chk.fail(&Divergence{Label: b.label, Kind: "writebuf",
+			Detail: fmt.Sprintf("occupancy %d exceeds depth %d", len(b.queue), b.depth)})
+	}
+}
+
+// Started records the real buffer starting (removing) a write; it must be
+// the oracle's head or FIFO order was violated. Implements
+// writebuf.Auditor.
+func (b *BufOracle) Started(addr uint64, words int) {
+	if b.chk.diverged != nil {
+		return
+	}
+	if len(b.queue) == 0 {
+		b.chk.fail(&Divergence{Label: b.label, Kind: "writebuf",
+			Detail: fmt.Sprintf("write of %#x/%dw started with an empty oracle queue", addr, words)})
+		return
+	}
+	head := b.queue[0]
+	if head.addr != addr || head.words != words {
+		b.chk.fail(&Divergence{Label: b.label, Kind: "writebuf",
+			Detail: fmt.Sprintf("FIFO order violated: started %#x/%dw but oracle head is %#x/%dw",
+				addr, words, head.addr, head.words)})
+		return
+	}
+	b.queue = b.queue[1:]
+}

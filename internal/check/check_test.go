@@ -1,0 +1,230 @@
+package check_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// parityConfigs spans the organization space the oracle must stay in
+// lockstep across: every replacement policy, write policy, allocation
+// choice, associativities from direct-mapped to 8-way, and sub-block
+// placement.
+func parityConfigs() []cache.Config {
+	base := func(assoc int, rep cache.Replacement) cache.Config {
+		return cache.Config{SizeWords: 512, BlockWords: 4, Assoc: assoc,
+			Replacement: rep, WritePolicy: cache.WriteBack, Seed: 11}
+	}
+	cfgs := []cache.Config{
+		base(1, cache.Random),
+		base(2, cache.Random),
+		base(4, cache.Random),
+		base(8, cache.Random),
+		base(2, cache.LRU),
+		base(4, cache.LRU),
+		base(4, cache.FIFO),
+	}
+	wa := base(2, cache.Random)
+	wa.WriteAllocate = true
+	cfgs = append(cfgs, wa)
+	wt := base(2, cache.LRU)
+	wt.WritePolicy = cache.WriteThrough
+	cfgs = append(cfgs, wt)
+	wtAlloc := base(4, cache.Random)
+	wtAlloc.WritePolicy = cache.WriteThrough
+	wtAlloc.WriteAllocate = true
+	cfgs = append(cfgs, wtAlloc)
+	sub := base(2, cache.Random)
+	sub.BlockWords = 16
+	sub.FetchWords = 4
+	cfgs = append(cfgs, sub)
+	subLRU := base(4, cache.LRU)
+	subLRU.BlockWords = 32
+	subLRU.FetchWords = 8
+	subLRU.WriteAllocate = true
+	cfgs = append(cfgs, subLRU)
+	return cfgs
+}
+
+func parityTraces(t *testing.T) []*trace.Trace {
+	t.Helper()
+	traces := []*trace.Trace{
+		workload.Sequential(4000, 0),
+		workload.Loop(4000, 700),
+		workload.Random(4000, 3000, 0.3, 7),
+		workload.Couplets(4000),
+		workload.Conflict(4000, 1<<14),
+	}
+	sp, err := workload.ByName("mu3")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	tr, err := sp.Generate(0.02)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return append(traces, tr)
+}
+
+// drive runs every reference of the trace through a shadowed cache,
+// failing the test on the first divergence.
+func drive(t *testing.T, chk *check.Checker, s *check.Shadow, tr *trace.Trace) {
+	t.Helper()
+	for _, r := range tr.Refs {
+		if r.Kind == trace.Store {
+			s.Write(r.Extended())
+		} else {
+			s.Read(r.Extended())
+		}
+		if err := chk.Err(); err != nil {
+			t.Fatalf("diverged: %v", err)
+		}
+	}
+}
+
+// TestShadowLockstep drives real cache + oracle over every configuration
+// and trace pair and requires zero divergences and matching tallies.
+func TestShadowLockstep(t *testing.T) {
+	traces := parityTraces(t)
+	for _, cfg := range parityConfigs() {
+		for _, tr := range traces {
+			chk := check.New(&check.Options{Every: 512})
+			s, err := chk.Shadow("D", cache.MustNew(cfg))
+			if err != nil {
+				t.Fatalf("%v/%s: %v", cfg, tr.Name, err)
+			}
+			drive(t, chk, s, tr)
+			if err := chk.CheckNow(); err != nil {
+				t.Fatalf("%v/%s: final battery: %v", cfg, tr.Name, err)
+			}
+			if err := chk.Finish(nil); err != nil {
+				t.Fatalf("%v/%s: finish: %v", cfg, tr.Name, err)
+			}
+		}
+	}
+}
+
+// TestShadowDetectsDesync desynchronizes the models on purpose — by
+// invalidating a line in the real cache behind the oracle's back — and
+// requires the checker to notice and to latch a permanent, typed error.
+func TestShadowDetectsDesync(t *testing.T) {
+	cfg := cache.Config{SizeWords: 256, BlockWords: 4, Assoc: 2,
+		Replacement: cache.LRU, WritePolicy: cache.WriteBack, Seed: 3}
+	chk := check.New(&check.Options{Every: 16})
+	real := cache.MustNew(cfg)
+	s, err := chk.Shadow("D", real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Random(5000, 2000, 0.3, 5)
+	var diverged error
+	for i, r := range tr.Refs {
+		if i == 1000 {
+			// Remove a freshly touched block behind the oracle's back.
+			real.Invalidate(tr.Refs[i-1].Extended())
+		}
+		if r.Kind == trace.Store {
+			s.Write(r.Extended())
+		} else {
+			s.Read(r.Extended())
+		}
+		if diverged = chk.Err(); diverged != nil {
+			break
+		}
+	}
+	if diverged == nil {
+		diverged = chk.Finish(nil)
+	}
+	if diverged == nil {
+		t.Fatal("desynchronized models were not detected")
+	}
+	var d *check.Divergence
+	if !errors.As(diverged, &d) {
+		t.Fatalf("error is not a *check.Divergence: %T %v", diverged, diverged)
+	}
+	if !d.Permanent() {
+		t.Error("divergence should be permanent (non-retryable)")
+	}
+	if !check.IsDivergence(diverged) {
+		t.Error("IsDivergence should report true")
+	}
+	if len(d.LogAttrs()) == 0 {
+		t.Error("divergence should carry log attributes")
+	}
+	// Once latched, the first divergence must stick.
+	first := d
+	s.Read(0)
+	if again := chk.Err(); !errors.Is(again, error(first)) {
+		t.Errorf("latched divergence changed: %v", again)
+	}
+}
+
+// TestBufOracleOrder verifies the naive buffer model flags out-of-order
+// starts and over-depth occupancy.
+func TestBufOracleOrder(t *testing.T) {
+	chk := check.New(nil)
+	bo := chk.BufOracle("l1buf", 2)
+	bo.Enqueued(0x10, 4)
+	bo.Enqueued(0x20, 4)
+	bo.Started(0x20, 4) // not the head
+	err := chk.Err()
+	if err == nil {
+		t.Fatal("out-of-order start not flagged")
+	}
+	if !strings.Contains(err.Error(), "FIFO order") {
+		t.Errorf("unexpected detail: %v", err)
+	}
+
+	chk = check.New(nil)
+	bo = chk.BufOracle("l1buf", 1)
+	bo.Enqueued(0x10, 4)
+	bo.Enqueued(0x20, 4) // exceeds depth 1
+	if err := chk.Err(); err == nil || !strings.Contains(err.Error(), "exceeds depth") {
+		t.Fatalf("over-depth enqueue not flagged: %v", err)
+	}
+
+	chk = check.New(nil)
+	bo = chk.BufOracle("l1buf", 0) // unbuffered pass-through
+	bo.Enqueued(0x10, 1)
+	bo.Started(0x10, 1)
+	if err := chk.Err(); err != nil {
+		t.Fatalf("depth-0 pass-through flagged: %v", err)
+	}
+}
+
+// TestFinishTallyMismatch verifies the end-of-run counter diff.
+func TestFinishTallyMismatch(t *testing.T) {
+	cfg := cache.Config{SizeWords: 64, BlockWords: 4, Assoc: 1,
+		Replacement: cache.Random, WritePolicy: cache.WriteBack}
+	chk := check.New(nil)
+	s, err := chk.Shadow("D", cache.MustNew(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Read(0)
+	s.Read(0)
+	s.Write(0)
+	bad := check.Tally{Reads: 2, ReadMisses: 1, Writes: 1, WriteHits: 0, WriteMisses: 1}
+	if err := chk.Finish(&bad); err == nil {
+		t.Fatal("tally mismatch not flagged")
+	} else if !strings.Contains(err.Error(), "write-hits") {
+		t.Errorf("unexpected detail: %v", err)
+	}
+
+	chk = check.New(nil)
+	if s, err = chk.Shadow("D", cache.MustNew(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	s.Read(0)
+	s.Read(0)
+	s.Write(0)
+	good := check.Tally{Reads: 2, ReadMisses: 1, Writes: 1, WriteHits: 1, WriteMisses: 0}
+	if err := chk.Finish(&good); err != nil {
+		t.Fatalf("matching tally flagged: %v", err)
+	}
+}

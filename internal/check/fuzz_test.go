@@ -1,0 +1,88 @@
+package check
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// fuzzConfigs are the seed organizations the fuzzer drives: every
+// replacement policy, write policy and allocation mode, plus sub-block
+// placement, at geometries small enough that random byte streams actually
+// churn the sets.
+func fuzzConfigs() []cache.Config {
+	base := cache.Config{SizeWords: 64, BlockWords: 4, WritePolicy: cache.WriteBack, Seed: 5}
+	var out []cache.Config
+	for _, assoc := range []int{1, 2, 4} {
+		for _, repl := range []cache.Replacement{cache.Random, cache.LRU, cache.FIFO} {
+			c := base
+			c.Assoc = assoc
+			c.Replacement = repl
+			out = append(out, c)
+		}
+	}
+	wt := base
+	wt.Assoc = 2
+	wt.WritePolicy = cache.WriteThrough
+	out = append(out, wt)
+
+	alloc := base
+	alloc.Assoc = 2
+	alloc.WriteAllocate = true
+	out = append(out, alloc)
+
+	sub := base
+	sub.Assoc = 2
+	sub.BlockWords = 8
+	sub.FetchWords = 2
+	out = append(out, sub)
+	return out
+}
+
+// FuzzOracleLockstep feeds arbitrary short reference streams through the
+// real cache and the oracle in lockstep. The two models are independent
+// implementations of the same specification, so any divergence — verdict,
+// structure or counters — on any input is a bug in one of them. Each
+// input byte triple decodes to one reference: low bit of the first byte
+// selects read/write, the remaining 23 bits form a word address.
+func FuzzOracleLockstep(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x80, 0x40, 0x20})
+	seq := make([]byte, 3*96)
+	for i := 0; i < 96; i++ {
+		binary.LittleEndian.PutUint16(seq[3*i:], uint16(i*4))
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*4096 {
+			data = data[:3*4096]
+		}
+		for _, cfg := range fuzzConfigs() {
+			real, err := cache.New(cfg)
+			if err != nil {
+				t.Fatalf("New(%+v): %v", cfg, err)
+			}
+			chk := New(&Options{Every: 64, Context: "fuzz"})
+			sh, err := chk.Shadow("F", real)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i+2 < len(data); i += 3 {
+				addr := uint64(data[i])>>1 | uint64(data[i+1])<<7 | uint64(data[i+2])<<15
+				if data[i]&1 == 0 {
+					sh.Read(addr)
+				} else {
+					sh.Write(addr)
+				}
+				if err := chk.Err(); err != nil {
+					t.Fatalf("config %v: divergence: %v", cfg, err)
+				}
+			}
+			if err := chk.Finish(nil); err != nil {
+				t.Fatalf("config %v: end-of-stream check: %v", cfg, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,416 @@
+// Package check is the simulator's correctness-assurance layer: a
+// deliberately simple, obviously-correct reference cache model (the
+// Oracle) that runs in lockstep with the optimized cache/engine/writebuf
+// pipeline, structural invariants asserted every N references, a naive
+// write-buffer model audited against the real FIFO, and typed Divergence
+// errors carrying the reference index, the cell configuration and both
+// models' states.
+//
+// The oracle trades every optimization for clarity: a way-indexed slot
+// array per set, explicit recency and arrival stacks (so "the LRU stack is
+// a permutation of the resident blocks" is a checkable property rather
+// than an encoding), and per-word dirty/valid maps instead of bitmasks.
+// Random replacement consumes the identical seeded stream as the real
+// cache (cache.ReplacementRNG), so both models pick the same victims and
+// any disagreement is a logic bug, not noise.
+package check
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+)
+
+// slot is one way of an oracle set.
+type slot struct {
+	valid      bool
+	block      uint64 // extended block number
+	dirty      bool
+	dirtyWords map[int]bool
+	validWords map[int]bool // nil unless sub-blocked
+}
+
+// oset is one oracle set: way-indexed slots plus the explicit replacement
+// bookkeeping stacks.
+type oset struct {
+	slots   []slot
+	recency []uint64 // resident blocks, most recently touched first
+	arrival []uint64 // resident blocks, oldest allocation first
+}
+
+// Verdict is the oracle's outcome for one access, compared field by field
+// against the real cache's Result.
+type Verdict struct {
+	Hit              bool
+	Allocated        bool
+	VictimValid      bool
+	VictimBlockAddr  uint64
+	VictimDirty      bool
+	VictimDirtyWords int
+	VictimWbWords    int
+}
+
+// Oracle is the reference cache model. Not safe for concurrent use.
+type Oracle struct {
+	cfg        cache.Config
+	blockWords int
+	fetchWords int
+	numSets    int
+	sets       []oset
+	rng        *rand.Rand
+
+	// Scalar counters, diffed against the simulator's at Finish.
+	Reads, ReadHits   int64
+	Writes, WriteHits int64
+	Writebacks        int64
+	WritebackWords    int64
+}
+
+// NewOracle constructs the reference model for a validated configuration.
+func NewOracle(cfg cache.Config) (*Oracle, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := &Oracle{
+		cfg:        cfg,
+		blockWords: cfg.BlockWords,
+		fetchWords: cfg.EffectiveFetchWords(),
+		numSets:    cfg.Sets(),
+		rng:        cache.ReplacementRNG(cfg.Seed),
+	}
+	o.sets = make([]oset, o.numSets)
+	for i := range o.sets {
+		o.sets[i].slots = make([]slot, cfg.Assoc)
+	}
+	return o, nil
+}
+
+// Config returns the modelled configuration.
+func (o *Oracle) Config() cache.Config { return o.cfg }
+
+func (o *Oracle) subBlocked() bool { return o.cfg.SubBlocked() }
+
+// blockOf returns addr's extended block number and its set index.
+func (o *Oracle) blockOf(addr uint64) (block uint64, set int) {
+	block = addr / uint64(o.blockWords)
+	return block, int(block % uint64(o.numSets))
+}
+
+// find returns the slot index holding block in set, or -1.
+func (o *Oracle) find(set int, block uint64) int {
+	for i, s := range o.sets[set].slots {
+		if s.valid && s.block == block {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch moves block to the front of the set's recency stack (inserting it
+// if absent).
+func (o *Oracle) touch(set int, block uint64) {
+	st := &o.sets[set]
+	for i, b := range st.recency {
+		if b == block {
+			copy(st.recency[1:], st.recency[:i])
+			st.recency[0] = block
+			return
+		}
+	}
+	st.recency = append([]uint64{block}, st.recency...)
+}
+
+// dropStacks removes block from both bookkeeping stacks.
+func (o *Oracle) dropStacks(set int, block uint64) {
+	st := &o.sets[set]
+	for i, b := range st.recency {
+		if b == block {
+			st.recency = append(st.recency[:i], st.recency[i+1:]...)
+			break
+		}
+	}
+	for i, b := range st.arrival {
+		if b == block {
+			st.arrival = append(st.arrival[:i], st.arrival[i+1:]...)
+			break
+		}
+	}
+}
+
+// victimSlot picks the slot an allocation will (re)use, mirroring the real
+// cache's published policy semantics: the lowest-indexed invalid way if
+// any, else the policy's victim. Random consumes the shared seeded stream
+// exactly when the real cache does (set full, associativity > 1).
+func (o *Oracle) victimSlot(set int) int {
+	st := &o.sets[set]
+	for i := range st.slots {
+		if !st.slots[i].valid {
+			return i
+		}
+	}
+	switch o.cfg.Replacement {
+	case cache.LRU:
+		oldest := st.recency[len(st.recency)-1]
+		return o.find(set, oldest)
+	case cache.FIFO:
+		return o.find(set, st.arrival[0])
+	default: // Random
+		if o.cfg.Assoc == 1 {
+			return 0
+		}
+		return o.rng.IntN(o.cfg.Assoc)
+	}
+}
+
+// evict clears the slot, filling the verdict's victim fields and the
+// writeback counters.
+func (o *Oracle) evict(set, idx int, v *Verdict) {
+	s := &o.sets[set].slots[idx]
+	if s.valid {
+		v.VictimValid = true
+		v.VictimBlockAddr = s.block * uint64(o.blockWords)
+		v.VictimDirty = s.dirty
+		if s.dirty {
+			v.VictimDirtyWords = len(s.dirtyWords)
+			if !o.subBlocked() {
+				// Whole-block caches write back the entire block.
+				v.VictimWbWords = o.blockWords
+			} else {
+				// Sub-block caches write back dirty sub-blocks.
+				for start := 0; start < o.blockWords; start += o.fetchWords {
+					for w := start; w < start+o.fetchWords; w++ {
+						if s.dirtyWords[w] {
+							v.VictimWbWords += o.fetchWords
+							break
+						}
+					}
+				}
+			}
+			o.Writebacks++
+			o.WritebackWords += int64(v.VictimWbWords)
+		}
+		o.dropStacks(set, s.block)
+	}
+	*s = slot{}
+}
+
+// fill installs block into the slot and pushes it onto both stacks.
+func (o *Oracle) fill(set, idx int, block uint64) {
+	s := &o.sets[set].slots[idx]
+	s.valid = true
+	s.block = block
+	s.dirtyWords = make(map[int]bool)
+	if o.subBlocked() {
+		s.validWords = make(map[int]bool)
+	}
+	o.touch(set, block)
+	o.sets[set].arrival = append(o.sets[set].arrival, block)
+}
+
+// wordOff returns addr's word offset within its block.
+func (o *Oracle) wordOff(addr uint64) int { return int(addr % uint64(o.blockWords)) }
+
+// wordValid reports whether addr's word is resident in the slot.
+func (o *Oracle) wordValid(s *slot, addr uint64) bool {
+	if s.validWords == nil {
+		return true
+	}
+	return s.validWords[o.wordOff(addr)]
+}
+
+// fillSub marks addr's fetch unit valid (sub-block mode only).
+func (o *Oracle) fillSub(set, idx int, addr uint64) {
+	s := &o.sets[set].slots[idx]
+	if s.validWords == nil {
+		return
+	}
+	start := o.wordOff(addr) &^ (o.fetchWords - 1)
+	for w := start; w < start+o.fetchWords; w++ {
+		s.validWords[w] = true
+	}
+}
+
+// Read models a load or instruction fetch of the word at addr.
+func (o *Oracle) Read(addr uint64) Verdict {
+	o.Reads++
+	block, set := o.blockOf(addr)
+	var v Verdict
+	if idx := o.find(set, block); idx >= 0 {
+		o.touch(set, block)
+		if o.wordValid(&o.sets[set].slots[idx], addr) {
+			o.ReadHits++
+			v.Hit = true
+			return v
+		}
+		o.fillSub(set, idx, addr)
+		v.Allocated = true
+		return v
+	}
+	idx := o.victimSlot(set)
+	o.evict(set, idx, &v)
+	o.fill(set, idx, block)
+	o.fillSub(set, idx, addr)
+	v.Allocated = true
+	return v
+}
+
+// dirtyWord marks addr's word dirty in the slot (write-back only).
+func (o *Oracle) dirtyWord(set, idx int, addr uint64) {
+	s := &o.sets[set].slots[idx]
+	s.dirty = true
+	s.dirtyWords[o.wordOff(addr)] = true
+}
+
+// Write models a store of the word at addr.
+func (o *Oracle) Write(addr uint64) Verdict {
+	o.Writes++
+	wb := o.cfg.WritePolicy == cache.WriteBack
+	block, set := o.blockOf(addr)
+	var v Verdict
+	if idx := o.find(set, block); idx >= 0 {
+		o.touch(set, block)
+		if o.wordValid(&o.sets[set].slots[idx], addr) {
+			o.WriteHits++
+			if wb {
+				o.dirtyWord(set, idx, addr)
+			}
+			v.Hit = true
+			return v
+		}
+		if !o.cfg.WriteAllocate {
+			return v
+		}
+		o.fillSub(set, idx, addr)
+		if wb {
+			o.dirtyWord(set, idx, addr)
+		}
+		v.Allocated = true
+		return v
+	}
+	if !o.cfg.WriteAllocate {
+		return v
+	}
+	idx := o.victimSlot(set)
+	o.evict(set, idx, &v)
+	o.fill(set, idx, block)
+	o.fillSub(set, idx, addr)
+	if wb {
+		o.dirtyWord(set, idx, addr)
+	}
+	v.Allocated = true
+	return v
+}
+
+// ResidentBlocks returns the set's valid blocks in ascending order, for
+// cross-model residency comparison.
+func (o *Oracle) ResidentBlocks(set int) []uint64 {
+	var out []uint64
+	for _, s := range o.sets[set].slots {
+		if s.valid {
+			out = append(out, s.block)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CheckInvariants verifies the oracle's own structural properties: both
+// stacks are permutations of the resident blocks, no duplicate blocks in a
+// set, every block indexes its own set, dirty implies valid (and dirty
+// words), dirty words stay inside the valid mask, and write-through holds
+// no dirty state.
+func (o *Oracle) CheckInvariants() error {
+	for set := range o.sets {
+		st := &o.sets[set]
+		resident := make(map[uint64]int)
+		for i := range st.slots {
+			s := &st.slots[i]
+			if !s.valid {
+				if s.dirty {
+					return fmt.Errorf("oracle: set %d slot %d dirty but invalid", set, i)
+				}
+				continue
+			}
+			if int(s.block%uint64(o.numSets)) != set {
+				return fmt.Errorf("oracle: set %d slot %d holds block %#x of set %d",
+					set, i, s.block, s.block%uint64(o.numSets))
+			}
+			if _, dup := resident[s.block]; dup {
+				return fmt.Errorf("oracle: duplicate block %#x in set %d", s.block, set)
+			}
+			resident[s.block]++
+			if s.dirty && len(s.dirtyWords) == 0 {
+				return fmt.Errorf("oracle: set %d block %#x dirty with no dirty words", set, s.block)
+			}
+			if !s.dirty && len(s.dirtyWords) != 0 {
+				return fmt.Errorf("oracle: set %d block %#x clean with %d dirty words", set, s.block, len(s.dirtyWords))
+			}
+			if o.cfg.WritePolicy == cache.WriteThrough && s.dirty {
+				return fmt.Errorf("oracle: write-through block %#x dirty in set %d", s.block, set)
+			}
+			if s.validWords != nil {
+				for w := range s.dirtyWords {
+					if !s.validWords[w] {
+						return fmt.Errorf("oracle: set %d block %#x word %d dirty outside the valid mask", set, s.block, w)
+					}
+				}
+				if len(s.validWords) == 0 {
+					return fmt.Errorf("oracle: set %d block %#x valid with no valid sub-blocks", set, s.block)
+				}
+			}
+		}
+		if err := stackIsPermutation("recency", st.recency, resident, set); err != nil {
+			return err
+		}
+		if err := stackIsPermutation("arrival", st.arrival, resident, set); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stackIsPermutation verifies that stack holds exactly the resident blocks,
+// each once.
+func stackIsPermutation(name string, stack []uint64, resident map[uint64]int, set int) error {
+	if len(stack) != len(resident) {
+		return fmt.Errorf("oracle: set %d %s stack has %d entries for %d resident blocks",
+			set, name, len(stack), len(resident))
+	}
+	seen := make(map[uint64]bool, len(stack))
+	for _, b := range stack {
+		if seen[b] {
+			return fmt.Errorf("oracle: set %d %s stack holds block %#x twice", set, name, b)
+		}
+		seen[b] = true
+		if _, ok := resident[b]; !ok {
+			return fmt.Errorf("oracle: set %d %s stack holds non-resident block %#x", set, name, b)
+		}
+	}
+	return nil
+}
+
+// renderSet formats the set's state for divergence reports.
+func (o *Oracle) renderSet(set int) string {
+	st := &o.sets[set]
+	var b strings.Builder
+	for i := range st.slots {
+		s := &st.slots[i]
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		if !s.valid {
+			fmt.Fprintf(&b, "[%d:-]", i)
+			continue
+		}
+		flag := ""
+		if s.dirty {
+			flag = "*"
+		}
+		fmt.Fprintf(&b, "[%d:%#x%s]", i, s.block, flag)
+	}
+	fmt.Fprintf(&b, " mru=%#v fifo=%#v", st.recency, st.arrival)
+	return b.String()
+}

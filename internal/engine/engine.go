@@ -22,9 +22,18 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/check"
 	"repro/internal/system"
 	"repro/internal/trace"
 )
+
+// l1cache is the cache interface the behavioural pass drives: satisfied by
+// *cache.Cache directly and by *check.Shadow in selfcheck mode.
+type l1cache interface {
+	Read(addr uint64) cache.Result
+	Write(addr uint64) cache.Result
+	Config() cache.Config
+}
 
 // Org is the timing-independent part of a system configuration: the cache
 // organizations. Write buffer depth and all memory parameters belong to the
@@ -122,21 +131,49 @@ func (p *Profile) Events() int {
 // a system.System built from the same configs observes the identical
 // hit/miss sequence.
 func BuildProfile(org Org, t *trace.Trace) (*Profile, error) {
+	return BuildProfileChecked(org, t, nil)
+}
+
+// BuildProfileChecked is BuildProfile with the reference model attached:
+// when opts is non-nil, every cache access is diffed against the check
+// package's oracle and structural invariants run at the configured
+// interval. The first divergence aborts the build with a typed
+// *check.Divergence error; a nil opts is exactly BuildProfile.
+func BuildProfileChecked(org Org, t *trace.Trace, opts *check.Options) (*Profile, error) {
 	if err := org.Validate(); err != nil {
 		return nil, err
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	dc, err := cache.New(org.DCache)
+	dreal, err := cache.New(org.DCache)
 	if err != nil {
 		return nil, err
 	}
-	ic := dc
+	var chk *check.Checker
+	var dc, ic l1cache = dreal, dreal
+	if opts != nil {
+		chk = check.New(opts)
+		chk.SetContext(fmt.Sprintf("trace=%s dcache=%v", t.Name, org.DCache))
+		label := "D"
+		if org.Unified {
+			label = "U"
+		}
+		if dc, err = chk.Shadow(label, dreal); err != nil {
+			return nil, err
+		}
+		ic = dc
+	}
 	if !org.Unified {
-		ic, err = cache.New(org.ICache)
+		ireal, err := cache.New(org.ICache)
 		if err != nil {
 			return nil, err
+		}
+		ic = ireal
+		if chk != nil {
+			if ic, err = chk.Shadow("I", ireal); err != nil {
+				return nil, err
+			}
 		}
 	}
 	p := &Profile{Org: org, TraceName: t.Name}
@@ -166,6 +203,11 @@ func BuildProfile(org Org, t *trace.Trace) (*Profile, error) {
 	}
 
 	for i := 0; i < len(refs); {
+		if chk != nil {
+			if err := chk.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if !warmTaken && i >= t.WarmStart {
 			flushGapAsMarker()
 			p.warmSnap = p.total
@@ -262,5 +304,11 @@ func BuildProfile(org Org, t *trace.Trace) (*Profile, error) {
 	}
 	p.tailGap = gap
 	p.tailGapStoreHits = gapStoreHits
+	if chk != nil {
+		tally := p.total.SelfCheckTally()
+		if err := chk.Finish(&tally); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/check"
 	"repro/internal/mem"
 	"repro/internal/system"
 	"repro/internal/writebuf"
@@ -79,6 +80,24 @@ func (r *replayer) storeThrough(now, done int64, addr uint64) int64 {
 // (whole-block fetch, no L2). The cost is proportional to the number of
 // events, not the number of references.
 func (p *Profile) Replay(t Timing) (system.Result, error) {
+	return p.replay(t, nil)
+}
+
+// ReplayChecked is Replay with the write buffer audited against the check
+// package's naive FIFO model: every enqueue and start is verified for
+// FIFO order and depth bounds, and the buffer's structural invariants run
+// at the end of the replay. The first violation aborts the replay with a
+// typed *check.Divergence error; a nil opts is exactly Replay.
+func (p *Profile) ReplayChecked(t Timing, opts *check.Options) (system.Result, error) {
+	if opts == nil {
+		return p.replay(t, nil)
+	}
+	chk := check.New(opts)
+	chk.SetContext(fmt.Sprintf("trace=%s dcache=%v cycle=%dns", p.TraceName, p.Org.DCache, t.CycleNs))
+	return p.replay(t, chk)
+}
+
+func (p *Profile) replay(t Timing, chk *check.Checker) (system.Result, error) {
 	if err := t.Validate(); err != nil {
 		return system.Result{}, err
 	}
@@ -89,6 +108,18 @@ func (p *Profile) Replay(t Timing) (system.Result, error) {
 	r := &replayer{unit: mem.NewUnit(tm)}
 	if r.buf, err = writebuf.New(t.WriteBufDepth, &memSink{unit: r.unit}); err != nil {
 		return system.Result{}, err
+	}
+	if chk != nil {
+		bo := chk.BufOracle("l1buf", t.WriteBufDepth)
+		r.buf.SetAuditor(bo)
+		buf := r.buf
+		chk.AddInvariant("l1buf", buf.CheckInvariants)
+		chk.AddInvariant("l1buf-occupancy", func() error {
+			if real, oracle := buf.Len(), bo.Len(); real != oracle {
+				return fmt.Errorf("real queue holds %d entries, oracle %d", real, oracle)
+			}
+			return nil
+		})
 	}
 
 	ifw := p.Org.ICache.EffectiveFetchWords()
@@ -103,6 +134,11 @@ func (p *Profile) Replay(t Timing) (system.Result, error) {
 	warmSeen := false
 
 	for _, ev := range p.events {
+		if chk != nil {
+			if err := chk.Err(); err != nil {
+				return system.Result{}, err
+			}
+		}
 		now += int64(ev.gap) + int64(ev.gapStoreHits)
 		if ev.marker {
 			warmTiming = system.Counters{
@@ -156,6 +192,11 @@ func (p *Profile) Replay(t Timing) (system.Result, error) {
 		now = comp
 	}
 	now += int64(p.tailGap) + int64(p.tailGapStoreHits)
+	if chk != nil {
+		if err := chk.Finish(nil); err != nil {
+			return system.Result{}, err
+		}
+	}
 
 	total := p.total
 	total.Cycles = now

@@ -94,6 +94,11 @@ func NewSuite(scale float64) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, t := range traces {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: generated trace %s: %w", t.Name, err)
+		}
+	}
 	return &Suite{
 		Scale:    scale,
 		Traces:   traces,
@@ -162,7 +167,7 @@ func (s *Suite) profile(i int, org engine.Org) (*engine.Profile, error) {
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		p, err := engine.BuildProfile(org, s.Traces[i])
+		p, err := engine.BuildProfileChecked(org, s.Traces[i], s.exec.SelfCheck)
 		if err != nil {
 			e.err = fmt.Errorf("experiments: profiling %s against %s: %w",
 				org.DCache.String(), s.Traces[i].Name, err)

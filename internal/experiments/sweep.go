@@ -7,7 +7,9 @@ import (
 	"log/slog"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/system"
@@ -37,6 +39,17 @@ type ExecOptions struct {
 	// Log, when set, carries the structured event stream: cell failures,
 	// retries and checkpoint replays. Nil disables logging.
 	Log *slog.Logger
+	// SelfCheck, when set, runs every simulation cell in lockstep with the
+	// differential oracle (internal/check): behavioural profiles, timing
+	// replays and full-system cells all shadow their L1 caches and write
+	// buffers. Divergences surface as permanent (never-retried) cell
+	// errors. Checked cells produce bit-identical results to unchecked
+	// ones, so checkpoint keys do not encode the option.
+	SelfCheck *check.Options
+	// Faults, when set, injects the plan's deterministic faults (forced
+	// panics, delays, transient errors) around each cell, exercising the
+	// runner's isolation, retry and checkpoint machinery end-to-end.
+	Faults *faultinject.Plan
 }
 
 // SetExec configures sweep execution. Call before running figures; the
@@ -111,7 +124,7 @@ func (s *Suite) replayCell(i int, org engine.Org, tm engine.Timing) runner.Cell[
 			if err := ctx.Err(); err != nil {
 				return cellOut{}, err
 			}
-			res, err := p.Replay(tm)
+			res, err := p.ReplayChecked(tm, s.exec.SelfCheck)
 			if err != nil {
 				return cellOut{}, err
 			}
@@ -148,6 +161,8 @@ func (s *Suite) systemCell(i int, cfg system.Config) runner.Cell[cellOut] {
 			if err := ctx.Err(); err != nil {
 				return cellOut{}, err
 			}
+			cfg := cfg
+			cfg.SelfCheck = s.exec.SelfCheck
 			res, err := system.Simulate(cfg, s.Traces[i])
 			if err != nil {
 				return cellOut{}, err
@@ -162,6 +177,9 @@ func (s *Suite) systemCell(i int, cfg system.Config) runner.Cell[cellOut] {
 // or cancelled cell.
 func (s *Suite) runCells(ctx context.Context, cells []runner.Cell[cellOut]) ([]cellOut, error) {
 	cells = s.instrument(cells)
+	// Fault wrappers go outermost so an injected panic or delay hits the
+	// runner exactly as a real one would, outside all instrumentation.
+	cells = faultinject.Wrap(s.exec.Faults, cells)
 	return runner.Values(runner.Run(ctx, cells, s.runnerOptions()))
 }
 

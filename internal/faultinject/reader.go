@@ -1,0 +1,84 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+)
+
+// CorruptMode selects how Corrupt damages a trace byte stream.
+type CorruptMode uint8
+
+const (
+	// Truncate cuts the stream short, producing a torn final record.
+	Truncate CorruptMode = iota
+	// FlipByte inverts one byte, producing an in-place corrupt record.
+	FlipByte
+)
+
+func (m CorruptMode) String() string {
+	if m == Truncate {
+		return "truncate"
+	}
+	return "flip-byte"
+}
+
+// Corrupt returns a damaged copy of data. The damage site is a pure
+// function of (seed, len(data)), so a corrupt-trace test is exactly
+// reproducible. The site lands in the second half of the stream, past any
+// header, so readers fail on record content rather than the magic.
+func Corrupt(data []byte, seed uint64, mode CorruptMode) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	half := len(data) / 2
+	site := half + int(uniform(seed, fmt.Sprintf("corrupt/%d", len(data)))*float64(len(data)-half))
+	if site >= len(data) {
+		site = len(data) - 1
+	}
+	switch mode {
+	case Truncate:
+		return append([]byte(nil), data[:site]...)
+	default:
+		out := append([]byte(nil), data...)
+		out[site] ^= 0xff
+		return out
+	}
+}
+
+// TransientReadError is the typed error a flaky reader injects once; it
+// deliberately does not mark itself permanent, so runner retries (which
+// re-open the source) recover from it.
+type TransientReadError struct {
+	Offset int64
+}
+
+func (e *TransientReadError) Error() string {
+	return fmt.Sprintf("faultinject: transient read error at byte %d", e.Offset)
+}
+
+// FlakyReader wraps a reader with one injected transient failure: the
+// first Read crossing failAt bytes returns a *TransientReadError; reads
+// after that (a consumer that retries in place) proceed normally. A new
+// FlakyReader over a re-opened source fails again at the same offset,
+// matching a retried cell.
+type FlakyReader struct {
+	r      io.Reader
+	failAt int64
+	read   int64
+	failed bool
+}
+
+// NewFlakyReader wraps r to fail once at byte offset failAt.
+func NewFlakyReader(r io.Reader, failAt int64) *FlakyReader {
+	return &FlakyReader{r: r, failAt: failAt}
+}
+
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	if !f.failed && f.read >= f.failAt {
+		f.failed = true
+		return 0, &TransientReadError{Offset: f.read}
+	}
+	n, err := f.r.Read(p)
+	f.read += int64(n)
+	return n, err
+}

@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func encodedTrace(t *testing.T) []byte {
+	t.Helper()
+	tr := workload.Sequential(500, 0)
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCorruptDeterministic(t *testing.T) {
+	data := encodedTrace(t)
+	a := Corrupt(data, 11, FlipByte)
+	b := Corrupt(data, 11, FlipByte)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruptions")
+	}
+	if bytes.Equal(a, data) {
+		t.Fatal("corruption changed nothing")
+	}
+	if c := Corrupt(data, 12, FlipByte); bytes.Equal(a, c) {
+		t.Error("different seeds corrupted the same site")
+	}
+	tr := Corrupt(data, 11, Truncate)
+	if len(tr) >= len(data) || len(tr) < len(data)/2 {
+		t.Errorf("truncation length %d outside the second half of %d", len(tr), len(data))
+	}
+}
+
+// TestCorruptTraceErrorsCarryOffsets: the reader satellite — a damaged
+// trace file must fail with the record index and absolute byte offset of
+// the damage, for both torn files and in-place corruption.
+func TestCorruptTraceErrorsCarryOffsets(t *testing.T) {
+	data := encodedTrace(t)
+
+	_, err := trace.ReadBinary(bytes.NewReader(Corrupt(data, 11, Truncate)))
+	if err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if !strings.Contains(err.Error(), "byte offset") || !strings.Contains(err.Error(), "record") {
+		t.Errorf("truncation error lacks record/offset context: %v", err)
+	}
+
+	// Flip bytes at many seeds; any flip that damages a kind byte must be
+	// rejected with an offset. Flips landing in address bytes legitimately
+	// decode to a different (valid) trace, so only assert on rejections.
+	rejected := false
+	for seed := uint64(0); seed < 64; seed++ {
+		_, err := trace.ReadBinary(bytes.NewReader(Corrupt(data, seed, FlipByte)))
+		if err == nil {
+			continue
+		}
+		rejected = true
+		if !strings.Contains(err.Error(), "byte offset") {
+			t.Errorf("seed %d: corrupt-record error lacks byte offset: %v", seed, err)
+		}
+	}
+	if !rejected {
+		t.Error("no flipped byte produced a rejected trace in 64 seeds (kind bytes are 1/6 of the stream)")
+	}
+}
+
+func TestFlakyReader(t *testing.T) {
+	data := encodedTrace(t)
+	fr := NewFlakyReader(bytes.NewReader(data), int64(len(data)/2))
+	got, err := io.ReadAll(fr)
+	if err == nil {
+		t.Fatal("flaky reader never failed")
+	}
+	var tre *TransientReadError
+	if !errors.As(err, &tre) {
+		t.Fatalf("want *TransientReadError, got %v", err)
+	}
+	if tre.Offset < int64(len(data)/2) {
+		t.Errorf("failed at offset %d, before the configured %d", tre.Offset, len(data)/2)
+	}
+	_ = got
+
+	// A retry over a fresh reader of the same source fails at the same
+	// offset — the deterministic-retry contract.
+	fr2 := NewFlakyReader(bytes.NewReader(data), int64(len(data)/2))
+	_, err2 := io.ReadAll(fr2)
+	var tre2 *TransientReadError
+	if !errors.As(err2, &tre2) || tre2.Offset != tre.Offset {
+		t.Errorf("retry failed differently: %v vs %v", err2, err)
+	}
+
+	// The same reader, retried in place, completes: the fault is transient.
+	rest, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatalf("in-place retry failed: %v", err)
+	}
+	if int64(len(got)+len(rest)) != int64(len(data)) {
+		t.Errorf("retried read lost data: %d+%d of %d bytes", len(got), len(rest), len(data))
+	}
+}

@@ -1,10 +1,19 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"log/slog"
 
 	"repro/internal/runner"
 )
+
+// attributedError lets typed cell errors (a selfcheck divergence, an
+// injected fault) attach their own structured attributes to the failure
+// record without obs importing their packages.
+type attributedError interface {
+	LogAttrs() []slog.Attr
+}
 
 // RunnerHooks bridges the runner's cell lifecycle to the registry's
 // standard sweep metrics and, when log is non-nil, to one structured
@@ -63,10 +72,18 @@ func RunnerHooks(reg *Registry, log *slog.Logger) (onStart func(key string, inde
 		}
 		switch {
 		case ev.Err != nil:
-			log.Error("cell failed",
-				"key", ev.Key, "attempts", ev.Attempts,
-				"duration", ev.Duration, "panicked", ev.Panicked,
-				"err", ev.Err)
+			attrs := []slog.Attr{
+				slog.String("key", ev.Key),
+				slog.Int("attempts", ev.Attempts),
+				slog.Duration("duration", ev.Duration),
+				slog.Bool("panicked", ev.Panicked),
+				slog.Any("err", ev.Err),
+			}
+			var ae attributedError
+			if errors.As(ev.Err, &ae) {
+				attrs = append(attrs, ae.LogAttrs()...)
+			}
+			log.LogAttrs(context.Background(), slog.LevelError, "cell failed", attrs...)
 		case ev.FromCheckpoint:
 			log.Debug("cell replayed from checkpoint", "key", ev.Key)
 		case ev.Attempts > 1:

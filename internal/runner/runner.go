@@ -116,7 +116,8 @@ type Options struct {
 	// Retries is how many additional attempts a failing cell gets.
 	Retries int
 	// RetryIf filters which failures retry; nil retries every failure
-	// (other than sweep cancellation) up to Retries times.
+	// (other than sweep cancellation) up to Retries times. Errors marked
+	// permanent (see Permanent) never retry regardless of RetryIf.
 	RetryIf func(error) bool
 	// Checkpoint, when set, replays completed cells by Key before the
 	// sweep and records each freshly completed cell after it finishes.
@@ -247,12 +248,24 @@ func runCell[T any](ctx context.Context, cell Cell[T], opts Options, res Result[
 		}
 		cerr.Key, cerr.Attempts = cell.Key, attempt
 		last = cerr
+		if Permanent(cerr.Err) {
+			break
+		}
 		if opts.RetryIf != nil && !opts.RetryIf(cerr.Err) {
 			break
 		}
 	}
 	res.Err = last
 	return res
+}
+
+// Permanent reports whether err (or any error it wraps) declares itself
+// non-retryable by implementing `Permanent() bool` returning true.
+// Deterministic failures — a selfcheck divergence, a corrupt trace — mark
+// themselves permanent so retries don't burn attempts reproducing them.
+func Permanent(err error) bool {
+	var p interface{ Permanent() bool }
+	return errors.As(err, &p) && p.Permanent()
 }
 
 // runAttempt runs a single attempt with panic isolation and the per-cell

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/check"
 	"repro/internal/mem"
 )
 
@@ -89,6 +90,14 @@ type Config struct {
 	// CollectLatencies enables the couplet service-time histogram,
 	// retrievable via (*System).CoupletLatencies after a Run.
 	CollectLatencies bool
+	// SelfCheck, when non-nil, runs the check package's reference model
+	// in lockstep with the L1 caches and write buffer: every access is
+	// diffed against the oracle and structural invariants run at the
+	// configured interval, with the first divergence aborting the run as
+	// a typed *check.Divergence error. Excluded from JSON so runner
+	// checkpoint keys (which hash the encoded config) are unchanged by
+	// enabling it.
+	SelfCheck *check.Options `json:"-"`
 }
 
 // effectiveLevels resolves the L2 sugar field and Levels into one list,

@@ -1,5 +1,7 @@
 package system
 
+import "repro/internal/check"
+
 // Counters accumulates the statistics of one simulation window. Every field
 // counts events, words or cycles; ratios are derived by the methods below.
 type Counters struct {
@@ -85,6 +87,21 @@ func (c Counters) Sub(o Counters) Counters {
 		L2Writes:            c.L2Writes - o.L2Writes,
 		L2WriteHits:         c.L2WriteHits - o.L2WriteHits,
 		Cycles:              c.Cycles - o.Cycles,
+	}
+}
+
+// SelfCheckTally maps the counters onto the check package's tally for the
+// end-of-run diff against the oracle's scalar counts. Writeback fields
+// count L1 victims only, matching what the oracle shadows.
+func (c Counters) SelfCheckTally() check.Tally {
+	return check.Tally{
+		Reads:          c.Ifetches + c.Loads,
+		ReadMisses:     c.IfetchMisses + c.LoadMisses,
+		Writes:         c.Stores,
+		WriteHits:      c.StoreHits,
+		WriteMisses:    c.StoreMisses,
+		Writebacks:     c.WritebackBlocks,
+		WritebackWords: c.WritebackWords,
 	}
 }
 

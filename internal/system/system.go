@@ -4,11 +4,21 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/check"
 	"repro/internal/mem"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/writebuf"
 )
+
+// l1cache is the cache interface the couplet loop drives: satisfied by
+// *cache.Cache directly and by *check.Shadow in selfcheck mode, so the
+// reference model drops into the loop without touching the timing logic.
+type l1cache interface {
+	Read(addr uint64) cache.Result
+	Write(addr uint64) cache.Result
+	Config() cache.Config
+}
 
 // System is the single-phase reference simulator. Construct one per
 // configuration with New; each Run starts from cold caches and an idle
@@ -17,8 +27,9 @@ type System struct {
 	cfg    Config
 	timing mem.Timing
 
-	icache *cache.Cache
-	dcache *cache.Cache
+	icache l1cache
+	dcache l1cache
+	chk    *check.Checker // nil unless cfg.SelfCheck is set
 	unit   *mem.Unit
 	levels []*cacheLevel // L2, L3, … ordered from nearest to L1
 	down   Downstream
@@ -57,19 +68,42 @@ func MustNew(cfg Config) *System {
 // Config returns the simulated configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// reset builds fresh cold state for a run.
-func (s *System) reset() error {
-	var err error
-	s.dcache, err = cache.New(s.cfg.DCache)
+// reset builds fresh cold state for a run. In selfcheck mode the L1
+// caches are wrapped in lockstep shadows and the write buffer is audited
+// against a naive FIFO model; the lower levels run unshadowed (the oracle
+// models L1 only).
+func (s *System) reset(traceName string) error {
+	s.chk = nil
+	if s.cfg.SelfCheck != nil {
+		s.chk = check.New(s.cfg.SelfCheck)
+		s.chk.SetContext(fmt.Sprintf("trace=%s dcache=%v", traceName, s.cfg.DCache))
+	}
+	dreal, err := cache.New(s.cfg.DCache)
 	if err != nil {
 		return err
+	}
+	s.dcache = dreal
+	if s.chk != nil {
+		label := "D"
+		if s.cfg.Unified {
+			label = "U"
+		}
+		if s.dcache, err = s.chk.Shadow(label, dreal); err != nil {
+			return err
+		}
 	}
 	if s.cfg.Unified {
 		s.icache = s.dcache
 	} else {
-		s.icache, err = cache.New(s.cfg.ICache)
+		ireal, err := cache.New(s.cfg.ICache)
 		if err != nil {
 			return err
+		}
+		s.icache = ireal
+		if s.chk != nil {
+			if s.icache, err = s.chk.Shadow("I", ireal); err != nil {
+				return err
+			}
 		}
 	}
 	s.unit = mem.NewUnit(s.timing)
@@ -87,6 +121,18 @@ func (s *System) reset() error {
 	s.down = next
 	if s.l1buf, err = writebuf.New(s.cfg.WriteBufDepth, s.down); err != nil {
 		return err
+	}
+	if s.chk != nil {
+		bo := s.chk.BufOracle("l1buf", s.cfg.WriteBufDepth)
+		s.l1buf.SetAuditor(bo)
+		buf := s.l1buf
+		s.chk.AddInvariant("l1buf", buf.CheckInvariants)
+		s.chk.AddInvariant("l1buf-occupancy", func() error {
+			if real, oracle := buf.Len(), bo.Len(); real != oracle {
+				return fmt.Errorf("real queue holds %d entries, oracle %d", real, oracle)
+			}
+			return nil
+		})
 	}
 	s.iBusy, s.dBusy = 0, 0
 	s.live = Counters{}
@@ -157,7 +203,7 @@ func (s *System) Run(t *trace.Trace) (Result, error) {
 	if err := t.Validate(); err != nil {
 		return Result{}, err
 	}
-	if err := s.reset(); err != nil {
+	if err := s.reset(t.Name); err != nil {
 		return Result{}, err
 	}
 	refs := t.Refs
@@ -166,6 +212,11 @@ func (s *System) Run(t *trace.Trace) (Result, error) {
 	warmTaken := t.WarmStart == 0
 
 	for i := 0; i < len(refs); {
+		if s.chk != nil {
+			if err := s.chk.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		if !warmTaken && i >= t.WarmStart {
 			warmSnap = s.snapshot(now)
 			warmTaken = true
@@ -199,6 +250,12 @@ func (s *System) Run(t *trace.Trace) (Result, error) {
 	if !warmTaken {
 		warmSnap = total
 	}
+	if s.chk != nil {
+		tally := total.SelfCheckTally()
+		if err := s.chk.Finish(&tally); err != nil {
+			return Result{}, err
+		}
+	}
 	return Result{CycleNs: s.cfg.CycleNs, Total: total, Warm: total.Sub(warmSnap)}, nil
 }
 
@@ -219,7 +276,7 @@ func (s *System) dataRef(now int64, r trace.Ref) int64 {
 // whole block for the paper's base system, one sub-block under sub-block
 // placement. It returns the cycle the missing reference completes and the
 // cycle the side becomes free.
-func (s *System) missFetch(start int64, c *cache.Cache, addr uint64, res cache.Result) (complete, busy int64) {
+func (s *System) missFetch(start int64, c l1cache, addr uint64, res cache.Result) (complete, busy int64) {
 	fw := c.Config().EffectiveFetchWords()
 	fetchAddr := addr &^ uint64(fw-1)
 	s.l1buf.Drain(start)
@@ -269,7 +326,7 @@ func (s *System) wordArrival(fillStart int64, words int) int64 {
 }
 
 // readRef services a load or instruction fetch.
-func (s *System) readRef(now int64, c *cache.Cache, r trace.Ref, isIfetch bool) int64 {
+func (s *System) readRef(now int64, c l1cache, r trace.Ref, isIfetch bool) int64 {
 	if isIfetch {
 		s.live.Ifetches++
 		if s.iBusy > now {

@@ -96,10 +96,19 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		startCap = initialCap
 	}
 	t := &Trace{Name: string(name), WarmStart: int(warm), Refs: make([]Ref, 0, startCap)}
+	// headerBytes positions record errors as absolute byte offsets, so a
+	// corrupt-trace report points at the damage directly.
+	headerBytes := int64(len(magic)) + 2 + int64(nameLen) + 16
 	var rec [recordSize]byte
 	for i := uint64(0); i < count; i++ {
+		off := headerBytes + int64(i)*recordSize
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+			return nil, fmt.Errorf("trace: reading record %d of %d (byte offset %d): %w",
+				i, count, off, err)
+		}
+		if rec[5] >= numKinds {
+			return nil, fmt.Errorf("trace: record %d (byte offset %d): invalid kind %d",
+				i, off, rec[5])
 		}
 		t.Refs = append(t.Refs, Ref{
 			Addr: binary.LittleEndian.Uint32(rec[0:]),
@@ -196,10 +205,13 @@ func ReadDin(r io.Reader, name string) (*Trace, error) {
 		t.Refs = append(t.Refs, Ref{Addr: uint32(addr), PID: uint8(pid), Kind: kind})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: %s:%d: %w", name, lineNo+1, err)
 	}
 	if len(t.Refs) == 0 {
 		return nil, fmt.Errorf("trace: %s: empty trace", name)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

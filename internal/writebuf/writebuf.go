@@ -29,6 +29,16 @@ type Sink interface {
 	NextFree() int64
 }
 
+// Auditor observes buffer state transitions, for the selfcheck layer:
+// Enqueued fires when a write enters the queue (or passes straight
+// through an unbuffered depth-0 buffer), Started when a queued write is
+// handed to the sink and leaves the queue. Starts are reported in queue
+// order, so an auditor can verify FIFO behaviour and occupancy bounds.
+type Auditor interface {
+	Enqueued(addr uint64, words int)
+	Started(addr uint64, words int)
+}
+
 type entry struct {
 	addr  uint64 // starting word address
 	words int
@@ -39,6 +49,7 @@ type entry struct {
 type Buffer struct {
 	depth int
 	sink  Sink
+	aud   Auditor
 	queue []entry // unstarted writes only; started writes leave the queue
 
 	// Statistics.
@@ -69,6 +80,10 @@ func MustNew(depth int, sink Sink) *Buffer {
 	return b
 }
 
+// SetAuditor attaches an auditor (nil detaches). Auditing is off the hot
+// path unless attached.
+func (b *Buffer) SetAuditor(a Auditor) { b.aud = a }
+
 // Depth returns the configured capacity.
 func (b *Buffer) Depth() int { return b.depth }
 
@@ -95,6 +110,9 @@ func (b *Buffer) Drain(now int64) {
 }
 
 func (b *Buffer) pop() {
+	if b.aud != nil {
+		b.aud.Started(b.queue[0].addr, b.queue[0].words)
+	}
 	copy(b.queue, b.queue[1:])
 	b.queue = b.queue[:len(b.queue)-1]
 	b.Drained++
@@ -113,6 +131,10 @@ func (b *Buffer) Enqueue(now int64, addr uint64, words int, ready int64) int64 {
 		// Unbuffered: the writer performs the write itself.
 		accepted := b.sink.StartWrite(ready, addr, words)
 		b.Drained++
+		if b.aud != nil {
+			b.aud.Enqueued(addr, words)
+			b.aud.Started(addr, words)
+		}
 		if accepted > now {
 			b.FullStallCycles += accepted - now
 			return accepted
@@ -132,6 +154,9 @@ func (b *Buffer) Enqueue(now int64, addr uint64, words int, ready int64) int64 {
 		b.FullStallCycles += release - now
 	}
 	b.queue = append(b.queue, entry{addr: addr, words: words, ready: ready})
+	if b.aud != nil {
+		b.aud.Enqueued(addr, words)
+	}
 	if len(b.queue) > b.MaxOccupancy {
 		b.MaxOccupancy = len(b.queue)
 	}
@@ -167,6 +192,9 @@ func (b *Buffer) FlushMatching(now int64, addr uint64, words int) bool {
 			start = now
 		}
 		b.sink.StartWrite(start, e.addr, e.words)
+		if b.aud != nil {
+			b.aud.Started(e.addr, e.words)
+		}
 	}
 	b.queue = b.queue[:copy(b.queue, b.queue[match+1:])]
 	b.Drained += int64(match + 1)
@@ -188,6 +216,29 @@ func (b *Buffer) FlushAll(now int64) int64 {
 		b.pop()
 	}
 	return last
+}
+
+// CheckInvariants verifies the buffer's structural properties, for the
+// selfcheck interval battery: occupancy within the configured depth,
+// positive entry sizes, and counter conservation (every enqueued write is
+// either drained or still queued).
+func (b *Buffer) CheckInvariants() error {
+	if b.depth > 0 && len(b.queue) > b.depth {
+		return fmt.Errorf("writebuf: %d queued entries exceed depth %d", len(b.queue), b.depth)
+	}
+	if b.depth > 0 && b.MaxOccupancy > b.depth {
+		return fmt.Errorf("writebuf: max occupancy %d exceeds depth %d", b.MaxOccupancy, b.depth)
+	}
+	for i, e := range b.queue {
+		if e.words <= 0 {
+			return fmt.Errorf("writebuf: entry %d holds %d words", i, e.words)
+		}
+	}
+	if b.Enqueued != b.Drained+int64(len(b.queue)) {
+		return fmt.Errorf("writebuf: conservation: enqueued %d != drained %d + queued %d",
+			b.Enqueued, b.Drained, len(b.queue))
+	}
+	return nil
 }
 
 // Reset clears the queue and statistics.
