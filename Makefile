@@ -27,9 +27,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz fuzz-long selfcheck faults vulncheck bench clean
+.PHONY: check build vet test race fuzz fuzz-long selfcheck faults vulncheck attrib bench clean
 
-check: vet build test race fuzz selfcheck faults vulncheck
+check: vet build test race fuzz selfcheck faults vulncheck attrib
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,18 @@ selfcheck:
 # transient errors and corrupt traces through the hardened runner.
 faults:
 	$(GO) test -run 'Fault|Wrap|Corrupt|Flaky|Decide' ./internal/faultinject/ ./internal/experiments/
+
+# Cycle-attribution conservation on a small real grid: every run below
+# carries -attrib -selfcheck, so sum(components) == cycles is asserted
+# inside the simulator (invariant battery + final check) and any violation
+# exits non-zero. Covers the base system, a non-default geometry, a
+# write-heavy buffer configuration and a two-level hierarchy.
+attrib:
+	$(GO) run ./cmd/cachesim -workload mu3 -scale 0.05 -attrib -selfcheck >/dev/null
+	$(GO) run ./cmd/cachesim -workload savec -scale 0.05 -size 16 -block 32 -assoc 2 -attrib -selfcheck >/dev/null
+	$(GO) run ./cmd/cachesim -workload mu6 -scale 0.05 -cycle 20 -attrib -selfcheck >/dev/null
+	$(GO) run ./cmd/cachesim -workload rd2n4 -scale 0.05 -l2 256 -attrib -selfcheck >/dev/null
+	@echo "attrib: conservation held on all runs"
 
 vulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \

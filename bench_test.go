@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/mem"
+	"repro/internal/simtrace"
 	"repro/internal/system"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -354,6 +355,36 @@ func BenchmarkEngineVsReference(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSimtraceOverhead guards the cost of the in-run instrumentation
+// layer: "absent" runs with no recorder at all (the nil fast path every
+// uninstrumented run takes), "disabled" with a recorder constructed but
+// nothing armed, and the remaining variants with each instrument on.
+// DESIGN.md commits to disabled-vs-absent staying within noise (≤2%).
+func BenchmarkSimtraceOverhead(b *testing.B) {
+	tr := ablationTrace(b)
+	cases := []struct {
+		name string
+		opts *simtrace.Options
+	}{
+		{"absent", nil},
+		{"disabled", &simtrace.Options{}},
+		{"attrib", &simtrace.Options{Attrib: true}},
+		{"events", &simtrace.Options{Events: true}},
+		{"full", &simtrace.Options{Attrib: true, IntervalRefs: 10000, Events: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := ablationConfig(func(cfg *system.Config) { cfg.Trace = c.opts })
+			for i := 0; i < b.N; i++ {
+				if _, err := system.Simulate(cfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
 }
 
 // --- Throughput microbenchmarks ---

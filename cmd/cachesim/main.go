@@ -22,6 +22,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/simtrace"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/textplot"
@@ -64,6 +66,12 @@ func run() error {
 		showHist  = flag.Bool("hist", false, "report couplet service-time percentiles")
 		selfcheck = flag.Bool("selfcheck", false, "run in lockstep with the reference cache model, failing on any divergence")
 		checkEvry = flag.Int("selfcheck-every", check.DefaultEvery, "structural invariant interval in references (with -selfcheck)")
+
+		attrib    = flag.Bool("attrib", false, "decompose the cycle count into attribution components (conservation-checked)")
+		intervals = flag.Int("intervals", 0, "emit an interval window every N references: CPI sparkline, warm-up estimate, window records")
+		intervOut = flag.String("intervals-out", "", "write interval windows to this file (.csv for CSV, anything else NDJSON; with -intervals)")
+		eventsOut = flag.String("events", "", "write the run's timeline events to this file as Chrome trace-event JSON (load in Perfetto)")
+		manifest  = flag.String("manifest", "", "write a run manifest JSON here (includes attribution and warm-up when armed)")
 	)
 	flag.Parse()
 
@@ -134,6 +142,13 @@ func run() error {
 		cfg.SelfCheck = &check.Options{Every: *checkEvry}
 		fmt.Println("selfcheck: differential oracle enabled; divergences abort the run")
 	}
+	if *attrib || *intervals > 0 || *eventsOut != "" {
+		cfg.Trace = &simtrace.Options{
+			Attrib:       *attrib,
+			IntervalRefs: *intervals,
+			Events:       *eventsOut != "",
+		}
+	}
 
 	// Ctrl-C cancels the sweep; traces that already finished are still
 	// reported, the rest are marked in the partial report below.
@@ -145,6 +160,7 @@ func run() error {
 	type simOut struct {
 		res  system.Result
 		hist *stats.Hist
+		rec  *simtrace.Recorder
 	}
 	cells := make([]runner.Cell[simOut], len(traces))
 	for i, tr := range traces {
@@ -160,7 +176,7 @@ func run() error {
 				if err != nil {
 					return simOut{}, err
 				}
-				return simOut{res: res, hist: sys.CoupletLatencies()}, nil
+				return simOut{res: res, hist: sys.CoupletLatencies(), rec: sys.Recorder()}, nil
 			},
 		}
 	}
@@ -178,7 +194,12 @@ func run() error {
 		name string
 		h    *stats.Hist
 	}
+	type recRow struct {
+		name string
+		rec  *simtrace.Recorder
+	}
 	var hists []histRow
+	var recs []recRow
 	var failed []*runner.CellError
 	for i, r := range results {
 		if !r.Done {
@@ -198,6 +219,9 @@ func run() error {
 		if *showHist {
 			hists = append(hists, histRow{traces[i].Name, r.Value.hist})
 		}
+		if r.Value.rec != nil {
+			recs = append(recs, recRow{traces[i].Name, r.Value.rec})
+		}
 	}
 	if err := tab.Render(os.Stdout); err != nil {
 		return err
@@ -214,6 +238,87 @@ func run() error {
 			return err
 		}
 	}
+	if *attrib {
+		fmt.Println()
+		at := textplot.NewTable("cycle attribution (sum of components == cycles, by construction)",
+			"trace", "component", "cycles", "share%")
+		for _, rr := range recs {
+			a := rr.rec.AttributionWarm()
+			if *showTotal {
+				a = rr.rec.Attribution()
+			}
+			for _, comp := range a.Components() {
+				if comp.Cycles == 0 {
+					continue
+				}
+				at.Row(rr.name, comp.Name, comp.Cycles, 100*float64(comp.Cycles)/float64(a.Cycles))
+			}
+		}
+		if err := at.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	var warmups []obs.ManifestWarmup
+	if *intervals > 0 {
+		fmt.Println()
+		fmt.Printf("interval CPI (one glyph per %d-ref window):\n", *intervals)
+		for _, rr := range recs {
+			line := fmt.Sprintf("  %-8s %s", rr.name, textplot.Sparkline(rr.rec.CPISeries()))
+			if w, ref, ok := rr.rec.WarmupEstimate(0); ok {
+				line += fmt.Sprintf("  warm-up ~ window %d (ref %d)", w, ref)
+				warmups = append(warmups, obs.ManifestWarmup{Trace: rr.name, Window: w, StartRef: ref})
+			} else {
+				line += "  warm-up: no stable point"
+			}
+			fmt.Println(line)
+		}
+		if *intervOut != "" {
+			for _, rr := range recs {
+				path := splicePath(*intervOut, rr.name, len(recs) > 1)
+				if err := writeIntervals(path, rr.rec); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "intervals: %s\n", path)
+			}
+		}
+	}
+	if *eventsOut != "" {
+		for _, rr := range recs {
+			path := splicePath(*eventsOut, rr.name, len(recs) > 1)
+			if err := writeChromeTrace(path, rr.rec); err != nil {
+				return err
+			}
+			if n := rr.rec.DroppedEvents(); n > 0 {
+				fmt.Fprintf(os.Stderr, "events: %s (ring overflowed; newest %d events kept, %d dropped)\n",
+					path, len(rr.rec.Events()), n)
+			} else {
+				fmt.Fprintf(os.Stderr, "events: %s\n", path)
+			}
+		}
+	}
+	if *manifest != "" {
+		m := obs.NewManifest()
+		m.ConfigHash = obs.ConfigHash("cachesim/v1", spec, *wl, *trPath, *scale)
+		m.Warmup = warmups
+		if *attrib && len(recs) > 0 {
+			m.Attribution = make(map[string]int64)
+			for _, rr := range recs {
+				for _, comp := range rr.rec.AttributionWarm().Components() {
+					m.Attribution[comp.Name] += comp.Cycles
+				}
+				m.AttribCells++
+			}
+		}
+		if len(failed) > 0 {
+			m.Outcome = fmt.Sprintf("failed: %d trace(s) did not complete", len(failed))
+		} else {
+			m.Outcome = "ok"
+		}
+		if err := m.Write(*manifest); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "manifest: %s\n", *manifest)
+	}
 	if len(failed) > 0 {
 		// Each failure was already logged through the slog handler as it
 		// happened; finish with the tally only.
@@ -223,6 +328,49 @@ func run() error {
 		return fmt.Errorf("%d trace(s) did not complete", len(failed))
 	}
 	return nil
+}
+
+// splicePath inserts the trace name before the path's extension when the
+// run covers multiple traces, so per-trace outputs do not overwrite each
+// other: out.json -> out-mu3.json.
+func splicePath(path, name string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + name + ext
+}
+
+// writeIntervals writes the recorder's window records: CSV when the path
+// ends in .csv, NDJSON otherwise.
+func writeIntervals(path string, rec *simtrace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".csv" {
+		err = rec.WriteWindowsCSV(f)
+	} else {
+		err = rec.WriteWindowsNDJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeChromeTrace writes the recorder's event ring as Chrome trace-event
+// JSON.
+func writeChromeTrace(path string, rec *simtrace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = rec.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func describe(c cache.Config, unified bool) string {

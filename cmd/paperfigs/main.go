@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/simtrace"
 	"repro/internal/textplot"
 )
 
@@ -164,6 +166,10 @@ func run() (err error) {
 		checkEvry = flag.Int("selfcheck-every", check.DefaultEvery, "structural invariant interval in references (with -selfcheck)")
 		faultSpec = flag.String("faults", "", "deterministic fault-injection plan, e.g. 'seed=1,panic=0.02,slow=0.01,transient=0.1' (testing the runner)")
 
+		attrib    = flag.Bool("attrib", false, "arm cycle attribution in every freshly computed cell; the aggregate lands in the registry and run manifest")
+		intervals = flag.Int("intervals", 0, "accepted for interface parity; sweep cells cannot emit interval series (use cachesim -intervals)")
+		eventsOut = flag.String("events", "", "write a representative cell's timeline as Chrome trace-event JSON to this file")
+
 		progress  = flag.Duration("progress", 0, "print sweep progress/ETA lines to stderr at this interval (0 = off)")
 		debugAddr = flag.String("debug-addr", "", "serve live expvar and pprof on this address (e.g. :8080; :0 picks a free port)")
 		manifest  = flag.String("manifest", "", "write the run manifest JSON here (default when observability is on: <checkpoint>.manifest.json, else paperfigs.manifest.json)")
@@ -209,7 +215,8 @@ func run() (err error) {
 
 	// Observability is off by default: the registry, reporter, debug
 	// server and manifest only exist when one of their flags asks.
-	obsOn := *progress > 0 || *debugAddr != "" || *manifest != ""
+	// -attrib counts as asking: its aggregate is reported via the manifest.
+	obsOn := *progress > 0 || *debugAddr != "" || *manifest != "" || *attrib
 	manifestPath := *manifest
 	if obsOn && manifestPath == "" {
 		if *ckpt != "" {
@@ -262,6 +269,15 @@ func run() (err error) {
 		}
 		exec.Faults = plan
 		fmt.Fprintf(os.Stderr, "fault injection armed: %s\n", *faultSpec)
+	}
+	if *intervals > 0 {
+		fmt.Fprintln(os.Stderr, "note: -intervals has no effect on sweep cells (hit runs are gap-compressed in replay); use cachesim -intervals for interval series")
+	}
+	if *attrib || *eventsOut != "" {
+		exec.Trace = &simtrace.Options{Attrib: *attrib, Events: *eventsOut != ""}
+		if *attrib {
+			fmt.Println("attrib: cycle attribution armed in every freshly computed cell")
+		}
 	}
 	var cp *runner.Checkpoint
 	if *ckpt != "" {
@@ -343,8 +359,61 @@ func run() (err error) {
 		}
 		fmt.Printf("[%s in %v]\n", f.name, time.Since(t0).Round(time.Millisecond))
 	}
+	if *attrib && reg != nil {
+		if err := renderAttribution(os.Stdout, reg); err != nil {
+			return err
+		}
+	}
+	if *eventsOut != "" {
+		if rec := suite.EventTrace(); rec == nil {
+			fmt.Fprintln(os.Stderr, "events: no cell was freshly computed with the event ring armed (all replayed from checkpoint?); nothing written")
+		} else {
+			f, ferr := os.Create(*eventsOut)
+			if ferr != nil {
+				return ferr
+			}
+			werr := rec.WriteChromeTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Fprintf(os.Stderr, "events: %s (a representative cell's timeline; which cell depends on worker scheduling)\n", *eventsOut)
+		}
+	}
 	fmt.Printf("\ntotal %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// renderAttribution prints the registry's aggregate cycle attribution
+// across every freshly computed cell, largest component first.
+func renderAttribution(w io.Writer, reg *obs.Registry) error {
+	comps := reg.CounterValuesWithPrefix(obs.MAttribPrefix)
+	cells := reg.Counter(obs.MAttribCells).Value()
+	if len(comps) == 0 || cells == 0 {
+		fmt.Fprintln(w, "\nattribution: no freshly computed cells (all replayed from checkpoint?)")
+		return nil
+	}
+	names := make([]string, 0, len(comps))
+	var total int64
+	for n, v := range comps {
+		names = append(names, n)
+		total += v
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if comps[names[i]] != comps[names[j]] {
+			return comps[names[i]] > comps[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintln(w)
+	tab := textplot.NewTable(fmt.Sprintf("aggregate cycle attribution over %d freshly computed cells (warm windows)", cells),
+		"component", "cycles", "share%")
+	for _, n := range names {
+		tab.Row(n, comps[n], 100*float64(comps[n])/float64(total))
+	}
+	return tab.Render(w)
 }
 
 // parseLogLevel maps the -log flag to a slog level.

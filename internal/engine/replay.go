@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/check"
 	"repro/internal/mem"
+	"repro/internal/simtrace"
 	"repro/internal/system"
 	"repro/internal/writebuf"
 )
@@ -45,6 +46,7 @@ func (m *memSink) NextFree() int64 { return m.unit.FreeAt }
 type replayer struct {
 	unit *mem.Unit
 	buf  *writebuf.Buffer
+	rec  *simtrace.Recorder // nil unless instrumentation is armed
 }
 
 // missFetch mirrors system.(*System).missFetch for the whole-block
@@ -53,11 +55,20 @@ type replayer struct {
 func (r *replayer) missFetch(start int64, fetchWords int, addr uint64, wbWords int, vicAddr uint64) int64 {
 	fetchAddr := addr &^ uint64(fetchWords-1)
 	r.buf.Drain(start)
-	r.buf.FlushMatching(start, fetchAddr, fetchWords)
-	dataAt, _ := r.unit.StartReadBlocked(start, fetchWords, wbWords)
+	matched := r.buf.FlushMatching(start, fetchAddr, fetchWords)
+	mw0, mr0 := r.unit.ReadWaitCycles, r.unit.ReadRecoveryWaitCycles
+	dataAt, fillStart := r.unit.StartReadBlocked(start, fetchWords, wbWords)
+	if r.rec != nil {
+		r.rec.NoteFetch(r.unit.ReadWaitCycles-mw0, r.unit.ReadRecoveryWaitCycles-mr0, matched)
+		r.rec.Event(simtrace.EvFill, fillStart, dataAt, fetchAddr, fetchWords)
+	}
 	complete := dataAt
 	if wbWords > 0 {
-		if rel := r.buf.Enqueue(dataAt, vicAddr, wbWords, dataAt); rel > complete {
+		rel := r.enqueueTracked(dataAt, vicAddr, wbWords, dataAt)
+		if r.rec != nil {
+			r.rec.Event(simtrace.EvWriteback, dataAt, dataAt, vicAddr, wbWords)
+		}
+		if rel > complete {
 			complete = rel
 		}
 	}
@@ -69,10 +80,22 @@ func (r *replayer) missFetch(start int64, fetchWords int, addr uint64, wbWords i
 // completion time, stall if the buffer is full.
 func (r *replayer) storeThrough(now, done int64, addr uint64) int64 {
 	r.buf.Drain(now)
-	if rel := r.buf.Enqueue(done, addr, 1, done); rel > done {
+	if rel := r.enqueueTracked(done, addr, 1, done); rel > done {
 		done = rel
 	}
 	return done
+}
+
+// enqueueTracked wraps the write buffer's Enqueue, feeding any full-buffer
+// stall cycles to the attribution recorder.
+func (r *replayer) enqueueTracked(now int64, addr uint64, words int, ready int64) int64 {
+	if r.rec == nil {
+		return r.buf.Enqueue(now, addr, words, ready)
+	}
+	f0 := r.buf.FullStallCycles
+	rel := r.buf.Enqueue(now, addr, words, ready)
+	r.rec.NoteBufFull(r.buf.FullStallCycles - f0)
+	return rel
 }
 
 // Replay runs the timing phase over the profile and returns the same Result
@@ -80,7 +103,7 @@ func (r *replayer) storeThrough(now, done int64, addr uint64) int64 {
 // (whole-block fetch, no L2). The cost is proportional to the number of
 // events, not the number of references.
 func (p *Profile) Replay(t Timing) (system.Result, error) {
-	return p.replay(t, nil)
+	return p.replay(t, nil, nil)
 }
 
 // ReplayChecked is Replay with the write buffer audited against the check
@@ -89,15 +112,27 @@ func (p *Profile) Replay(t Timing) (system.Result, error) {
 // at the end of the replay. The first violation aborts the replay with a
 // typed *check.Divergence error; a nil opts is exactly Replay.
 func (p *Profile) ReplayChecked(t Timing, opts *check.Options) (system.Result, error) {
+	return p.ReplayTraced(t, opts, nil)
+}
+
+// ReplayTraced is ReplayChecked with an optional simtrace recorder
+// attached: cycle attribution and the timeline event ring work exactly as
+// in the system simulator, and when both the checker and attribution are
+// armed the conservation invariant joins the invariant battery. Interval
+// windows are NOT supported here — the event stream compresses hit-only
+// couplet runs into gaps, so there is no per-couplet point at which to
+// sample write-buffer depth; use the system simulator for interval series.
+// A nil rec is exactly ReplayChecked.
+func (p *Profile) ReplayTraced(t Timing, opts *check.Options, rec *simtrace.Recorder) (system.Result, error) {
 	if opts == nil {
-		return p.replay(t, nil)
+		return p.replay(t, nil, rec)
 	}
 	chk := check.New(opts)
 	chk.SetContext(fmt.Sprintf("trace=%s dcache=%v cycle=%dns", p.TraceName, p.Org.DCache, t.CycleNs))
-	return p.replay(t, chk)
+	return p.replay(t, chk, rec)
 }
 
-func (p *Profile) replay(t Timing, chk *check.Checker) (system.Result, error) {
+func (p *Profile) replay(t Timing, chk *check.Checker, rec *simtrace.Recorder) (system.Result, error) {
 	if err := t.Validate(); err != nil {
 		return system.Result{}, err
 	}
@@ -105,9 +140,15 @@ func (p *Profile) replay(t Timing, chk *check.Checker) (system.Result, error) {
 	if err != nil {
 		return system.Result{}, err
 	}
-	r := &replayer{unit: mem.NewUnit(tm)}
+	r := &replayer{unit: mem.NewUnit(tm), rec: rec}
 	if r.buf, err = writebuf.New(t.WriteBufDepth, &memSink{unit: r.unit}); err != nil {
 		return system.Result{}, err
+	}
+	if rec.EventsOn() {
+		r.buf.SetTracer(rec)
+	}
+	if chk != nil && rec.AttribOn() {
+		chk.AddInvariant("attrib-conservation", rec.CheckConservation)
 	}
 	if chk != nil {
 		bo := chk.BufOracle("l1buf", t.WriteBufDepth)
@@ -140,7 +181,13 @@ func (p *Profile) replay(t Timing, chk *check.Checker) (system.Result, error) {
 			}
 		}
 		now += int64(ev.gap) + int64(ev.gapStoreHits)
+		if rec != nil {
+			// Gap couplets cost one base cycle each plus one store
+			// cycle per contained store hit — attributed in bulk.
+			rec.AddGap(int64(ev.gap), int64(ev.gapStoreHits), now)
+		}
 		if ev.marker {
+			rec.MarkWarm()
 			warmTiming = system.Counters{
 				Cycles:             now,
 				BufFullStallCycles: r.buf.FullStallCycles,
@@ -153,29 +200,57 @@ func (p *Profile) replay(t Timing, chk *check.Checker) (system.Result, error) {
 			warmSeen = true
 			continue
 		}
+		if rec != nil {
+			rec.BeginCouplet(now)
+		}
 		comp := now + 1
-		if ev.hasI && ev.iMiss {
-			if c := r.missFetch(now+1, ifw, ev.iAddr, int(ev.iVicW), ev.iVic); c > comp {
-				comp = c
+		if ev.hasI {
+			if ev.iMiss {
+				c := r.missFetch(now+1, ifw, ev.iAddr, int(ev.iVicW), ev.iVic)
+				if rec != nil {
+					rec.NoteRef(simtrace.Ifetch, c)
+					rec.Event(simtrace.EvIfetchMiss, now, c, ev.iAddr, 0)
+				}
+				if c > comp {
+					comp = c
+				}
+			} else if rec != nil {
+				rec.NoteRef(simtrace.Ifetch, now+1)
 			}
 		}
 		switch ev.d {
-		case dNone, dLoadHit:
+		case dNone:
+			// no data reference in this couplet
+		case dLoadHit:
 			// one cycle, already covered by comp
+			if rec != nil {
+				rec.NoteRef(simtrace.Load, now+1)
+			}
 		case dStoreHit:
 			done := now + 2
 			if wt {
 				done = r.storeThrough(now, done, ev.dAddr)
 			}
+			if rec != nil {
+				rec.NoteRef(simtrace.Store, done)
+			}
 			if done > comp {
 				comp = done
 			}
 		case dLoadMiss:
-			if c := r.missFetch(now+1, dfw, ev.dAddr, int(ev.dVicW), ev.dVic); c > comp {
+			c := r.missFetch(now+1, dfw, ev.dAddr, int(ev.dVicW), ev.dVic)
+			if rec != nil {
+				rec.NoteRef(simtrace.Load, c)
+				rec.Event(simtrace.EvLoadMiss, now, c, ev.dAddr, 0)
+			}
+			if c > comp {
 				comp = c
 			}
 		case dStoreMissNoAlloc:
 			done := r.storeThrough(now, now+2, ev.dAddr)
+			if rec != nil {
+				rec.NoteRef(simtrace.Store, done)
+			}
 			if done > comp {
 				comp = done
 			}
@@ -185,17 +260,30 @@ func (p *Profile) replay(t Timing, chk *check.Checker) (system.Result, error) {
 			if wt {
 				c = r.storeThrough(now, c, ev.dAddr)
 			}
+			if rec != nil {
+				rec.NoteRef(simtrace.Store, c)
+				rec.Event(simtrace.EvStoreMiss, now, c, ev.dAddr, 0)
+			}
 			if c > comp {
 				comp = c
 			}
 		}
+		if rec != nil {
+			rec.EndCouplet(comp)
+		}
 		now = comp
 	}
 	now += int64(p.tailGap) + int64(p.tailGapStoreHits)
+	if rec != nil {
+		rec.AddGap(int64(p.tailGap), int64(p.tailGapStoreHits), now)
+	}
 	if chk != nil {
 		if err := chk.Finish(nil); err != nil {
 			return system.Result{}, err
 		}
+	}
+	if err := rec.Finish(simtrace.Sample{Refs: p.total.Refs, Cycles: now}, now); err != nil {
+		return system.Result{}, err
 	}
 
 	total := p.total

@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mem"
 	"repro/internal/runner"
+	"repro/internal/simtrace"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -64,6 +65,12 @@ type Suite struct {
 
 	fpOnce sync.Once
 	fps    []string // per-trace checkpoint fingerprints
+
+	// evMu guards evRec, the first freshly computed cell's recorder with an
+	// armed event ring — the sweep's representative timeline, exported via
+	// EventTrace.
+	evMu  sync.Mutex
+	evRec *simtrace.Recorder
 }
 
 // profileEntry is a single-flight slot in the profile cache.

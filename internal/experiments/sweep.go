@@ -12,6 +12,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/simtrace"
 	"repro/internal/system"
 )
 
@@ -50,6 +51,16 @@ type ExecOptions struct {
 	// panics, delays, transient errors) around each cell, exercising the
 	// runner's isolation, retry and checkpoint machinery end-to-end.
 	Faults *faultinject.Plan
+	// Trace, when set, arms the simtrace recorder inside every freshly
+	// computed simulation cell: the cell output carries the warm-window
+	// cycle attribution (aggregated into the Metrics registry under
+	// obs.MAttribPrefix), and when the event ring is armed the first
+	// completed cell's timeline is retained for Suite.EventTrace. Interval
+	// windows are ignored here — replay cells compress hit runs into gaps
+	// (see engine.ReplayTraced). Instrumented cells produce bit-identical
+	// results, so checkpoint keys do not encode the option; cells replayed
+	// from a checkpoint skip simulation and contribute no attribution.
+	Trace *simtrace.Options
 }
 
 // SetExec configures sweep execution. Call before running figures; the
@@ -79,6 +90,63 @@ type cellOut struct {
 	// Warm holds the measured-window counters (timing fields populated
 	// for replay/system cells, zero for pure behavioural cells).
 	Warm system.Counters `json:"warm"`
+	// Attrib is the warm-window cycle attribution, present only when
+	// ExecOptions.Trace armed it (omitted otherwise, so checkpoint bytes
+	// without instrumentation are unchanged).
+	Attrib *simtrace.Attribution `json:"attrib,omitempty"`
+}
+
+// cellRecorder builds the per-cell simtrace recorder, or nil when tracing
+// is off. Interval windows are stripped: cells report attribution and
+// events only.
+func (s *Suite) cellRecorder() *simtrace.Recorder {
+	if s.exec.Trace == nil {
+		return nil
+	}
+	opts := *s.exec.Trace
+	opts.IntervalRefs = 0
+	if !opts.Attrib && !opts.Events {
+		return nil
+	}
+	return simtrace.New(opts)
+}
+
+// offerEventTrace retains the first completed recorder with an armed event
+// ring as the sweep's representative timeline.
+func (s *Suite) offerEventTrace(rec *simtrace.Recorder) {
+	if !rec.EventsOn() {
+		return
+	}
+	s.evMu.Lock()
+	if s.evRec == nil {
+		s.evRec = rec
+	}
+	s.evMu.Unlock()
+}
+
+// EventTrace returns a representative timeline of the suite's sweeps: the
+// recorder of the first freshly computed cell that completed with the
+// event ring armed (which cell that is depends on worker scheduling), or
+// nil when ExecOptions.Trace never armed events or every cell was replayed
+// from a checkpoint.
+func (s *Suite) EventTrace() *simtrace.Recorder {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return s.evRec
+}
+
+// attribOut packages a finished recorder's warm-window attribution for the
+// cell output and offers its event ring as the representative timeline.
+func (s *Suite) attribOut(rec *simtrace.Recorder) *simtrace.Attribution {
+	if rec == nil {
+		return nil
+	}
+	s.offerEventTrace(rec)
+	if !rec.AttribOn() {
+		return nil
+	}
+	a := rec.AttributionWarm()
+	return &a
 }
 
 // traceFingerprint identifies trace i for checkpoint keys: a content hash
@@ -124,11 +192,13 @@ func (s *Suite) replayCell(i int, org engine.Org, tm engine.Timing) runner.Cell[
 			if err := ctx.Err(); err != nil {
 				return cellOut{}, err
 			}
-			res, err := p.ReplayChecked(tm, s.exec.SelfCheck)
+			rec := s.cellRecorder()
+			res, err := p.ReplayTraced(tm, s.exec.SelfCheck, rec)
 			if err != nil {
 				return cellOut{}, err
 			}
-			return cellOut{ExecNs: res.ExecTimeNs(), CPR: res.Warm.CyclesPerRef(), Warm: res.Warm}, nil
+			return cellOut{ExecNs: res.ExecTimeNs(), CPR: res.Warm.CyclesPerRef(),
+				Warm: res.Warm, Attrib: s.attribOut(rec)}, nil
 		},
 	}
 }
@@ -163,11 +233,21 @@ func (s *Suite) systemCell(i int, cfg system.Config) runner.Cell[cellOut] {
 			}
 			cfg := cfg
 			cfg.SelfCheck = s.exec.SelfCheck
-			res, err := system.Simulate(cfg, s.Traces[i])
+			if s.exec.Trace != nil {
+				opts := *s.exec.Trace
+				opts.IntervalRefs = 0 // no per-cell window sink; see ExecOptions.Trace
+				cfg.Trace = &opts
+			}
+			sys, err := system.New(cfg)
 			if err != nil {
 				return cellOut{}, err
 			}
-			return cellOut{ExecNs: res.ExecTimeNs(), CPR: res.Warm.CyclesPerRef(), Warm: res.Warm}, nil
+			res, err := sys.Run(s.Traces[i])
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{ExecNs: res.ExecTimeNs(), CPR: res.Warm.CyclesPerRef(),
+				Warm: res.Warm, Attrib: s.attribOut(sys.Recorder())}, nil
 		},
 	}
 }
@@ -202,6 +282,12 @@ func (s *Suite) instrument(cells []runner.Cell[cellOut]) []runner.Cell[cellOut] 
 			v, err := run(ctx)
 			if err == nil {
 				refs.Add(v.Warm.Refs)
+				if v.Attrib != nil {
+					m.Counter(obs.MAttribCells).Add(1)
+					for _, comp := range v.Attrib.Components() {
+						m.Counter(obs.MAttribPrefix + comp.Name).Add(comp.Cycles)
+					}
+				}
 			}
 			return v, err
 		}}

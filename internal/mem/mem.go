@@ -181,6 +181,17 @@ type Unit struct {
 	Writes     int64
 	WaitCycles int64 // cycles requests spent waiting for the unit
 	BusyCycles int64 // cycles the unit was occupied (operations + recovery)
+
+	// Read-path decomposition, for cycle attribution. WaitCycles mixes
+	// read and write waits; these three split out the synchronous read
+	// path: ReadWaitCycles is the read share of WaitCycles,
+	// ReadRecoveryWaitCycles the part of that spent inside the previous
+	// operation's recovery tail, and ReadServiceCycles the full
+	// request-to-last-word duration of every read. None of them feed the
+	// simulators' results; they only ever feed attribution reports.
+	ReadWaitCycles         int64
+	ReadRecoveryWaitCycles int64
+	ReadServiceCycles      int64
 }
 
 // NewUnit returns an idle unit with the given timing.
@@ -205,7 +216,14 @@ func (u *Unit) StartRead(now int64, blockWords int) (dataAt int64) {
 func (u *Unit) StartReadBlocked(now int64, blockWords, victimOutWords int) (dataAt, fillStart int64) {
 	start := now
 	if u.FreeAt > start {
-		u.WaitCycles += u.FreeAt - start
+		wait := u.FreeAt - start
+		u.WaitCycles += wait
+		u.ReadWaitCycles += wait
+		if rec := int64(u.Timing.RecoveryCycles); rec < wait {
+			u.ReadRecoveryWaitCycles += rec
+		} else {
+			u.ReadRecoveryWaitCycles += wait
+		}
 		start = u.FreeAt
 	}
 	fillStart = start + int64(u.Timing.LatencyCycles)
@@ -215,6 +233,7 @@ func (u *Unit) StartReadBlocked(now int64, blockWords, victimOutWords int) (data
 	dataAt = fillStart + int64(u.Timing.TransferCycles(blockWords))
 	u.FreeAt = dataAt + int64(u.Timing.RecoveryCycles)
 	u.BusyCycles += u.FreeAt - start
+	u.ReadServiceCycles += dataAt - now
 	u.Reads++
 	return dataAt, fillStart
 }
@@ -244,4 +263,5 @@ func (u *Unit) NextFree() int64 { return u.FreeAt }
 func (u *Unit) Reset() {
 	u.FreeAt = 0
 	u.Reads, u.Writes, u.WaitCycles, u.BusyCycles = 0, 0, 0, 0
+	u.ReadWaitCycles, u.ReadRecoveryWaitCycles, u.ReadServiceCycles = 0, 0, 0
 }

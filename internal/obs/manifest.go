@@ -45,6 +45,26 @@ type Manifest struct {
 	CellLatency TimingSnapshot     `json:"cell_latency"`
 	Throughput  ManifestThroughput `json:"throughput"`
 	Phases      []PhaseDuration    `json:"phases,omitempty"`
+
+	// Attribution aggregates the simtrace cycle attribution across every
+	// freshly computed cell when the run armed it (component name →
+	// cycles); AttribCells counts the cells that contributed (cells
+	// replayed from a checkpoint skip simulation and add nothing).
+	Attribution map[string]int64 `json:"attribution,omitempty"`
+	AttribCells int64            `json:"attrib_cells,omitempty"`
+	// Warmup records per-trace warm-up stabilization estimates from the
+	// interval time series, when interval instrumentation ran.
+	Warmup []ManifestWarmup `json:"warmup,omitempty"`
+}
+
+// ManifestWarmup is one trace's warm-up stabilization estimate: the first
+// interval window from which the CPI series stays within the tolerance of
+// its remaining mean, and the reference count where that window starts. A
+// series that never stabilizes is simply absent.
+type ManifestWarmup struct {
+	Trace    string `json:"trace"`
+	Window   int    `json:"window"`
+	StartRef int64  `json:"start_ref"`
 }
 
 // ManifestCheckpoint identifies the checkpoint log a run used.
@@ -121,6 +141,10 @@ func (m *Manifest) FillFromRegistry(reg *Registry, wall time.Duration) {
 		Retried:  reg.Counter(MCellsRetried).Value(),
 	}
 	m.CellLatency = reg.Timing(MCellLatency).Snapshot()
+	if n := reg.Counter(MAttribCells).Value(); n > 0 {
+		m.AttribCells = n
+		m.Attribution = reg.CounterValuesWithPrefix(MAttribPrefix)
+	}
 	refs := reg.Counter(MSimRefs).Value()
 	m.Throughput = ManifestThroughput{
 		RefsSimulated: refs,

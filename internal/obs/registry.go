@@ -10,6 +10,7 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,16 @@ const (
 	MSimRefs = "sim_refs"
 	// MCellLatency is the per-cell wall-clock timing histogram.
 	MCellLatency = "cell_latency"
+	// MAttribPrefix prefixes the per-component cycle-attribution counters
+	// (e.g. "attrib_mem_wait") the sweep runner aggregates across freshly
+	// computed cells when cycle attribution is armed. The suffixes are the
+	// simtrace component names.
+	MAttribPrefix = "attrib_"
+	// MAttribCells counts cells whose attribution fed those counters
+	// (checkpoint-replayed cells skip simulation and contribute nothing).
+	// Deliberately outside the attrib_ namespace so prefix scans see only
+	// component counters.
+	MAttribCells = "cells_attributed"
 )
 
 // Counter is a monotonically increasing metric, safe for concurrent use.
@@ -179,6 +190,27 @@ func (r *Registry) Timing(name string) *Timing {
 		r.timings[name] = t
 	}
 	return t
+}
+
+// CounterValuesWithPrefix returns the current value of every counter whose
+// name starts with prefix, keyed by the name with the prefix stripped.
+// Empty when no such counter exists.
+func (r *Registry) CounterValuesWithPrefix(prefix string) map[string]int64 {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	counters := make([]*Counter, 0, len(r.counters))
+	for n, c := range r.counters {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+			counters = append(counters, c)
+		}
+	}
+	r.mu.Unlock()
+	out := make(map[string]int64, len(names))
+	for i, n := range names {
+		out[strings.TrimPrefix(n, prefix)] = counters[i].Value()
+	}
+	return out
 }
 
 // Snapshot returns a JSON-able view of every metric: counters and gauges as

@@ -1,0 +1,139 @@
+package simtrace
+
+import "fmt"
+
+// Attribution decomposes a window's cycle count into named components.
+// The sum of every component equals Cycles exactly (see the package
+// comment for how the carving guarantees that); Check verifies it.
+type Attribution struct {
+	// BaseIssue is the one cycle every couplet pays to issue.
+	BaseIssue int64 `json:"base_issue"`
+	// StoreCycles are cycles beyond the base spent completing stores:
+	// the data-write cycle of store hits, store-miss processing, and
+	// data-side busy waits behind stores.
+	StoreCycles int64 `json:"store_cycles"`
+	// IfetchMissStall are residual stall cycles of couplets whose
+	// critical reference was an instruction fetch (the fetch latency of
+	// its misses, and I-side busy waits).
+	IfetchMissStall int64 `json:"ifetch_miss_stall"`
+	// LoadMissStall is the data-read analogue of IfetchMissStall.
+	LoadMissStall int64 `json:"load_miss_stall"`
+	// BufFullStall are cycles the processor waited for a full write
+	// buffer to drain its head entry.
+	BufFullStall int64 `json:"wbuf_full_stall"`
+	// BufMatchWait are fetch cycles spent waiting for a matching
+	// buffered write to propagate before the fetch could start.
+	BufMatchWait int64 `json:"wbuf_match_wait"`
+	// MemWait are fetch cycles spent queued behind a busy memory unit,
+	// excluding the recovery share below.
+	MemWait int64 `json:"mem_wait"`
+	// MemRecovery is the share of MemWait spent inside the previous
+	// memory operation's recovery (precharge) tail — the paper's "memory
+	// recovery time" cost.
+	MemRecovery int64 `json:"mem_recovery"`
+	// LevelService holds the own service cycles of each cache level
+	// below L1 (index 0 = L2) on critical fetch paths: its tag access
+	// and inter-level transfer time, excluding everything below it.
+	// Empty for single-level configurations.
+	LevelService []int64 `json:"level_service,omitempty"`
+	// Cycles is the window's total cycle count, the conservation target.
+	Cycles int64 `json:"cycles"`
+}
+
+// Sum adds up every component.
+func (a Attribution) Sum() int64 {
+	s := a.BaseIssue + a.StoreCycles + a.IfetchMissStall + a.LoadMissStall +
+		a.BufFullStall + a.BufMatchWait + a.MemWait + a.MemRecovery
+	for _, v := range a.LevelService {
+		s += v
+	}
+	return s
+}
+
+// Check verifies the conservation invariant sum(components) == Cycles.
+func (a Attribution) Check() error {
+	if got := a.Sum(); got != a.Cycles {
+		return fmt.Errorf("simtrace: attribution components sum to %d, want %d cycles (diff %+d)",
+			got, a.Cycles, got-a.Cycles)
+	}
+	return nil
+}
+
+func (a Attribution) clone() Attribution {
+	out := a
+	if a.LevelService != nil {
+		out.LevelService = append([]int64(nil), a.LevelService...)
+	}
+	return out
+}
+
+// Sub returns a - o component-wise, used to derive the measured window
+// from totals (level slices may differ in length when a level first
+// appears after the warm boundary).
+func (a Attribution) Sub(o Attribution) Attribution {
+	out := a.clone()
+	out.BaseIssue -= o.BaseIssue
+	out.StoreCycles -= o.StoreCycles
+	out.IfetchMissStall -= o.IfetchMissStall
+	out.LoadMissStall -= o.LoadMissStall
+	out.BufFullStall -= o.BufFullStall
+	out.BufMatchWait -= o.BufMatchWait
+	out.MemWait -= o.MemWait
+	out.MemRecovery -= o.MemRecovery
+	for i, v := range o.LevelService {
+		for len(out.LevelService) <= i {
+			out.LevelService = append(out.LevelService, 0)
+		}
+		out.LevelService[i] -= v
+	}
+	out.Cycles -= o.Cycles
+	return out
+}
+
+// Add returns a + o component-wise, for aggregating attributions across
+// cells of a sweep.
+func (a Attribution) Add(o Attribution) Attribution {
+	out := a.clone()
+	out.BaseIssue += o.BaseIssue
+	out.StoreCycles += o.StoreCycles
+	out.IfetchMissStall += o.IfetchMissStall
+	out.LoadMissStall += o.LoadMissStall
+	out.BufFullStall += o.BufFullStall
+	out.BufMatchWait += o.BufMatchWait
+	out.MemWait += o.MemWait
+	out.MemRecovery += o.MemRecovery
+	for i, v := range o.LevelService {
+		for len(out.LevelService) <= i {
+			out.LevelService = append(out.LevelService, 0)
+		}
+		out.LevelService[i] += v
+	}
+	out.Cycles += o.Cycles
+	return out
+}
+
+// Components returns the attribution as ordered (name, cycles) pairs,
+// the rendering and metric-export order. Level components are named
+// l2_service, l3_service, ….
+func (a Attribution) Components() []Component {
+	out := []Component{
+		{"base_issue", a.BaseIssue},
+		{"store_cycles", a.StoreCycles},
+		{"ifetch_miss_stall", a.IfetchMissStall},
+		{"load_miss_stall", a.LoadMissStall},
+		{"wbuf_full_stall", a.BufFullStall},
+		{"wbuf_match_wait", a.BufMatchWait},
+		{"mem_wait", a.MemWait},
+		{"mem_recovery", a.MemRecovery},
+	}
+	for i, v := range a.LevelService {
+		out = append(out, Component{fmt.Sprintf("l%d_service", i+2), v})
+	}
+	return out
+}
+
+// Component is one named slice of an Attribution.
+type Component struct {
+	Name   string
+	Cycles int64
+}

@@ -1,0 +1,84 @@
+package simtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// scriptedRecorder replays a fixed event sequence touching every kind and
+// every export track, so the golden file pins the whole format.
+func scriptedRecorder() *Recorder {
+	r := New(Options{Events: true, EventCap: 32})
+	r.Event(EvIfetchMiss, 0, 9, 0x1000, 0)
+	r.Event(EvFill, 2, 8, 0x1000, 4)
+	r.WriteStarted(9, 0x2000, 1, 13) // EvDrain via the writebuf.Tracer face
+	r.Event(EvWriteback, 9, 9, 0x3000, 4)
+	r.FullStall(14, 17)
+	r.Match(20, 0x2000)
+	r.Event(EvLoadMiss, 21, 30, 0x2000, 0)
+	r.Event(EvStoreMiss, 31, 40, 0x4000, 0)
+	return r
+}
+
+// TestChromeTraceGolden pins the Chrome trace-event export byte-for-byte
+// and verifies the output loads as trace-event JSON (the contract that
+// makes it openable in Perfetto and chrome://tracing).
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := scriptedRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run Golden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The format contract: top-level traceEvents array, every event with a
+	// phase, spans ("X") with a duration, instants ("i") with a scope.
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("export is not valid trace-event JSON: %v", err)
+	}
+	var spans, instants, meta int
+	for _, ev := range tr.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("span event without dur: %v", ev)
+			}
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Fatalf("instant event without thread scope: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev["ph"])
+		}
+	}
+	if meta != 5 || spans != 6 || instants != 2 {
+		t.Fatalf("got %d meta, %d span, %d instant events", meta, spans, instants)
+	}
+}

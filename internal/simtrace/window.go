@@ -1,0 +1,220 @@
+package simtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Sample is a cumulative statistics snapshot the simulator hands the
+// recorder at window boundaries. All fields are running totals since the
+// start of the run; the recorder derives per-window deltas itself.
+type Sample struct {
+	Refs          int64
+	Cycles        int64
+	Ifetches      int64
+	IfetchMisses  int64
+	Loads         int64
+	LoadMisses    int64
+	Stores        int64
+	StoreMisses   int64
+	MemBusyCycles int64
+}
+
+// Window is one emitted interval record: the statistics of the reference
+// window [StartRef, EndRef).
+type Window struct {
+	Index      int   `json:"window"`
+	StartRef   int64 `json:"start_ref"`
+	EndRef     int64 `json:"end_ref"`
+	StartCycle int64 `json:"start_cycle"`
+	EndCycle   int64 `json:"end_cycle"`
+	// CPI is cycles per reference inside the window.
+	CPI float64 `json:"cpi"`
+	// Per-stream miss ratios inside the window.
+	IfetchMissRatio float64 `json:"ifetch_miss_ratio"`
+	LoadMissRatio   float64 `json:"load_miss_ratio"`
+	StoreMissRatio  float64 `json:"store_miss_ratio"`
+	// MemUtil is the fraction of the window's cycles the memory unit was
+	// busy (clamped to 1; a long operation can straddle the boundary).
+	MemUtil float64 `json:"mem_util"`
+	// Write-buffer depth summary, from the per-couplet occupancy
+	// histogram of the window.
+	DepthMean float64 `json:"wbuf_depth_mean"`
+	DepthP90  int64   `json:"wbuf_depth_p90"`
+	DepthMax  int64   `json:"wbuf_depth_max"`
+}
+
+type windowState struct {
+	every    int64
+	boundary int64
+	prev     Sample
+	depth    stats.Hist
+	windows  []Window
+}
+
+func (w *windowState) init(every int) {
+	w.every = int64(every)
+	w.boundary = int64(every)
+}
+
+// WindowDue reports whether the run has crossed the next window boundary
+// (couplets advance the reference count by up to two, so boundaries are
+// crossed, not hit).
+func (r *Recorder) WindowDue(refs int64) bool {
+	return refs >= r.win.boundary
+}
+
+// SampleDepth records the write-buffer occupancy observed after one
+// couplet into the current window's histogram.
+func (r *Recorder) SampleDepth(depth int) {
+	r.win.depth.Add(int64(depth))
+}
+
+// EmitWindow closes the current window at the cumulative sample and
+// advances the boundary past the sample's reference count.
+func (r *Recorder) EmitWindow(s Sample) {
+	r.win.emit(s)
+	for r.win.boundary <= s.Refs {
+		r.win.boundary += r.win.every
+	}
+}
+
+func (w *windowState) emit(s Sample) {
+	d := Sample{
+		Refs:          s.Refs - w.prev.Refs,
+		Cycles:        s.Cycles - w.prev.Cycles,
+		Ifetches:      s.Ifetches - w.prev.Ifetches,
+		IfetchMisses:  s.IfetchMisses - w.prev.IfetchMisses,
+		Loads:         s.Loads - w.prev.Loads,
+		LoadMisses:    s.LoadMisses - w.prev.LoadMisses,
+		Stores:        s.Stores - w.prev.Stores,
+		StoreMisses:   s.StoreMisses - w.prev.StoreMisses,
+		MemBusyCycles: s.MemBusyCycles - w.prev.MemBusyCycles,
+	}
+	if d.Refs == 0 {
+		return
+	}
+	util := frac(d.MemBusyCycles, d.Cycles)
+	if util > 1 {
+		util = 1
+	}
+	w.windows = append(w.windows, Window{
+		Index:           len(w.windows),
+		StartRef:        w.prev.Refs,
+		EndRef:          s.Refs,
+		StartCycle:      w.prev.Cycles,
+		EndCycle:        s.Cycles,
+		CPI:             frac(d.Cycles, d.Refs),
+		IfetchMissRatio: frac(d.IfetchMisses, d.Ifetches),
+		LoadMissRatio:   frac(d.LoadMisses, d.Loads),
+		StoreMissRatio:  frac(d.StoreMisses, d.Stores),
+		MemUtil:         util,
+		DepthMean:       w.depth.Mean(),
+		DepthP90:        w.depth.Percentile(0.9),
+		DepthMax:        w.depth.Max,
+	})
+	w.prev = s
+	w.depth = stats.Hist{}
+}
+
+// finish emits the trailing partial window, if any couplets ran since
+// the last boundary.
+func (w *windowState) finish(s Sample) {
+	if s.Refs > w.prev.Refs {
+		w.emit(s)
+	}
+}
+
+func frac(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Windows returns the emitted interval records.
+func (r *Recorder) Windows() []Window { return r.win.windows }
+
+// CPISeries returns each window's CPI in order, for sparkline rendering.
+func (r *Recorder) CPISeries() []float64 {
+	out := make([]float64, len(r.win.windows))
+	for i, w := range r.win.windows {
+		out[i] = w.CPI
+	}
+	return out
+}
+
+// DefaultWarmupEps is the relative CPI tolerance of WarmupEstimate.
+const DefaultWarmupEps = 0.05
+
+// WarmupEstimate locates the warm-up stabilization point: the first
+// window from which every window's CPI stays within eps (relative) of
+// the mean CPI of the remaining windows. Returns that window's index and
+// starting reference count. ok is false when fewer than two windows were
+// recorded or the series never stabilizes (the estimate would cover only
+// the final window, which says nothing). A non-positive eps selects
+// DefaultWarmupEps.
+func (r *Recorder) WarmupEstimate(eps float64) (window int, startRef int64, ok bool) {
+	if eps <= 0 {
+		eps = DefaultWarmupEps
+	}
+	ws := r.win.windows
+	if len(ws) < 2 {
+		return 0, 0, false
+	}
+	// Suffix sums of CPI weighted evenly per window.
+	suffix := make([]float64, len(ws)+1)
+	for i := len(ws) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + ws[i].CPI
+	}
+	for w := 0; w < len(ws)-1; w++ {
+		mean := suffix[w] / float64(len(ws)-w)
+		tol := eps * mean
+		stable := true
+		for j := w; j < len(ws); j++ {
+			d := ws[j].CPI - mean
+			if d < 0 {
+				d = -d
+			}
+			if d > tol {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			return w, ws[w].StartRef, true
+		}
+	}
+	return 0, 0, false
+}
+
+// WriteWindowsNDJSON writes one JSON object per line per window.
+func (r *Recorder) WriteWindowsNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, win := range r.win.windows {
+		if err := enc.Encode(win); err != nil {
+			return fmt.Errorf("simtrace: encoding window %d: %w", win.Index, err)
+		}
+	}
+	return nil
+}
+
+// WriteWindowsCSV writes the windows as a CSV table with a header row.
+func (r *Recorder) WriteWindowsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "window,start_ref,end_ref,start_cycle,end_cycle,cpi,ifetch_miss_ratio,load_miss_ratio,store_miss_ratio,mem_util,wbuf_depth_mean,wbuf_depth_p90,wbuf_depth_max"); err != nil {
+		return err
+	}
+	for _, win := range r.win.windows {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%g,%g,%g,%g,%g,%g,%d,%d\n",
+			win.Index, win.StartRef, win.EndRef, win.StartCycle, win.EndCycle,
+			win.CPI, win.IfetchMissRatio, win.LoadMissRatio, win.StoreMissRatio,
+			win.MemUtil, win.DepthMean, win.DepthP90, win.DepthMax)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/check"
 	"repro/internal/mem"
+	"repro/internal/simtrace"
 )
 
 // FetchPolicy selects when a missing read reference completes.
@@ -98,6 +99,14 @@ type Config struct {
 	// checkpoint keys (which hash the encoded config) are unchanged by
 	// enabling it.
 	SelfCheck *check.Options `json:"-"`
+	// Trace, when non-nil, arms the in-run instrumentation recorder
+	// (internal/simtrace): cycle attribution, interval windows and the
+	// timeline event ring, retrievable via (*System).Recorder after a
+	// Run. Purely passive — simulated timing and all counters are
+	// bit-identical with it on or off. Excluded from JSON for the same
+	// reason as SelfCheck: runner checkpoint keys hash the encoded
+	// config and must not change when instrumentation is enabled.
+	Trace *simtrace.Options `json:"-"`
 }
 
 // effectiveLevels resolves the L2 sugar field and Levels into one list,

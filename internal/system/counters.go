@@ -1,6 +1,10 @@
 package system
 
-import "repro/internal/check"
+import (
+	"reflect"
+
+	"repro/internal/check"
+)
 
 // Counters accumulates the statistics of one simulation window. Every field
 // counts events, words or cycles; ratios are derived by the methods below.
@@ -59,35 +63,22 @@ type Counters struct {
 }
 
 // Sub returns c - o field-wise, used to derive the measured (warm-start)
-// window from totals.
+// window from totals. It walks the struct by reflection so a new counter
+// can never be silently dropped from the subtraction; every field must be
+// int64 (enforced by panic, and by a compile-shape test).
 func (c Counters) Sub(o Counters) Counters {
-	return Counters{
-		Refs:                c.Refs - o.Refs,
-		Couplets:            c.Couplets - o.Couplets,
-		Ifetches:            c.Ifetches - o.Ifetches,
-		Loads:               c.Loads - o.Loads,
-		Stores:              c.Stores - o.Stores,
-		IfetchMisses:        c.IfetchMisses - o.IfetchMisses,
-		LoadMisses:          c.LoadMisses - o.LoadMisses,
-		StoreHits:           c.StoreHits - o.StoreHits,
-		StoreMisses:         c.StoreMisses - o.StoreMisses,
-		ReadWordsFetched:    c.ReadWordsFetched - o.ReadWordsFetched,
-		WritebackBlocks:     c.WritebackBlocks - o.WritebackBlocks,
-		WritebackWords:      c.WritebackWords - o.WritebackWords,
-		WritebackDirtyWords: c.WritebackDirtyWords - o.WritebackDirtyWords,
-		StoreThroughWords:   c.StoreThroughWords - o.StoreThroughWords,
-		BufFullStallCycles:  c.BufFullStallCycles - o.BufFullStallCycles,
-		BufMatchEvents:      c.BufMatchEvents - o.BufMatchEvents,
-		MemReads:            c.MemReads - o.MemReads,
-		MemWrites:           c.MemWrites - o.MemWrites,
-		MemWaitCycles:       c.MemWaitCycles - o.MemWaitCycles,
-		MemBusyCycles:       c.MemBusyCycles - o.MemBusyCycles,
-		L2Reads:             c.L2Reads - o.L2Reads,
-		L2ReadHits:          c.L2ReadHits - o.L2ReadHits,
-		L2Writes:            c.L2Writes - o.L2Writes,
-		L2WriteHits:         c.L2WriteHits - o.L2WriteHits,
-		Cycles:              c.Cycles - o.Cycles,
+	var out Counters
+	cv := reflect.ValueOf(c)
+	ov := reflect.ValueOf(o)
+	rv := reflect.ValueOf(&out).Elem()
+	for i := 0; i < cv.NumField(); i++ {
+		f := cv.Field(i)
+		if f.Kind() != reflect.Int64 {
+			panic("system: Counters field " + cv.Type().Field(i).Name + " is not int64")
+		}
+		rv.Field(i).SetInt(f.Int() - ov.Field(i).Int())
 	}
+	return out
 }
 
 // SelfCheckTally maps the counters onto the check package's tally for the

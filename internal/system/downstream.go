@@ -46,6 +46,12 @@ type cacheLevel struct {
 
 	reads, readHits   int64
 	writes, writeHits int64
+
+	// serviceCycles accumulates request-to-data time across upward reads,
+	// including everything nested below. The attribution recorder peels the
+	// nested part off to get this level's own service share; nothing in the
+	// simulated timing reads it back.
+	serviceCycles int64
 }
 
 func newLevel(cfg *L2Config, next Downstream) (*cacheLevel, error) {
@@ -109,6 +115,7 @@ func (l *cacheLevel) ReadBlock(now int64, addr uint64, words, victimOutWords int
 	}
 	dataAt := fillStart + int64(words)
 	l.freeAt = dataAt
+	l.serviceCycles += dataAt - now
 	return dataAt, fillStart
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/check"
 	"repro/internal/mem"
+	"repro/internal/simtrace"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/writebuf"
@@ -42,6 +43,12 @@ type System struct {
 
 	live Counters
 	hist *stats.Hist // couplet service-time histogram, when enabled
+
+	// rec is the in-run instrumentation recorder, nil unless cfg.Trace
+	// is set; svc is its per-miss service-cycle scratch (one slot per
+	// lower level plus one for the memory unit).
+	rec *simtrace.Recorder
+	svc []int64
 }
 
 // New constructs a simulator for the configuration.
@@ -141,7 +148,37 @@ func (s *System) reset(traceName string) error {
 	} else {
 		s.hist = nil
 	}
+	s.rec, s.svc = nil, nil
+	if s.cfg.Trace != nil {
+		s.rec = simtrace.New(*s.cfg.Trace)
+		s.svc = make([]int64, len(s.levels)+1)
+		if s.rec.EventsOn() {
+			s.l1buf.SetTracer(s.rec)
+		}
+		if s.chk != nil && s.rec.AttribOn() {
+			s.chk.AddInvariant("attrib-conservation", s.rec.CheckConservation)
+		}
+	}
 	return nil
+}
+
+// Recorder returns the simtrace recorder of the most recent Run, or nil
+// unless Config.Trace was set.
+func (s *System) Recorder() *simtrace.Recorder { return s.rec }
+
+// sample snapshots the cumulative interval statistics at the given cycle.
+func (s *System) sample(now int64) simtrace.Sample {
+	return simtrace.Sample{
+		Refs:          s.live.Refs,
+		Cycles:        now,
+		Ifetches:      s.live.Ifetches,
+		IfetchMisses:  s.live.IfetchMisses,
+		Loads:         s.live.Loads,
+		LoadMisses:    s.live.LoadMisses,
+		Stores:        s.live.Stores,
+		StoreMisses:   s.live.StoreMisses,
+		MemBusyCycles: s.unit.BusyCycles,
+	}
 }
 
 // CoupletLatencies returns the couplet service-time histogram of the most
@@ -219,11 +256,15 @@ func (s *System) Run(t *trace.Trace) (Result, error) {
 		}
 		if !warmTaken && i >= t.WarmStart {
 			warmSnap = s.snapshot(now)
+			s.rec.MarkWarm()
 			warmTaken = true
 		}
 		n := trace.CoupletLen(refs, i)
 		s.live.Couplets++
 		s.live.Refs += int64(n)
+		if s.rec != nil {
+			s.rec.BeginCouplet(now)
+		}
 		comp := now + 1
 		first := refs[i]
 		if first.Kind == trace.Ifetch {
@@ -243,16 +284,31 @@ func (s *System) Run(t *trace.Trace) (Result, error) {
 		if s.hist != nil {
 			s.hist.Add(comp - now)
 		}
+		if s.rec != nil {
+			s.rec.EndCouplet(comp)
+			if s.rec.IntervalsOn() {
+				s.rec.SampleDepth(s.l1buf.Len())
+				if s.rec.WindowDue(s.live.Refs) {
+					s.rec.EmitWindow(s.sample(comp))
+				}
+			}
+		}
 		now = comp
 		i += n
 	}
 	total := s.snapshot(now)
 	if !warmTaken {
 		warmSnap = total
+		s.rec.MarkWarm() // degenerate warm window: keep attribution consistent
 	}
 	if s.chk != nil {
 		tally := total.SelfCheckTally()
 		if err := s.chk.Finish(&tally); err != nil {
+			return Result{}, err
+		}
+	}
+	if s.rec != nil {
+		if err := s.rec.Finish(s.sample(now), now); err != nil {
 			return Result{}, err
 		}
 	}
@@ -280,12 +336,31 @@ func (s *System) missFetch(start int64, c l1cache, addr uint64, res cache.Result
 	fw := c.Config().EffectiveFetchWords()
 	fetchAddr := addr &^ uint64(fw-1)
 	s.l1buf.Drain(start)
-	s.l1buf.FlushMatching(start, fetchAddr, fw)
+	matched := s.l1buf.FlushMatching(start, fetchAddr, fw)
 	victimOut := 0
 	if res.Victim.Valid && res.Victim.Dirty {
 		victimOut = res.Victim.WritebackWords
 	}
+	if s.rec != nil {
+		for i, lvl := range s.levels {
+			s.svc[i] = lvl.serviceCycles
+		}
+		s.svc[len(s.levels)] = s.unit.ReadServiceCycles
+	}
+	mw0, mr0 := s.unit.ReadWaitCycles, s.unit.ReadRecoveryWaitCycles
 	dataAt, fillStart := s.down.ReadBlock(start, fetchAddr, fw, victimOut)
+	if s.rec != nil {
+		s.rec.NoteFetch(s.unit.ReadWaitCycles-mw0, s.unit.ReadRecoveryWaitCycles-mr0, matched)
+		// Peel each level's own service out of the nested deltas: level
+		// i's fetch time minus the time spent below it.
+		below := s.unit.ReadServiceCycles - s.svc[len(s.levels)]
+		for i := len(s.levels) - 1; i >= 0; i-- {
+			d := s.levels[i].serviceCycles - s.svc[i]
+			s.rec.NoteLevelService(i, d-below)
+			below = d
+		}
+		s.rec.Event(simtrace.EvFill, fillStart, dataAt, fetchAddr, fw)
+	}
 	complete = dataAt
 	switch s.cfg.Fetch {
 	case EarlyContinue:
@@ -300,7 +375,10 @@ func (s *System) missFetch(start int64, c l1cache, addr uint64, res cache.Result
 	}
 	busy = dataAt
 	if victimOut > 0 {
-		rel := s.l1buf.Enqueue(dataAt, res.Victim.BlockAddr, victimOut, dataAt)
+		rel := s.enqueueTracked(dataAt, res.Victim.BlockAddr, victimOut, dataAt)
+		if s.rec != nil {
+			s.rec.Event(simtrace.EvWriteback, dataAt, dataAt, res.Victim.BlockAddr, victimOut)
+		}
 		if rel > complete {
 			complete = rel
 		}
@@ -313,6 +391,18 @@ func (s *System) missFetch(start int64, c l1cache, addr uint64, res cache.Result
 	}
 	s.live.ReadWordsFetched += int64(fw)
 	return complete, busy
+}
+
+// enqueueTracked wraps the L1 write buffer's Enqueue, feeding any
+// full-buffer stall cycles to the attribution recorder.
+func (s *System) enqueueTracked(now int64, addr uint64, words int, ready int64) int64 {
+	if s.rec == nil {
+		return s.l1buf.Enqueue(now, addr, words, ready)
+	}
+	f0 := s.l1buf.FullStallCycles
+	rel := s.l1buf.Enqueue(now, addr, words, ready)
+	s.rec.NoteBufFull(s.l1buf.FullStallCycles - f0)
+	return rel
 }
 
 // wordArrival estimates when the n-th word of a fill arrives, using the
@@ -340,7 +430,14 @@ func (s *System) readRef(now int64, c l1cache, r trace.Ref, isIfetch bool) int64
 	}
 	addr := r.Extended()
 	res := c.Read(addr)
+	kind := simtrace.Load
+	if isIfetch {
+		kind = simtrace.Ifetch
+	}
 	if res.Hit {
+		if s.rec != nil {
+			s.rec.NoteRef(kind, now+1)
+		}
 		return now + 1
 	}
 	if isIfetch {
@@ -349,6 +446,14 @@ func (s *System) readRef(now int64, c l1cache, r trace.Ref, isIfetch bool) int64
 		s.live.LoadMisses++
 	}
 	complete, busy := s.missFetch(now+1, c, addr, res)
+	if s.rec != nil {
+		s.rec.NoteRef(kind, complete)
+		ev := simtrace.EvLoadMiss
+		if isIfetch {
+			ev = simtrace.EvIfetchMiss
+		}
+		s.rec.Event(ev, now, complete, addr, 0)
+	}
 	if isIfetch {
 		s.iBusy = busy
 	} else {
@@ -376,12 +481,15 @@ func (s *System) writeRef(now int64, r trace.Ref) int64 {
 		if wt {
 			s.l1buf.Drain(now)
 			s.live.StoreThroughWords++
-			if rel := s.l1buf.Enqueue(done, addr, 1, done); rel > done {
+			if rel := s.enqueueTracked(done, addr, 1, done); rel > done {
 				done = rel
 			}
 		}
 		if done > s.dBusy {
 			s.dBusy = done
+		}
+		if s.rec != nil {
+			s.rec.NoteRef(simtrace.Store, done)
 		}
 		return done
 	}
@@ -393,11 +501,14 @@ func (s *System) writeRef(now int64, r trace.Ref) int64 {
 		done := now + 2
 		s.l1buf.Drain(now)
 		s.live.StoreThroughWords++
-		if rel := s.l1buf.Enqueue(done, addr, 1, done); rel > done {
+		if rel := s.enqueueTracked(done, addr, 1, done); rel > done {
 			done = rel
 		}
 		if done > s.dBusy {
 			s.dBusy = done
+		}
+		if s.rec != nil {
+			s.rec.NoteRef(simtrace.Store, done)
 		}
 		return done
 	}
@@ -409,7 +520,7 @@ func (s *System) writeRef(now int64, r trace.Ref) int64 {
 	if wt {
 		s.l1buf.Drain(now)
 		s.live.StoreThroughWords++
-		if rel := s.l1buf.Enqueue(complete, addr, 1, complete); rel > complete {
+		if rel := s.enqueueTracked(complete, addr, 1, complete); rel > complete {
 			complete = rel
 		}
 	}
@@ -417,6 +528,10 @@ func (s *System) writeRef(now int64, r trace.Ref) int64 {
 		busy = complete
 	}
 	s.dBusy = busy
+	if s.rec != nil {
+		s.rec.NoteRef(simtrace.Store, complete)
+		s.rec.Event(simtrace.EvStoreMiss, now, complete, addr, 0)
+	}
 	return complete
 }
 

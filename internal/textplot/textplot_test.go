@@ -1,6 +1,7 @@
 package textplot
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -100,5 +101,37 @@ func TestChartDegenerateRanges(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "p") {
 		t.Error("legend missing")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		want   string
+	}{
+		{"empty", nil, ""},
+		{"single", []float64{3}, "▁"},
+		{"flat", []float64{2, 2, 2}, "▁▁▁"},
+		{"ramp", []float64{0, 1, 2, 3, 4, 5, 6, 7}, "▁▂▃▄▅▆▇█"},
+		{"extremes", []float64{0, 7, 0}, "▁█▁"},
+		{"non-finite", []float64{1, math.NaN(), 2, math.Inf(1), 3}, "▁ ▄ █"},
+		{"all-nan", []float64{math.NaN(), math.NaN()}, "  "},
+		{"negative", []float64{-4, -2, 0}, "▁▄█"},
+	}
+	for _, c := range cases {
+		if got := Sparkline(c.values); got != c.want {
+			t.Errorf("%s: Sparkline(%v) = %q, want %q", c.name, c.values, got, c.want)
+		}
+	}
+}
+
+func TestSparklineWidthMatchesInput(t *testing.T) {
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = float64(i % 9)
+	}
+	if got := len([]rune(Sparkline(vals))); got != len(vals) {
+		t.Fatalf("sparkline has %d glyphs for %d values", got, len(vals))
 	}
 }
