@@ -15,6 +15,10 @@
 #                  and transient errors driven through the sweep runner
 #   vulncheck    — govulncheck when installed; advisory only, never fails
 #                  the gate (the container may not ship it)
+#   perfgate     — regression radar: two ledgered cachesim runs into a
+#                  scratch ledger, then `simreport gate` — the simulator is
+#                  deterministic, so any cycle-count drift between the two
+#                  runs is a real regression and fails the gate
 #   check        — all of the above
 #
 # `make fuzz-long` runs the trace-format fuzzers for 30 s each and is not
@@ -27,9 +31,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz fuzz-long selfcheck faults vulncheck attrib bench clean
+.PHONY: check build vet test race fuzz fuzz-long selfcheck faults vulncheck attrib perfgate bench clean
 
-check: vet build test race fuzz selfcheck faults vulncheck attrib
+check: vet build test race fuzz selfcheck faults vulncheck attrib perfgate
 
 build:
 	$(GO) build ./...
@@ -77,6 +81,17 @@ attrib:
 	$(GO) run ./cmd/cachesim -workload rd2n4 -scale 0.05 -l2 256 -attrib -selfcheck >/dev/null
 	@echo "attrib: conservation held on all runs"
 
+# Two identical ledgered runs, then the gate: cycle counts are deterministic,
+# so the gate trips only if the simulator's arithmetic changed between the
+# two invocations (or the ledger projection broke). The tight tolerance is
+# safe because wall-clock metrics never gate by default.
+perfgate:
+	@rm -rf .perfgate && mkdir -p .perfgate
+	$(GO) run ./cmd/cachesim -workload mu3 -scale 0.05 -ledger .perfgate >/dev/null
+	$(GO) run ./cmd/cachesim -workload mu3 -scale 0.05 -ledger .perfgate >/dev/null
+	$(GO) run ./cmd/simreport gate -ledger .perfgate -tolerance 0.1
+	@rm -rf .perfgate
+
 vulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./... || echo "vulncheck: advisories found (non-fatal)"; \
@@ -89,3 +104,4 @@ bench:
 
 clean:
 	$(GO) clean ./...
+	rm -rf .perfgate

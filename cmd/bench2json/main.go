@@ -44,15 +44,22 @@ type Bench struct {
 func main() {
 	out := flag.String("o", "", "write JSON snapshot to this file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two snapshots: bench2json -diff OLD.json NEW.json")
+	failOver := flag.Float64("fail-over", 0, "with -diff: exit 1 when any benchmark's ns/op grew by more than this percent (0 = report only)")
 	flag.Parse()
 
 	var err error
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: bench2json -diff OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: bench2json -diff [-fail-over PCT] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		err = runDiff(os.Stdout, flag.Arg(0), flag.Arg(1))
+		var slow []string
+		slow, err = runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *failOver)
+		if err == nil && len(slow) > 0 {
+			fmt.Fprintf(os.Stderr, "bench2json: %d benchmark(s) slowed by more than %g%%: %s\n",
+				len(slow), *failOver, strings.Join(slow, ", "))
+			os.Exit(1)
+		}
 	} else {
 		err = runConvert(os.Stdin, *out)
 	}
@@ -135,17 +142,42 @@ func parseBenchLine(line string) (Bench, bool) {
 	return b, true
 }
 
-func runDiff(w io.Writer, oldPath, newPath string) error {
+func runDiff(w io.Writer, oldPath, newPath string, failOver float64) ([]string, error) {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newSnap, err := readSnapshot(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprint(w, DiffString(oldSnap, newSnap))
-	return nil
+	if failOver <= 0 {
+		return nil, nil
+	}
+	return Slowdowns(oldSnap, newSnap, failOver), nil
+}
+
+// Slowdowns lists the benchmarks present in both snapshots whose ns/op grew
+// by more than pct percent — the -fail-over gate. Benchmarks on one side
+// only never fail the gate (a rename should show in the diff, not break CI).
+func Slowdowns(oldSnap, newSnap *Snapshot, pct float64) []string {
+	oldBy := map[string]Bench{}
+	for _, b := range oldSnap.Benches {
+		oldBy[b.Name] = b
+	}
+	var slow []string
+	for _, nb := range newSnap.Benches {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			continue
+		}
+		ov, nv := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if ov > 0 && (nv-ov)/ov*100 > pct {
+			slow = append(slow, fmt.Sprintf("%s (%+.1f%%)", nb.Name, (nv-ov)/ov*100))
+		}
+	}
+	return slow
 }
 
 func readSnapshot(path string) (*Snapshot, error) {

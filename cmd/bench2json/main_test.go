@@ -74,3 +74,28 @@ func TestDiffString(t *testing.T) {
 		t.Errorf("ns/op not first on line: %q", lineA)
 	}
 }
+
+// TestSlowdowns: the -fail-over gate flags only shared benchmarks whose
+// ns/op grew beyond the percentage; new, removed and faster benchmarks
+// never trip it.
+func TestSlowdowns(t *testing.T) {
+	oldSnap := &Snapshot{Benches: []Bench{
+		{Name: "BenchmarkSlow-8", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkFast-8", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkEdge-8", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkGone-8", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	newSnap := &Snapshot{Benches: []Bench{
+		{Name: "BenchmarkSlow-8", Metrics: map[string]float64{"ns/op": 120}}, // +20%
+		{Name: "BenchmarkFast-8", Metrics: map[string]float64{"ns/op": 50}},  // faster
+		{Name: "BenchmarkEdge-8", Metrics: map[string]float64{"ns/op": 104}}, // +4%, under gate
+		{Name: "BenchmarkNew-8", Metrics: map[string]float64{"ns/op": 9999}},
+	}}
+	slow := Slowdowns(oldSnap, newSnap, 5)
+	if len(slow) != 1 || !strings.Contains(slow[0], "BenchmarkSlow-8") || !strings.Contains(slow[0], "+20.0%") {
+		t.Errorf("slowdowns = %v, want only BenchmarkSlow-8 at +20.0%%", slow)
+	}
+	if got := Slowdowns(oldSnap, newSnap, 25); len(got) != 0 {
+		t.Errorf("25%% gate flagged %v", got)
+	}
+}

@@ -25,10 +25,12 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/check"
 	"repro/internal/config"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/simtrace"
@@ -72,6 +74,7 @@ func run() error {
 		intervOut = flag.String("intervals-out", "", "write interval windows to this file (.csv for CSV, anything else NDJSON; with -intervals)")
 		eventsOut = flag.String("events", "", "write the run's timeline events to this file as Chrome trace-event JSON (load in Perfetto)")
 		manifest  = flag.String("manifest", "", "write a run manifest JSON here (includes attribution and warm-up when armed)")
+		ledgerDir = flag.String("ledger", "", "append a compact run record to the ledger in this directory (inspect with simreport)")
 	)
 	flag.Parse()
 
@@ -185,8 +188,19 @@ func run() error {
 	// concurrently on the worker pool can no longer interleave their
 	// error text on stderr.
 	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, slog.String("run", obs.RunID()))
-	_, onDone := obs.RunnerHooks(nil, logger)
-	results := runner.Run(ctx, cells, runner.Options{OnCellDone: onDone})
+	// The registry exists only for ledgered runs (it feeds the ledger
+	// record's cell tallies and latency percentiles); without -ledger the
+	// hooks and output are exactly as before.
+	var reg *obs.Registry
+	if *ledgerDir != "" {
+		reg = obs.NewRegistry()
+		reg.Counter(obs.MCellsPlanned).Add(int64(len(cells)))
+	}
+	start := time.Now()
+	onStart, onDone := obs.RunnerHooks(reg, logger)
+	results := runner.Run(ctx, cells, runner.Options{
+		OnCellStart: onStart, OnCellDone: onDone, OnSweepDone: obs.SweepDone(logger),
+	})
 
 	tab := textplot.NewTable("", "trace", "refs", "cycles", "cyc/ref", "exec ms",
 		"load miss%", "ifetch miss%", "wr traffic", "buf stalls", "mem util%")
@@ -296,7 +310,7 @@ func run() error {
 			}
 		}
 	}
-	if *manifest != "" {
+	if *manifest != "" || *ledgerDir != "" {
 		m := obs.NewManifest()
 		m.ConfigHash = obs.ConfigHash("cachesim/v1", spec, *wl, *trPath, *scale)
 		m.Warmup = warmups
@@ -309,15 +323,45 @@ func run() error {
 				m.AttribCells++
 			}
 		}
+		if reg != nil {
+			m.FillFromRegistry(reg, time.Since(start))
+		}
 		if len(failed) > 0 {
 			m.Outcome = fmt.Sprintf("failed: %d trace(s) did not complete", len(failed))
 		} else {
 			m.Outcome = "ok"
 		}
-		if err := m.Write(*manifest); err != nil {
-			return err
+		if *manifest != "" {
+			if err := m.Write(*manifest); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "manifest: %s\n", *manifest)
 		}
-		fmt.Fprintf(os.Stderr, "manifest: %s\n", *manifest)
+		if *ledgerDir != "" {
+			rec := ledger.FromManifest(m, "cachesim")
+			// Cycle totals come from the simulator's own warm-window
+			// counters, not attribution (so they are ledgered even without
+			// -attrib). Always the warm window, whatever -total shows:
+			// -total is not part of the config hash, and records of one
+			// config must measure the same thing.
+			var sumRefs, sumCycles int64
+			for _, r := range results {
+				if r.Done {
+					sumRefs += r.Value.res.Warm.Refs
+					sumCycles += r.Value.res.Warm.Cycles
+				}
+			}
+			rec.Refs, rec.TotalCycles = sumRefs, sumCycles
+			if sumRefs > 0 {
+				rec.CPI = float64(sumCycles) / float64(sumRefs)
+				rec.RefsPerSec = float64(sumRefs) / time.Since(start).Seconds()
+			}
+			path, lerr := ledger.Append(*ledgerDir, rec)
+			if lerr != nil {
+				return lerr
+			}
+			fmt.Fprintf(os.Stderr, "ledger: %s\n", path)
+		}
 	}
 	if len(failed) > 0 {
 		// Each failure was already logged through the slog handler as it

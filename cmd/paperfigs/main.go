@@ -35,6 +35,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/simtrace"
@@ -173,6 +174,7 @@ func run() (err error) {
 		progress  = flag.Duration("progress", 0, "print sweep progress/ETA lines to stderr at this interval (0 = off)")
 		debugAddr = flag.String("debug-addr", "", "serve live expvar and pprof on this address (e.g. :8080; :0 picks a free port)")
 		manifest  = flag.String("manifest", "", "write the run manifest JSON here (default when observability is on: <checkpoint>.manifest.json, else paperfigs.manifest.json)")
+		ledgerDir = flag.String("ledger", "", "append a compact run record to the ledger in this directory (inspect with simreport)")
 		logLevel  = flag.String("log", "info", "structured log level on stderr: debug, info, warn, error")
 	)
 	flag.Parse()
@@ -216,9 +218,12 @@ func run() (err error) {
 	// Observability is off by default: the registry, reporter, debug
 	// server and manifest only exist when one of their flags asks.
 	// -attrib counts as asking: its aggregate is reported via the manifest.
-	obsOn := *progress > 0 || *debugAddr != "" || *manifest != "" || *attrib
+	// -ledger arms the registry and the in-memory manifest (the ledger
+	// record is its projection) but writes no manifest file of its own.
+	manifestOn := *progress > 0 || *debugAddr != "" || *manifest != "" || *attrib
+	obsOn := manifestOn || *ledgerDir != ""
 	manifestPath := *manifest
-	if obsOn && manifestPath == "" {
+	if manifestOn && manifestPath == "" {
 		if *ckpt != "" {
 			manifestPath = *ckpt + ".manifest.json"
 		} else {
@@ -333,10 +338,22 @@ func run() (err error) {
 			default:
 				m.Outcome = "failed: " + err.Error()
 			}
-			if werr := m.Write(manifestPath); werr != nil {
-				logger.Error("manifest write failed", "path", manifestPath, "err", werr)
-			} else {
-				fmt.Fprintf(os.Stderr, "manifest: %s\n", manifestPath)
+			if manifestOn {
+				if werr := m.Write(manifestPath); werr != nil {
+					logger.Error("manifest write failed", "path", manifestPath, "err", werr)
+				} else {
+					fmt.Fprintf(os.Stderr, "manifest: %s\n", manifestPath)
+				}
+			}
+			if *ledgerDir != "" {
+				// The ledger record is the manifest's cross-run projection;
+				// interrupted and failed runs are ledgered too (with their
+				// outcome), so history shows every invocation.
+				if path, lerr := ledger.Append(*ledgerDir, ledger.FromManifest(m, "paperfigs")); lerr != nil {
+					logger.Error("ledger append failed", "dir", *ledgerDir, "err", lerr)
+				} else {
+					fmt.Fprintf(os.Stderr, "ledger: %s\n", path)
+				}
 			}
 		}()
 	}

@@ -99,6 +99,15 @@ func TestManifestStableAcrossResume(t *testing.T) {
 	if m1.ConfigHash == "" {
 		t.Error("config hash empty")
 	}
+	// The environment fingerprint is process-constant, so a run resumed in
+	// the same environment fingerprints identically — what makes its ledger
+	// records honestly comparable.
+	if m1.Host != m2.Host {
+		t.Errorf("environment fingerprint changed across resume:\n first   %+v\n resumed %+v", m1.Host, m2.Host)
+	}
+	if m1.Host.GoVersion == "" || m1.Host.GOMAXPROCS <= 0 {
+		t.Errorf("fingerprint incomplete: %+v", m1.Host)
+	}
 	// The resumed run served everything from the checkpoint.
 	if m2.Cells.Replayed != m1.Cells.Done || m2.Cells.Done != 0 {
 		t.Errorf("resumed cells = %+v, want %d replayed", m2.Cells, m1.Cells.Done)

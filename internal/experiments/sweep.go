@@ -77,6 +77,7 @@ func (s *Suite) runnerOptions() runner.Options {
 		Checkpoint:   s.exec.Checkpoint,
 		OnCellStart:  onStart,
 		OnCellDone:   onDone,
+		OnSweepDone:  obs.SweepDone(s.exec.Log),
 	}
 }
 

@@ -1,0 +1,321 @@
+package ledger
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MetricDef describes one comparable record metric: how to extract it and
+// which direction is a regression. Get reports ok=false when the record
+// never measured the metric (e.g. no -attrib, so no cycle total).
+type MetricDef struct {
+	Name string
+	Get  func(Record) (float64, bool)
+	// HigherIsWorse is true for cost metrics (cycles, CPI, latency, wall
+	// time) and false for rate metrics (refs/s), where shrinking is the
+	// regression.
+	HigherIsWorse bool
+	// Deterministic marks metrics that are bit-stable for a fixed
+	// configuration (simulated cycles, CPI); only these gate by default,
+	// because wall-clock metrics regress whenever the machine is busy.
+	Deterministic bool
+}
+
+// Metrics is every comparable metric, in report order.
+var Metrics = []MetricDef{
+	{"total_cycles", func(r Record) (float64, bool) { return float64(r.TotalCycles), r.TotalCycles > 0 }, true, true},
+	{"cpi", func(r Record) (float64, bool) { return r.CPI, r.CPI > 0 }, true, true},
+	{"refs", func(r Record) (float64, bool) { return float64(r.Refs), r.Refs > 0 }, true, true},
+	{"refs_per_sec", func(r Record) (float64, bool) { return r.RefsPerSec, r.RefsPerSec > 0 }, false, false},
+	{"latency_p50_us", func(r Record) (float64, bool) { return float64(r.LatencyP50Us), r.LatencyP50Us > 0 }, true, false},
+	{"latency_p95_us", func(r Record) (float64, bool) { return float64(r.LatencyP95Us), r.LatencyP95Us > 0 }, true, false},
+	{"wall_ms", func(r Record) (float64, bool) { return float64(r.WallMs), r.WallMs > 0 }, true, false},
+}
+
+// DefaultGateMetrics are the metrics `gate` watches when none are named:
+// the deterministic ones, so an idle-vs-busy CI machine cannot trip the
+// gate.
+func DefaultGateMetrics() []string {
+	var names []string
+	for _, d := range Metrics {
+		if d.Deterministic {
+			names = append(names, d.Name)
+		}
+	}
+	return names
+}
+
+func metricByName(name string) (MetricDef, error) {
+	for _, d := range Metrics {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	known := make([]string, len(Metrics))
+	for i, d := range Metrics {
+		known[i] = d.Name
+	}
+	return MetricDef{}, fmt.Errorf("unknown metric %q (known: %v)", name, known)
+}
+
+// Delta is one metric compared between two runs. Pct is the signed change
+// (positive = the value grew); Regression is direction-adjusted and
+// threshold-tested: the metric moved in its bad direction by more than
+// ThresholdPct.
+type Delta struct {
+	Name         string  `json:"name"`
+	Old          float64 `json:"old"`
+	New          float64 `json:"new"`
+	Pct          float64 `json:"pct"`
+	NoisePct     float64 `json:"noise_pct"`
+	ThresholdPct float64 `json:"threshold_pct"`
+	Regression   bool    `json:"regression"`
+}
+
+// Thresholds tunes when a delta counts as a regression. The effective
+// threshold per metric is max(TolerancePct, NoiseMult × the metric's
+// observed run-to-run noise), so a metric that historically wobbles 4%
+// between identical runs is not flagged for wobbling 4% again.
+type Thresholds struct {
+	TolerancePct float64
+	NoiseMult    float64
+}
+
+// DefaultThresholds: flag changes beyond 5%, or beyond 3× observed noise
+// when that is larger.
+func DefaultThresholds() Thresholds { return Thresholds{TolerancePct: 5, NoiseMult: 3} }
+
+func (t Thresholds) orDefaults() Thresholds {
+	d := DefaultThresholds()
+	if t.TolerancePct > 0 {
+		d.TolerancePct = t.TolerancePct
+	}
+	if t.NoiseMult > 0 {
+		d.NoiseMult = t.NoiseMult
+	}
+	return d
+}
+
+// noisePct estimates a metric's run-to-run noise as the relative sample
+// standard deviation (percent of the mean) over the history records where
+// it was measured. Zero when fewer than two samples exist: with no
+// repeated-run evidence, only the configured tolerance applies.
+func noisePct(def MetricDef, history []Record) float64 {
+	var vals []float64
+	for _, r := range history {
+		if v, ok := def.Get(r); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(vals)-1))
+	return 100 * math.Abs(sd/mean)
+}
+
+// compare builds one Delta, deciding Regression from the metric's bad
+// direction and the noise-aware threshold.
+func compare(def MetricDef, oldV, newV float64, history []Record, th Thresholds) Delta {
+	d := Delta{Name: def.Name, Old: oldV, New: newV, NoisePct: noisePct(def, history)}
+	if oldV != 0 {
+		d.Pct = (newV - oldV) / math.Abs(oldV) * 100
+	}
+	d.ThresholdPct = math.Max(th.TolerancePct, th.NoiseMult*d.NoisePct)
+	worse := d.Pct
+	if !def.HigherIsWorse {
+		worse = -d.Pct
+	}
+	d.Regression = worse > d.ThresholdPct
+	return d
+}
+
+// Diff compares two runs metric by metric, plus their attribution rollups
+// component by component. Metrics absent from either side are omitted.
+type Diff struct {
+	OldRun      string  `json:"old_run"`
+	NewRun      string  `json:"new_run"`
+	ConfigMatch bool    `json:"config_match"`
+	Metrics     []Delta `json:"metrics"`
+	Attribution []Delta `json:"attribution,omitempty"`
+}
+
+// Regressions returns the metric deltas flagged as regressions
+// (attribution components never gate; they explain, the totals decide).
+func (d Diff) Regressions() []Delta {
+	var out []Delta
+	for _, m := range d.Metrics {
+		if m.Regression {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ComputeDiff compares oldRec → newRec. history supplies the repeated-run
+// variance for the noise-aware thresholds — typically every earlier record
+// with newRec's config hash; it may be empty.
+func ComputeDiff(oldRec, newRec Record, history []Record, th Thresholds) Diff {
+	th = th.orDefaults()
+	d := Diff{
+		OldRun:      oldRec.RunID,
+		NewRun:      newRec.RunID,
+		ConfigMatch: oldRec.ConfigHash == newRec.ConfigHash,
+	}
+	for _, def := range Metrics {
+		oldV, okOld := def.Get(oldRec)
+		newV, okNew := def.Get(newRec)
+		if !okOld || !okNew {
+			continue
+		}
+		d.Metrics = append(d.Metrics, compare(def, oldV, newV, history, th))
+	}
+	names := make(map[string]bool)
+	for n := range oldRec.Attribution {
+		names[n] = true
+	}
+	for n := range newRec.Attribution {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, n := range ordered {
+		ad := Delta{Name: n, Old: float64(oldRec.Attribution[n]), New: float64(newRec.Attribution[n])}
+		if ad.Old != 0 {
+			ad.Pct = (ad.New - ad.Old) / math.Abs(ad.Old) * 100
+		}
+		d.Attribution = append(d.Attribution, ad)
+	}
+	return d
+}
+
+// GateOptions configures a regression gate.
+type GateOptions struct {
+	// Metrics to gate on; empty means DefaultGateMetrics (the
+	// deterministic set).
+	Metrics []string
+	Thresholds
+	// Baseline is "prev" (default: the run before the newest) or "median"
+	// (per-metric median over the configuration's earlier history, robust
+	// to a single outlier baseline run).
+	Baseline string
+}
+
+// GateResult is a gate verdict: the evaluated deltas, the regressions
+// among them, and whether the gate was vacuous for lack of history.
+type GateResult struct {
+	ConfigHash string  `json:"config_hash"`
+	NewRun     string  `json:"new_run"`
+	Baseline   string  `json:"baseline"`
+	History    int     `json:"history"`
+	Deltas     []Delta `json:"deltas"`
+	Failures   []Delta `json:"failures,omitempty"`
+	// Skipped marks a gate that could not compare anything: no earlier
+	// run of the same configuration exists yet.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// Gate compares the newest run of a configuration against its baseline and
+// reports any metric that regressed beyond its threshold. configHash ""
+// gates the ledger's newest record against its own history. With no
+// earlier run of the configuration the result is Skipped (a first run
+// cannot regress).
+func Gate(recs []Record, configHash string, opts GateOptions) (GateResult, error) {
+	if len(recs) == 0 {
+		return GateResult{}, fmt.Errorf("ledger is empty")
+	}
+	if configHash == "" {
+		configHash = recs[len(recs)-1].ConfigHash
+	}
+	hist := ByConfig(recs, configHash)
+	if len(hist) == 0 {
+		return GateResult{}, fmt.Errorf("no runs with config hash %s", configHash)
+	}
+	res := GateResult{ConfigHash: configHash, NewRun: hist[len(hist)-1].RunID, History: len(hist) - 1}
+	if len(hist) < 2 {
+		res.Skipped = true
+		res.Baseline = "none"
+		return res, nil
+	}
+	newest, earlier := hist[len(hist)-1], hist[:len(hist)-1]
+	names := opts.Metrics
+	if len(names) == 0 {
+		names = DefaultGateMetrics()
+	}
+	th := opts.Thresholds.orDefaults()
+	baseline := opts.Baseline
+	if baseline == "" {
+		baseline = "prev"
+	}
+	prev := earlier[len(earlier)-1]
+	switch baseline {
+	case "prev":
+		res.Baseline = prev.RunID
+	case "median":
+		res.Baseline = fmt.Sprintf("median of %d runs", len(earlier))
+	default:
+		return GateResult{}, fmt.Errorf("unknown baseline %q (prev, median)", baseline)
+	}
+	for _, name := range names {
+		def, err := metricByName(name)
+		if err != nil {
+			return GateResult{}, err
+		}
+		newV, okNew := def.Get(newest)
+		if !okNew {
+			continue
+		}
+		var oldV float64
+		var okOld bool
+		if baseline == "median" {
+			oldV, okOld = medianOf(def, earlier)
+		} else {
+			oldV, okOld = def.Get(prev)
+		}
+		if !okOld {
+			continue
+		}
+		d := compare(def, oldV, newV, earlier, th)
+		res.Deltas = append(res.Deltas, d)
+		if d.Regression {
+			res.Failures = append(res.Failures, d)
+		}
+	}
+	return res, nil
+}
+
+// medianOf returns the median of the metric over the records where it was
+// measured.
+func medianOf(def MetricDef, recs []Record) (float64, bool) {
+	var vals []float64
+	for _, r := range recs {
+		if v, ok := def.Get(r); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid], true
+	}
+	return (vals[mid-1] + vals[mid]) / 2, true
+}

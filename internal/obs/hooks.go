@@ -93,3 +93,20 @@ func RunnerHooks(reg *Registry, log *slog.Logger) (onStart func(key string, inde
 	}
 	return onStart, onDone
 }
+
+// SweepDone bridges the runner's end-of-sweep summary to the structured
+// stream, for runner.Options.OnSweepDone. The tally logs at Debug
+// regardless of outcome — per-cell failures were already logged at Error
+// as they happened, so a default-level run gains no new stderr lines from
+// arming this. Nil log returns a nil hook.
+func SweepDone(log *slog.Logger) func(runner.Summary) {
+	if log == nil {
+		return nil
+	}
+	return func(s runner.Summary) {
+		log.Debug("sweep done",
+			"total", s.Total, "done", s.Done, "replayed", s.FromCheckpoint,
+			"failed", s.Failed, "panicked", s.Panicked, "retried", s.Retried,
+			"not_run", s.NotRun)
+	}
+}

@@ -2,8 +2,10 @@ package obs
 
 import (
 	"errors"
+	"fmt"
 	"log/slog"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -83,5 +85,104 @@ func TestRunnerHooksLogStream(t *testing.T) {
 	}
 	if strings.Contains(out, "ok-key") {
 		t.Errorf("clean success logged: %s", out)
+	}
+}
+
+// TestRunnerHooksConcurrent hammers one registry's hooks exactly the way a
+// sweep does — OnCellStart/OnCellDone racing from many workers against
+// Snapshot readers — and checks the tallies. The interesting assertions run
+// under -race (the Makefile race target covers this package).
+func TestRunnerHooksConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	onStart, onDone := RunnerHooks(reg, nil)
+	const (
+		workers = 8
+		perG    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("cell-%d-%d", w, i)
+				onStart(key, i)
+				ev := runner.CellEvent{Key: key, Index: i, Attempts: 1, Duration: time.Duration(i) * time.Microsecond}
+				switch i % 4 {
+				case 1:
+					ev.Attempts = 2 // retried success
+				case 2:
+					ev.Err = errors.New("synthetic")
+				case 3:
+					ev.Err, ev.Panicked = errors.New("synthetic panic"), true
+				}
+				onDone(ev)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					snap := reg.Snapshot()
+					if v, ok := snap[MCellsDone].(int64); ok && v < 0 {
+						t.Error("negative done count in snapshot")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	total := int64(workers * perG)
+	if got := reg.Gauge(MCellsInflight).Value(); got != 0 {
+		t.Errorf("inflight after drain = %d", got)
+	}
+	done := reg.Counter(MCellsDone).Value()
+	failed := reg.Counter(MCellsFailed).Value()
+	if done+failed != total {
+		t.Errorf("done %d + failed %d != %d", done, failed, total)
+	}
+	if got := reg.Counter(MCellsPanicked).Value(); got != total/4 {
+		t.Errorf("panicked = %d, want %d", got, total/4)
+	}
+	if got := reg.Counter(MCellsRetried).Value(); got != total/4 {
+		t.Errorf("retried = %d, want %d", got, total/4)
+	}
+	if got := reg.Timing(MCellLatency).Count(); got != total {
+		t.Errorf("latency observations = %d, want %d", got, total)
+	}
+}
+
+// TestSweepDone: the runner's end-of-sweep summary logs at Debug with the
+// full tally — and only at Debug, so a default (Info) run gains no output.
+func TestSweepDone(t *testing.T) {
+	if SweepDone(nil) != nil {
+		t.Error("nil logger must yield a nil hook")
+	}
+	var buf strings.Builder
+	hook := SweepDone(NewLogger(&buf, slog.LevelDebug))
+	hook(runner.Summary{Total: 10, Done: 7, FromCheckpoint: 2, Failed: 2, Panicked: 1, Retried: 3, NotRun: 1})
+	out := buf.String()
+	for _, want := range []string{"level=DEBUG", "sweep done", "total=10", "done=7", "failed=2", "not_run=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep-done line lacks %q: %s", want, out)
+		}
+	}
+	var quiet strings.Builder
+	SweepDone(NewLogger(&quiet, slog.LevelInfo))(runner.Summary{Total: 1, Done: 1})
+	if quiet.Len() != 0 {
+		t.Errorf("Info-level logger emitted sweep-done output: %q", quiet.String())
 	}
 }

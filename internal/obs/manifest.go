@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/runner"
@@ -75,14 +76,22 @@ type ManifestCheckpoint struct {
 	Entries int `json:"entries"`
 }
 
-// ManifestHost records where the run executed.
+// ManifestHost records where the run executed: the environment fingerprint
+// that makes two ledgered runs comparable (a cycle regression measured on a
+// different GOMAXPROCS or source revision is a different experiment).
+// Hostname is omitted when the OBS_NO_HOSTNAME environment variable is set,
+// for runs whose manifests leave the machine.
 type ManifestHost struct {
-	Hostname   string `json:"hostname"`
+	Hostname   string `json:"hostname,omitempty"`
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	GoVersion  string `json:"go_version"`
+	// GitDescribe identifies the source revision the binary was built from
+	// (VCS stamp: short revision, "-dirty" when the tree had local edits),
+	// empty when the build carried no VCS information (e.g. go test).
+	GitDescribe string `json:"git_describe,omitempty"`
 }
 
 // ManifestCells tallies cell outcomes.
@@ -105,21 +114,64 @@ type ManifestThroughput struct {
 // NewManifest starts a manifest for the current process: run id, host and
 // invocation filled in, start time set to now.
 func NewManifest() *Manifest {
-	host, _ := os.Hostname()
 	return &Manifest{
 		SchemaVersion: manifestSchemaVersion,
 		RunID:         RunID(),
 		Invocation:    os.Args,
 		StartTime:     time.Now().UTC(),
-		Host: ManifestHost{
-			Hostname:   host,
-			GOOS:       runtime.GOOS,
-			GOARCH:     runtime.GOARCH,
-			NumCPU:     runtime.NumCPU(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			GoVersion:  runtime.Version(),
-		},
+		Host:          Host(),
 	}
+}
+
+// Host collects the current process's environment fingerprint. Everything
+// here is constant for the process lifetime, so a run resumed from a
+// checkpoint in the same environment fingerprints identically.
+func Host() ManifestHost {
+	host, _ := os.Hostname()
+	if os.Getenv("OBS_NO_HOSTNAME") != "" {
+		host = ""
+	}
+	return ManifestHost{
+		Hostname:    host,
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		GitDescribe: GitDescribe(),
+	}
+}
+
+// GitDescribe renders the VCS stamp the Go toolchain embedded in the
+// running binary as a short `git describe`-style string: the first twelve
+// hex digits of the revision, suffixed "-dirty" when the working tree had
+// uncommitted changes. Empty when the binary carries no VCS information
+// (test binaries, builds outside a repository).
+func GitDescribe() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 // ConfigHash derives the manifest's configuration identity from its parts

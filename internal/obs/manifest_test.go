@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -102,6 +103,54 @@ func TestFillFromRegistry(t *testing.T) {
 	}
 	if m.WallMs != 5000 {
 		t.Errorf("wall = %d", m.WallMs)
+	}
+}
+
+// TestHostFingerprint: the environment fingerprint reflects the running
+// process and honours the hostname opt-out.
+func TestHostFingerprint(t *testing.T) {
+	t.Setenv("OBS_NO_HOSTNAME", "")
+	h := Host()
+	if h.GoVersion != runtime.Version() {
+		t.Errorf("go version = %q, want %q", h.GoVersion, runtime.Version())
+	}
+	if h.GOOS != runtime.GOOS || h.GOARCH != runtime.GOARCH {
+		t.Errorf("platform = %s/%s", h.GOOS, h.GOARCH)
+	}
+	if h.GOMAXPROCS != runtime.GOMAXPROCS(0) || h.NumCPU != runtime.NumCPU() {
+		t.Errorf("cpus = %+v", h)
+	}
+	if want, _ := os.Hostname(); h.Hostname != want {
+		t.Errorf("hostname = %q, want %q", h.Hostname, want)
+	}
+
+	t.Setenv("OBS_NO_HOSTNAME", "1")
+	if redacted := Host(); redacted.Hostname != "" {
+		t.Errorf("OBS_NO_HOSTNAME set but hostname = %q", redacted.Hostname)
+	}
+	// The fingerprint lands in every manifest, so the opt-out must reach
+	// NewManifest too.
+	if m := NewManifest(); m.Host.Hostname != "" {
+		t.Errorf("manifest hostname = %q despite opt-out", m.Host.Hostname)
+	}
+}
+
+// TestGitDescribeFormat: test binaries carry no VCS stamp, so GitDescribe
+// must degrade to ""; when a stamp is present (release builds) it is a
+// short hex revision with an optional -dirty suffix.
+func TestGitDescribeFormat(t *testing.T) {
+	d := GitDescribe()
+	if d == "" {
+		return // expected under `go test`
+	}
+	hex := strings.TrimSuffix(d, "-dirty")
+	if len(hex) == 0 || len(hex) > 12 {
+		t.Errorf("git describe %q: revision part %q not a short hash", d, hex)
+	}
+	for _, c := range hex {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Errorf("git describe %q contains non-hex %q", d, c)
+		}
 	}
 }
 

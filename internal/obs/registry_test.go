@@ -100,6 +100,34 @@ func TestTimingSnapshotPercentiles(t *testing.T) {
 	}
 }
 
+// TestTimingPercentileEdges: the degenerate histograms a short or failed
+// run produces — no samples, one sample — keep percentiles well-defined.
+func TestTimingPercentileEdges(t *testing.T) {
+	var empty Timing
+	if got := empty.Percentile(0.5); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+	s := empty.Snapshot()
+	if s.Count != 0 || s.P50Us != 0 || s.P95Us != 0 || s.MaxUs != 0 || s.MeanUs != 0 {
+		t.Errorf("empty snapshot = %+v, want all zero", s)
+	}
+
+	var single Timing
+	single.Observe(900 * time.Microsecond)
+	s = single.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Every percentile of a one-sample histogram is that sample's bucket
+	// upper bound: at least the sample, identical across p, equal to max.
+	if s.P50Us < 900 || s.P50Us != s.P95Us || s.P95Us != s.MaxUs {
+		t.Errorf("single-sample snapshot = %+v, want p50 == p95 == max >= 900", s)
+	}
+	if lo, hi := single.Percentile(0), single.Percentile(1); lo != hi {
+		t.Errorf("p0 %v != p100 %v on a single sample", lo, hi)
+	}
+}
+
 func TestSnapshotIsACopy(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("c").Add(3)

@@ -124,6 +124,47 @@ func TestDurationSpansRetries(t *testing.T) {
 	}
 }
 
+// TestSweepDoneHookFires: OnSweepDone fires exactly once, after every
+// OnCellDone event, with the same tally Summarize computes from the results.
+func TestSweepDoneHookFires(t *testing.T) {
+	cells := []Cell[int]{
+		{Key: "ok1", Run: func(ctx context.Context) (int, error) { return 1, nil }},
+		{Key: "ok2", Run: func(ctx context.Context) (int, error) { return 2, nil }},
+		{Key: "bad", Run: func(ctx context.Context) (int, error) { return 0, errors.New("nope") }},
+	}
+	var mu sync.Mutex
+	doneEvents := 0
+	var calls []Summary
+	var eventsAtSweepDone int
+	opts := Options{
+		Workers: 2,
+		OnCellDone: func(CellEvent) {
+			mu.Lock()
+			doneEvents++
+			mu.Unlock()
+		},
+		OnSweepDone: func(s Summary) {
+			mu.Lock()
+			calls = append(calls, s)
+			eventsAtSweepDone = doneEvents
+			mu.Unlock()
+		},
+	}
+	rs := Run(context.Background(), cells, opts)
+	if len(calls) != 1 {
+		t.Fatalf("OnSweepDone fired %d times, want 1", len(calls))
+	}
+	if eventsAtSweepDone != len(cells) {
+		t.Errorf("OnSweepDone saw %d of %d cell-done events", eventsAtSweepDone, len(cells))
+	}
+	if want := Summarize(rs); calls[0] != want {
+		t.Errorf("summary = %+v, want %+v", calls[0], want)
+	}
+	if calls[0].Done != 2 || calls[0].Failed != 1 || calls[0].Total != 3 {
+		t.Errorf("tally = %+v", calls[0])
+	}
+}
+
 // TestSummarizeRetriedIncludesFailures: a cell that exhausts its retries
 // still counts as retried.
 func TestSummarizeRetriedIncludesFailures(t *testing.T) {

@@ -131,6 +131,10 @@ type Options struct {
 	// concurrently from worker goroutines; must be safe for concurrent
 	// use.
 	OnCellDone func(CellEvent)
+	// OnSweepDone, when set, fires exactly once as Run returns — after all
+	// workers have drained and every cell has its final Result — with the
+	// sweep's tally. Called from Run's own goroutine, never concurrently.
+	OnSweepDone func(Summary)
 }
 
 func (o Options) workers() int {
@@ -223,6 +227,9 @@ feed:
 			}
 			results[i].Err = &CellError{Key: results[i].Key, Err: err}
 		}
+	}
+	if opts.OnSweepDone != nil {
+		opts.OnSweepDone(Summarize(results))
 	}
 	return results
 }

@@ -189,6 +189,36 @@ func untx(x float64, log bool) float64 {
 	return x
 }
 
+// barRunes are the partial-width block glyphs of a horizontal bar, one per
+// eighth of a cell (index 0 is unused: a zero-eighth remainder draws
+// nothing).
+var barRunes = []rune(" ▏▎▍▌▋▊▉█")
+
+// Bar renders v scaled against max as a horizontal bar width cells wide,
+// with eighth-cell resolution in the final glyph — the share columns of
+// simreport's attribution tables. Out-of-range inputs degrade gracefully:
+// v above max saturates, and a non-positive v, max or width renders "".
+func Bar(v, max float64, width int) string {
+	if width <= 0 || max <= 0 || v <= 0 || math.IsNaN(v) || math.IsNaN(max) {
+		return ""
+	}
+	if v > max {
+		v = max
+	}
+	eighths := int(v/max*float64(width*8) + 0.5)
+	if eighths == 0 {
+		eighths = 1 // a measured non-zero value is always visible
+	}
+	var b strings.Builder
+	for i := 0; i < eighths/8; i++ {
+		b.WriteRune('█')
+	}
+	if rem := eighths % 8; rem > 0 {
+		b.WriteRune(barRunes[rem])
+	}
+	return b.String()
+}
+
 // sparkRunes are the eight block glyphs of a sparkline, lowest to highest.
 var sparkRunes = []rune("▁▂▃▄▅▆▇█")
 

@@ -126,6 +126,49 @@ func TestSparkline(t *testing.T) {
 	}
 }
 
+func TestBar(t *testing.T) {
+	cases := []struct {
+		name   string
+		v, max float64
+		width  int
+		want   string
+	}{
+		{"full", 10, 10, 4, "████"},
+		{"half", 5, 10, 4, "██"},
+		{"eighth", 1, 8, 1, "▏"},
+		{"saturates", 20, 10, 3, "███"},
+		{"zero", 0, 10, 4, ""},
+		{"negative", -1, 10, 4, ""},
+		{"bad-max", 5, 0, 4, ""},
+		{"bad-width", 5, 10, 0, ""},
+		{"nan", math.NaN(), 10, 4, ""},
+	}
+	for _, c := range cases {
+		if got := Bar(c.v, c.max, c.width); got != c.want {
+			t.Errorf("%s: Bar(%v, %v, %d) = %q, want %q", c.name, c.v, c.max, c.width, got, c.want)
+		}
+	}
+}
+
+func TestBarTinyValueVisible(t *testing.T) {
+	// A measured non-zero share must render at least one glyph, however
+	// small against the maximum.
+	if got := Bar(0.0001, 1e9, 20); got == "" {
+		t.Error("tiny non-zero value rendered as empty bar")
+	}
+}
+
+func TestBarMonotone(t *testing.T) {
+	prev := -1
+	for v := 0.0; v <= 64; v++ {
+		n := len([]rune(Bar(v, 64, 8)))
+		if n < prev {
+			t.Fatalf("bar shrank at v=%v", v)
+		}
+		prev = n
+	}
+}
+
 func TestSparklineWidthMatchesInput(t *testing.T) {
 	vals := make([]float64, 40)
 	for i := range vals {
