@@ -13,6 +13,11 @@
 #                  lockstep tests must agree with the reference cache model
 #   faults       — deterministic fault-injection pass: seeded panics, delays
 #                  and transient errors driven through the sweep runner
+#   soak         — the service resilience proof: the chaos soak (hundreds of
+#                  concurrent jobs through seeded faults, flaky journal
+#                  writes, a mid-run crash and a graceful drain) plus the
+#                  cachesimd process-level e2e (real SIGKILL + restart,
+#                  SIGTERM drain to exit 0)
 #   vulncheck    — govulncheck when installed; advisory only, never fails
 #                  the gate (the container may not ship it)
 #   perfgate     — regression radar: two ledgered cachesim runs into a
@@ -31,9 +36,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz fuzz-long selfcheck faults vulncheck attrib perfgate bench clean
+.PHONY: check build vet test race fuzz fuzz-long selfcheck faults soak vulncheck attrib perfgate bench clean
 
-check: vet build test race fuzz selfcheck faults vulncheck attrib perfgate
+check: vet build test race fuzz selfcheck faults soak vulncheck attrib perfgate
 
 build:
 	$(GO) build ./...
@@ -46,7 +51,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/obs/ ./cmd/...
+	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/obs/ ./internal/service/ ./cmd/...
 
 # Go runs fuzz seed corpora as ordinary tests when -fuzz is absent; this
 # target exists so the gate states the intent explicitly.
@@ -68,6 +73,13 @@ selfcheck:
 # transient errors and corrupt traces through the hardened runner.
 faults:
 	$(GO) test -run 'Fault|Wrap|Corrupt|Flaky|Decide' ./internal/faultinject/ ./internal/experiments/
+
+# The sweep-service resilience envelope, run explicitly and uncached: the
+# in-process chaos soak (kill mid-run, restart, drain, bit-identical
+# results) and the cachesimd process e2e (real SIGKILL across process
+# lives, SIGTERM drain must exit 0).
+soak:
+	$(GO) test -run 'ChaosSoak|Daemon' -count=1 -v ./internal/service/ ./cmd/cachesimd/
 
 # Cycle-attribution conservation on a small real grid: every run below
 # carries -attrib -selfcheck, so sum(components) == cycles is asserted

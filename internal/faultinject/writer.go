@@ -1,0 +1,89 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrInjectedIO is the EIO-like failure FaultyWriter injects; consumers
+// match it with errors.Is. It deliberately does not mark itself permanent:
+// a journal or ledger append that retries (or re-syncs and rewrites) is
+// exactly the recovery path under test.
+var ErrInjectedIO = errors.New("faultinject: injected I/O error")
+
+// WriteFault selects how a FaultyWriter damages a write.
+type WriteFault uint8
+
+const (
+	// WriteEIO fails the whole write: nothing reaches the underlying
+	// writer, the caller gets an EIO-like error.
+	WriteEIO WriteFault = iota
+	// ShortWrite delivers only half the buffer (at least one byte) to the
+	// underlying writer and reports io.ErrShortWrite — the torn-line case
+	// an append-only log must recover from.
+	ShortWrite
+)
+
+func (m WriteFault) String() string {
+	if m == WriteEIO {
+		return "eio"
+	}
+	return "short-write"
+}
+
+// FaultyWriter wraps an io.Writer with deterministic write faults: the
+// first Write crossing FailAt cumulative bytes is damaged per the mode,
+// and, when Every > 0, so is the first write crossing each subsequent
+// multiple of Every bytes after that. Writes between fault sites pass
+// through untouched, so a consumer that recovers in place (rewriting the
+// record, terminating the torn line) makes progress — and keeps being
+// re-faulted, which is what a chaos soak wants.
+type FaultyWriter struct {
+	w    io.Writer
+	mode WriteFault
+	// next is the cumulative-byte threshold of the next fault; every is
+	// the repeat interval (0 = fault once).
+	next    int64
+	every   int64
+	written int64
+	// Faults counts injected failures, for tests asserting the fault
+	// actually fired.
+	Faults int
+}
+
+// NewFaultyWriter wraps w to damage the first write crossing failAt
+// cumulative bytes. every > 0 re-arms the fault each additional every
+// bytes; every == 0 faults exactly once.
+func NewFaultyWriter(w io.Writer, failAt int64, every int64, mode WriteFault) *FaultyWriter {
+	return &FaultyWriter{w: w, mode: mode, next: failAt, every: every}
+}
+
+func (f *FaultyWriter) Write(p []byte) (int, error) {
+	if f.next >= 0 && f.written+int64(len(p)) > f.next {
+		f.Faults++
+		if f.every > 0 {
+			f.next += f.every
+		} else {
+			f.next = -1 // disarmed
+		}
+		switch f.mode {
+		case ShortWrite:
+			n := len(p) / 2
+			if n == 0 && len(p) > 0 {
+				n = 1
+			}
+			wrote, err := f.w.Write(p[:n])
+			f.written += int64(wrote)
+			if err != nil {
+				return wrote, err
+			}
+			return wrote, fmt.Errorf("faultinject: short write at byte %d: %w", f.written, io.ErrShortWrite)
+		default:
+			return 0, fmt.Errorf("faultinject: write at byte %d: %w", f.written, ErrInjectedIO)
+		}
+	}
+	n, err := f.w.Write(p)
+	f.written += int64(n)
+	return n, err
+}

@@ -1,0 +1,71 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFaultyWriterEIO(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFaultyWriter(&buf, 10, 0, WriteEIO)
+	if _, err := w.Write([]byte("0123456789")); err != nil {
+		t.Fatalf("write below threshold failed: %v", err)
+	}
+	n, err := w.Write([]byte("abc"))
+	if n != 0 || !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("crossing write: n=%d err=%v, want 0 bytes and ErrInjectedIO", n, err)
+	}
+	if buf.String() != "0123456789" {
+		t.Fatalf("EIO write leaked bytes: %q", buf.String())
+	}
+	// One-shot: the retry passes through.
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatalf("retry after one-shot fault failed: %v", err)
+	}
+	if w.Faults != 1 {
+		t.Fatalf("faults = %d, want 1", w.Faults)
+	}
+}
+
+func TestFaultyWriterShortWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFaultyWriter(&buf, 0, 0, ShortWrite)
+	n, err := w.Write([]byte("hello world\n"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want ErrShortWrite", err)
+	}
+	if n != 6 || buf.String() != "hello " {
+		t.Fatalf("short write delivered %d bytes (%q), want half", n, buf.String())
+	}
+	// A one-byte write still tears to one byte, never zero with no error.
+	buf.Reset()
+	w2 := NewFaultyWriter(&buf, 0, 0, ShortWrite)
+	if n, err := w2.Write([]byte("x")); n != 1 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("one-byte short write: n=%d err=%v", n, err)
+	}
+}
+
+func TestFaultyWriterPeriodic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFaultyWriter(&buf, 5, 20, WriteEIO)
+	line := []byte("0123456789") // 10 bytes per attempt
+	wrote := 0
+	for i := 0; i < 12; i++ {
+		if n, err := w.Write(line); err == nil {
+			wrote += n
+		}
+	}
+	if w.Faults < 2 {
+		t.Fatalf("periodic fault fired %d time(s), want repeats", w.Faults)
+	}
+	// Everything that reported success actually landed.
+	if wrote != buf.Len() {
+		t.Fatalf("reported %d bytes, underlying holds %d", wrote, buf.Len())
+	}
+	if !strings.HasPrefix(buf.String(), "0123456789") {
+		t.Fatalf("payload corrupted: %q", buf.String())
+	}
+}

@@ -1,0 +1,80 @@
+package ledger
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAppendSustained extends TestConcurrentAppend from a
+// one-shot race to sustained interleaving: many writers each appending a
+// stream of bulky records — each Append call opens its own
+// O_APPEND descriptor, so this is the same shape as separate processes
+// (cachesimd job workers, a cachesim run, a paperfigs sweep) sharing one
+// ledger file. Every record must come back intact: O_APPEND plus a single
+// write call per line means appenders interleave at record granularity,
+// never inside a record.
+func TestConcurrentAppendSustained(t *testing.T) {
+	dir := t.TempDir()
+	const writers, perWriter = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := Record{
+					RunID:      fmt.Sprintf("w%02d-r%03d", w, i),
+					Time:       time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC),
+					Tool:       "test",
+					ConfigHash: fmt.Sprintf("cfg-%d", w),
+					Outcome:    "ok",
+					Cells:      Cells{Planned: 1, Done: 1},
+					// Bulk the record up so a torn write could not hide
+					// inside a tiny line.
+					Attribution: map[string]int64{
+						"base_issue": int64(w*1000 + i),
+						"mem_wait":   int64(i),
+						"wbuf_full":  int64(w),
+					},
+				}
+				if _, err := Append(dir, rec); err != nil {
+					errs <- fmt.Errorf("writer %d append %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err := Read(Path(dir))
+	if err != nil {
+		t.Fatalf("racing appends damaged the ledger: %v", err)
+	}
+	if skipped != 0 {
+		t.Fatalf("%d records skipped", skipped)
+	}
+	if len(recs) != writers*perWriter {
+		t.Fatalf("read %d records, want %d", len(recs), writers*perWriter)
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.RunID] {
+			t.Fatalf("duplicate record %s", r.RunID)
+		}
+		seen[r.RunID] = true
+		var w, i int
+		if _, err := fmt.Sscanf(r.RunID, "w%d-r%d", &w, &i); err != nil {
+			t.Fatalf("mangled run id %q", r.RunID)
+		}
+		if got := r.Attribution["base_issue"]; got != int64(w*1000+i) {
+			t.Fatalf("record %s payload corrupted: base_issue=%d", r.RunID, got)
+		}
+	}
+}

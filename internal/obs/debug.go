@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -17,8 +18,16 @@ import (
 type DebugServer struct {
 	// Addr is the bound address (resolves ":0" to the chosen port).
 	Addr string
-	srv  *http.Server
+	// ShutdownTimeout bounds how long Close waits for in-flight requests
+	// (a pprof profile capture runs for seconds) before dropping them;
+	// zero means DefaultShutdownTimeout.
+	ShutdownTimeout time.Duration
+	srv             *http.Server
 }
+
+// DefaultShutdownTimeout is how long Close drains in-flight debug requests
+// by default.
+const DefaultShutdownTimeout = 5 * time.Second
 
 // expvar names are global to the process; publish once and swap the backing
 // registry behind a lock so repeated Serve calls (tests) stay legal.
@@ -68,6 +77,23 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
 }
 
-// Close stops the listener immediately (in-flight profile requests are
-// dropped; the sweep itself is unaffected).
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close stops accepting new connections and waits up to ShutdownTimeout
+// for in-flight requests (a profile capture, a trace download) to finish;
+// requests still running at the deadline are dropped by a hard close. The
+// sweep itself is unaffected either way.
+func (d *DebugServer) Close() error {
+	timeout := d.ShutdownTimeout
+	if timeout <= 0 {
+		timeout = DefaultShutdownTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := d.srv.Shutdown(ctx)
+	if err == nil {
+		return nil
+	}
+	if cerr := d.srv.Close(); cerr != nil {
+		return cerr
+	}
+	return err
+}

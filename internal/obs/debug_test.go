@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestDebugServer boots the listener on :0 and checks both surfaces: the
@@ -93,4 +94,72 @@ func get(t *testing.T, url string) []byte {
 		t.Fatal(err)
 	}
 	return body
+}
+
+// TestDebugServerGracefulClose: Close drains an in-flight request (here a
+// one-second runtime trace capture) instead of cutting the connection, and
+// still returns promptly; new connections are refused afterwards.
+func TestDebugServerGracefulClose(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		status int
+		n      int
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/trace?seconds=1", srv.Addr))
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- outcome{status: resp.StatusCode, n: len(body), err: err}
+	}()
+	time.Sleep(200 * time.Millisecond) // let the capture get in flight
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= DefaultShutdownTimeout {
+		t.Fatalf("close took %v, not bounded by the drain", elapsed)
+	}
+	got := <-done
+	if got.err != nil || got.status != http.StatusOK || got.n == 0 {
+		t.Fatalf("in-flight request dropped: status=%d bytes=%d err=%v", got.status, got.n, got.err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/debug/vars", srv.Addr)); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+}
+
+// TestDebugServerCloseTimeout: a request outliving ShutdownTimeout is
+// dropped by the hard close and Close reports the deadline.
+func TestDebugServerCloseTimeout(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ShutdownTimeout = 100 * time.Millisecond
+	go func() {
+		// A 30 s capture that nothing will wait out; the hard close tears it.
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/trace?seconds=30", srv.Addr))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // torn by design
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	err = srv.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hard close did not bound the drain: %v", elapsed)
+	}
+	if err == nil {
+		t.Fatal("Close hid the drain deadline")
+	}
 }

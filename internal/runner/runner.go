@@ -37,17 +37,28 @@ type CellError struct {
 	Panicked bool   // the last attempt panicked
 	Stack    string // goroutine stack of the last panic, "" otherwise
 	Err      error
+	// Cause is context.Cause at the moment the cell stopped, set only when
+	// the failure stems from context cancellation. Callers that cancel with
+	// a cause (a server draining, a client hanging up, a per-request
+	// deadline) can distinguish those outcomes here even though Err is the
+	// generic context.Canceled/DeadlineExceeded the cell observed.
+	Cause error
 }
 
 func (e *CellError) Error() string {
+	var msg string
 	switch {
 	case e.Attempts == 0:
-		return fmt.Sprintf("cell %s: not run: %v", e.short(), e.Err)
+		msg = fmt.Sprintf("cell %s: not run: %v", e.short(), e.Err)
 	case e.Panicked:
-		return fmt.Sprintf("cell %s: panicked after %d attempt(s): %v", e.short(), e.Attempts, e.Err)
+		msg = fmt.Sprintf("cell %s: panicked after %d attempt(s): %v", e.short(), e.Attempts, e.Err)
 	default:
-		return fmt.Sprintf("cell %s: failed after %d attempt(s): %v", e.short(), e.Attempts, e.Err)
+		msg = fmt.Sprintf("cell %s: failed after %d attempt(s): %v", e.short(), e.Attempts, e.Err)
 	}
+	if e.Cause != nil && !errors.Is(e.Err, e.Cause) {
+		msg += fmt.Sprintf(" (cause: %v)", e.Cause)
+	}
+	return msg
 }
 
 func (e *CellError) Unwrap() error { return e.Err }
@@ -119,6 +130,10 @@ type Options struct {
 	// (other than sweep cancellation) up to Retries times. Errors marked
 	// permanent (see Permanent) never retry regardless of RetryIf.
 	RetryIf func(error) bool
+	// Backoff, when set, returns how long to wait before re-running a cell
+	// whose attempt-th attempt just failed (attempt starts at 1). The wait
+	// honours ctx cancellation. Nil retries immediately.
+	Backoff func(attempt int) time.Duration
 	// Checkpoint, when set, replays completed cells by Key before the
 	// sweep and records each freshly completed cell after it finishes.
 	Checkpoint *Checkpoint
@@ -225,7 +240,7 @@ feed:
 			if err == nil {
 				err = ctx.Err()
 			}
-			results[i].Err = &CellError{Key: results[i].Key, Err: err}
+			results[i].Err = &CellError{Key: results[i].Key, Err: err, Cause: context.Cause(ctx)}
 		}
 	}
 	if opts.OnSweepDone != nil {
@@ -240,7 +255,7 @@ func runCell[T any](ctx context.Context, cell Cell[T], opts Options, res Result[
 	for attempt := 1; attempt <= 1+opts.Retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if last == nil {
-				last = &CellError{Key: cell.Key, Attempts: attempt - 1, Err: err}
+				last = &CellError{Key: cell.Key, Attempts: attempt - 1, Err: err, Cause: context.Cause(ctx)}
 			}
 			break
 		}
@@ -261,9 +276,32 @@ func runCell[T any](ctx context.Context, cell Cell[T], opts Options, res Result[
 		if opts.RetryIf != nil && !opts.RetryIf(cerr.Err) {
 			break
 		}
+		if opts.Backoff != nil && attempt <= opts.Retries {
+			if !sleep(ctx, opts.Backoff(attempt)) {
+				if last.Cause == nil {
+					last.Cause = context.Cause(ctx)
+				}
+				break // cancelled mid-backoff; the last attempt's failure stands
+			}
+		}
 	}
 	res.Err = last
 	return res
+}
+
+// sleep waits for d, returning false if ctx is cancelled first.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Permanent reports whether err (or any error it wraps) declares itself
@@ -294,7 +332,14 @@ func runAttempt[T any](ctx context.Context, cell Cell[T], timeout time.Duration)
 	}()
 	got, err := cell.Run(ctx)
 	if err != nil {
-		return v, &CellError{Err: err}
+		cerr = &CellError{Err: err}
+		if ctx.Err() != nil {
+			// The attempt's context ended (per-cell deadline, sweep cancel);
+			// record why so deadline-exceeded, client-cancel and server-drain
+			// are distinguishable downstream.
+			cerr.Cause = context.Cause(ctx)
+		}
+		return v, cerr
 	}
 	return got, nil
 }

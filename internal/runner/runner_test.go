@@ -354,3 +354,114 @@ func TestValuesAllGood(t *testing.T) {
 		t.Fatalf("vals=%v err=%v", vals, err)
 	}
 }
+
+func TestCellErrorRecordsCancelCause(t *testing.T) {
+	// Cancelling the sweep with a cause (a server draining, say) must leave
+	// that cause on every affected cell, both in-flight and never-started.
+	drain := errors.New("server draining")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	started := make(chan struct{})
+	cells := []Cell[int]{
+		{Key: "inflight", Run: func(ctx context.Context) (int, error) {
+			close(started)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}},
+		{Key: "queued", Run: func(ctx context.Context) (int, error) { return 1, nil }},
+	}
+	go func() {
+		<-started
+		cancel(drain)
+	}()
+	rs := Run(ctx, cells, Options{Workers: 1})
+	for i, r := range rs {
+		if r.Done {
+			t.Fatalf("cell %d completed despite cancellation", i)
+		}
+		if !errors.Is(r.Err.Cause, drain) {
+			t.Fatalf("cell %d cause = %v, want the drain cause", i, r.Err.Cause)
+		}
+	}
+	if !strings.Contains(rs[0].Err.Error(), "server draining") {
+		t.Fatalf("cause missing from message: %v", rs[0].Err)
+	}
+}
+
+func TestCellErrorRecordsDeadlineCause(t *testing.T) {
+	// A per-cell deadline is its own cause: context.DeadlineExceeded, not
+	// whatever cancelled the sweep.
+	cells := []Cell[int]{{Key: "slow", Run: func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}}}
+	rs := Run(context.Background(), cells, Options{Workers: 1, CellTimeout: 5 * time.Millisecond})
+	if rs[0].Done {
+		t.Fatal("cell completed despite deadline")
+	}
+	if !errors.Is(rs[0].Err.Cause, context.DeadlineExceeded) {
+		t.Fatalf("cause = %v, want DeadlineExceeded", rs[0].Err.Cause)
+	}
+}
+
+func TestBackoffBetweenRetries(t *testing.T) {
+	var calls []int
+	var attempts atomic.Int32
+	cells := []Cell[int]{{Key: "flaky", Run: func(ctx context.Context) (int, error) {
+		if attempts.Add(1) < 3 {
+			return 0, errors.New("transient")
+		}
+		return 7, nil
+	}}}
+	start := time.Now()
+	rs := Run(context.Background(), cells, Options{
+		Workers: 1,
+		Retries: 3,
+		Backoff: func(attempt int) time.Duration {
+			calls = append(calls, attempt)
+			return 10 * time.Millisecond
+		},
+	})
+	if !rs[0].Done || rs[0].Value != 7 || rs[0].Attempts != 3 {
+		t.Fatalf("result: done=%v value=%d attempts=%d", rs[0].Done, rs[0].Value, rs[0].Attempts)
+	}
+	if want := []int{1, 2}; len(calls) != 2 || calls[0] != want[0] || calls[1] != want[1] {
+		t.Fatalf("backoff called with %v, want %v", calls, want)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("sweep finished in %v; backoff sleeps not taken", elapsed)
+	}
+}
+
+func TestBackoffHonoursCancellation(t *testing.T) {
+	// A cancellation arriving mid-backoff must end the cell promptly with
+	// the last real failure, not sleep out the full delay.
+	quit := errors.New("client went away")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	inBackoff := make(chan struct{}, 1)
+	cells := []Cell[int]{{Key: "flaky", Run: func(ctx context.Context) (int, error) {
+		return 0, errors.New("transient")
+	}}}
+	go func() {
+		<-inBackoff
+		cancel(quit)
+	}()
+	start := time.Now()
+	rs := Run(ctx, cells, Options{
+		Workers: 1,
+		Retries: 1,
+		Backoff: func(int) time.Duration {
+			inBackoff <- struct{}{}
+			return time.Minute
+		},
+	})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation did not interrupt backoff (%v)", elapsed)
+	}
+	ce := rs[0].Err
+	if ce == nil || ce.Err.Error() != "transient" {
+		t.Fatalf("err = %v, want the last real failure", ce)
+	}
+	if !errors.Is(ce.Cause, quit) {
+		t.Fatalf("cause = %v, want the cancellation cause", ce.Cause)
+	}
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket is the submit-rate limiter: refills at rate tokens/second up
+// to burst, each accepted job costs one token. When empty it reports how
+// long until a token exists, which becomes the 429 Retry-After. The clock
+// is injectable for deterministic tests.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a full bucket refilling at rate/sec, capped at
+// burst.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	b := &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// Take consumes one token if available; otherwise reports how long the
+// caller should wait before retrying.
+func (b *TokenBucket) Take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens = math.Min(b.burst, b.tokens+b.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}
+
+// ShedError reports a load-shed submission: the server is over its rate or
+// queue-depth envelope; the client should retry after RetryAfter. The HTTP
+// layer maps it to 429 + Retry-After.
+type ShedError struct {
+	Reason     string // "rate" or "queue"
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("service: load shed (%s limit), retry after %v", e.Reason, e.RetryAfter)
+}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenShed(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewTokenBucket(2, 3) // 2 tokens/s, burst 3
+	b.now = func() time.Time { return now }
+	b.last = now
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, retry := b.Take()
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	// Empty bucket at 2 tokens/s: one token exists in 500ms.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Errorf("retry-after = %v, want (0, 500ms]", retry)
+	}
+
+	now = now.Add(retry)
+	if ok, _ := b.Take(); !ok {
+		t.Error("take refused after waiting the advertised retry-after")
+	}
+
+	// Refill caps at burst: a long idle stretch does not bank extra tokens.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d after refill refused", i)
+		}
+	}
+	if ok, _ := b.Take(); ok {
+		t.Error("burst cap not enforced after idle refill")
+	}
+}
+
+func TestTokenBucketDegenerateParams(t *testing.T) {
+	b := NewTokenBucket(-5, 0)
+	if ok, _ := b.Take(); !ok {
+		t.Error("clamped bucket refused its one burst token")
+	}
+}
+
+func TestShedErrorMessage(t *testing.T) {
+	e := &ShedError{Reason: "queue", RetryAfter: 2 * time.Second}
+	if got := e.Error(); got != "service: load shed (queue limit), retry after 2s" {
+		t.Errorf("message = %q", got)
+	}
+}
+
+// TestExpBackoff: delays grow exponentially with full jitter in [d/2, d]
+// and cap at max.
+func TestExpBackoff(t *testing.T) {
+	bo := ExpBackoff(10*time.Millisecond, 80*time.Millisecond)
+	wantMs := []int{0, 10, 20, 40, 80, 80, 80} // indexed by attempt
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := time.Duration(wantMs[attempt]) * time.Millisecond
+		for trial := 0; trial < 50; trial++ {
+			got := bo(attempt)
+			if got < d/2 || got > d {
+				t.Fatalf("attempt %d backoff %v outside [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+	// Jitter actually varies.
+	seen := make(map[time.Duration]bool)
+	for trial := 0; trial < 100; trial++ {
+		seen[bo(3)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("backoff shows no jitter")
+	}
+}

@@ -1,0 +1,240 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// JournalName is the job journal file inside the service data directory.
+const JournalName = "journal.ndjson"
+
+// CellCacheName is the shared memoized-cell checkpoint file inside the
+// data directory.
+const CellCacheName = "cells.ndjson"
+
+// journalEntry is one write-ahead record of the job lifecycle. "submit"
+// carries the request; "start" marks a worker picking the job up; "done",
+// "fail" and "cancel" are terminal. A job whose last entry is non-terminal
+// was in flight when the process died and is requeued on the next start.
+type journalEntry struct {
+	T    string       `json:"t"`
+	Job  string       `json:"job"`
+	Time time.Time    `json:"time"`
+	Req  *GridRequest `json:"req,omitempty"`
+	Err  string       `json:"err,omitempty"`
+	// Cause preserves why a terminal failure happened ("deadline",
+	// "client-cancel"), so a restarted server restores honest statuses.
+	Cause string `json:"cause,omitempty"`
+}
+
+// Journal is the crash-safe write-ahead job log: one JSON line per
+// lifecycle event, appended with a single write call and fsynced, so a
+// kill -9 loses at most the entry being written. Unlike the runner
+// checkpoint, whose torn line can only be the last, a journal write that
+// fails midway (EIO, short write) is recovered in place — terminate the
+// torn line, rewrite the record — so damaged fragments can sit mid-file;
+// the reader skips them by design.
+type Journal struct {
+	path string
+
+	mu  sync.Mutex
+	f   *os.File
+	w   io.Writer
+	err error // first unrecovered failure; the journal is sick after it
+}
+
+// OpenJournal opens (creating if needed) the journal at path. wrap, when
+// non-nil, interposes on the file writer — the fault-injection hook the
+// chaos soak uses to make journal writes flaky.
+func OpenJournal(path string, wrap func(io.Writer) io.Writer) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening journal %s: %w", path, err)
+	}
+	j := &Journal{path: path, f: f, w: f}
+	if wrap != nil {
+		j.w = wrap(f)
+	}
+	return j, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Err returns the first unrecovered append failure, nil while healthy.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// append writes one entry durably. A failed or short write is retried:
+// each retry first writes a lone newline to terminate any torn fragment
+// (the reader skips the resulting garbage line), then rewrites the whole
+// record. After the retries are exhausted the journal is marked sick and
+// the error returned — callers must not consider the event durable.
+func (j *Journal) append(e journalEntry) error {
+	e.Time = time.Now().UTC()
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("service: encoding journal entry for %s: %w", e.Job, err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("service: journal %s is closed", j.path)
+	}
+	const attempts = 3
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			// Terminate whatever fragment the failed write left; if even
+			// this fails the next full-line attempt still fences the
+			// fragment with its own leading garbage-line skip.
+			j.w.Write([]byte("\n")) //nolint:errcheck // best-effort fence
+		}
+		n, werr := j.w.Write(line)
+		if werr == nil && n == len(line) {
+			if serr := j.f.Sync(); serr != nil {
+				lastErr = serr
+				continue
+			}
+			return nil
+		}
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		lastErr = werr
+	}
+	err = fmt.Errorf("service: journal %s: appending %s/%s: %w", j.path, e.Job, e.T, lastErr)
+	if j.err == nil {
+		j.err = err
+	}
+	return err
+}
+
+// Submit journals a job acceptance (write-ahead: callers enqueue only
+// after this returns nil).
+func (j *Journal) Submit(id string, req GridRequest) error {
+	return j.append(journalEntry{T: "submit", Job: id, Req: &req})
+}
+
+// Start journals a worker picking the job up.
+func (j *Journal) Start(id string) error {
+	return j.append(journalEntry{T: "start", Job: id})
+}
+
+// Done journals successful completion.
+func (j *Journal) Done(id string) error {
+	return j.append(journalEntry{T: "done", Job: id})
+}
+
+// Fail journals terminal failure.
+func (j *Journal) Fail(id, errMsg, cause string) error {
+	return j.append(journalEntry{T: "fail", Job: id, Err: errMsg, Cause: cause})
+}
+
+// Cancel journals client cancellation.
+func (j *Journal) Cancel(id string) error {
+	return j.append(journalEntry{T: "cancel", Job: id})
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	j.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("service: syncing journal %s: %w", j.path, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("service: closing journal %s: %w", j.path, closeErr)
+	}
+	return nil
+}
+
+// JournalJob is one job's folded journal history.
+type JournalJob struct {
+	ID    string
+	Req   GridRequest
+	State JobState // StateQueued/StateRunning for in-flight, terminal otherwise
+	Err   string
+	Cause string
+	// Submitted is the submit entry's timestamp.
+	Submitted time.Time
+}
+
+// ReplayJournal folds the journal into per-job records, in submission
+// order. Lines that do not parse are counted and skipped: they are the
+// expected debris of crash-interrupted or fault-recovered appends, fenced
+// by the newline re-sync, never silent data loss — every durable event
+// line is intact by construction (single write call, fsync).
+func ReplayJournal(path string) (jobs []JournalJob, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("service: opening journal %s: %w", path, err)
+	}
+	defer f.Close()
+	byID := make(map[string]*JournalJob)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e journalEntry
+		if uerr := json.Unmarshal([]byte(line), &e); uerr != nil || e.Job == "" || e.T == "" {
+			skipped++
+			continue
+		}
+		jj, ok := byID[e.Job]
+		if !ok {
+			if e.T != "submit" || e.Req == nil {
+				// An orphan event for a job whose submit entry was lost to
+				// a torn write before it was acknowledged: nothing was
+				// promised, skip it.
+				skipped++
+				continue
+			}
+			jj = &JournalJob{ID: e.Job, Req: *e.Req, State: StateQueued, Submitted: e.Time}
+			byID[e.Job] = jj
+			order = append(order, e.Job)
+			continue
+		}
+		switch e.T {
+		case "start":
+			jj.State = StateRunning
+		case "done":
+			jj.State = StateDone
+		case "fail":
+			jj.State = StateFailed
+			jj.Err, jj.Cause = e.Err, e.Cause
+		case "cancel":
+			jj.State = StateCanceled
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, skipped, fmt.Errorf("service: reading journal %s: %w", path, serr)
+	}
+	for _, id := range order {
+		jobs = append(jobs, *byID[id])
+	}
+	return jobs, skipped, nil
+}

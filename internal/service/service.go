@@ -1,0 +1,626 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/ledger"
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Cancellation causes threaded through context.Cause into the runner's
+// CellError, so job statuses can say *why* work stopped.
+var (
+	// ErrClientCanceled: the client asked for the job to stop.
+	ErrClientCanceled = errors.New("canceled by client")
+	// ErrJobDeadline: the per-request deadline elapsed.
+	ErrJobDeadline = errors.New("job deadline exceeded")
+	// ErrDrainAborted: the server's drain deadline passed with the job
+	// still running; it stays non-terminal and resumes on the next start.
+	ErrDrainAborted = errors.New("server drain aborted the job")
+	// ErrKilled: the in-process stand-in for kill -9 (tests).
+	ErrKilled = errors.New("server killed")
+	// ErrDraining: the server no longer admits work.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// Config parameterizes a Service. Zero values mean the stated defaults.
+type Config struct {
+	// DataDir holds the journal, the memoized cell cache and the ledger.
+	DataDir string
+	// JobWorkers bounds concurrently running jobs (default 2).
+	JobWorkers int
+	// CellWorkers bounds the runner pool inside each job (default
+	// GOMAXPROCS / JobWorkers, at least 1).
+	CellWorkers int
+	// MaxQueue bounds queued-but-not-running jobs; beyond it submissions
+	// shed with 429 (default 64).
+	MaxQueue int
+	// SubmitRate and SubmitBurst parameterize the admission token bucket
+	// (default 50/s, burst 100).
+	SubmitRate  float64
+	SubmitBurst int
+	// Retries is each cell's extra-attempt budget for transient failures
+	// (default 2). Permanent errors (check.Divergence and anything else
+	// implementing Permanent) never retry.
+	Retries int
+	// BackoffBase/BackoffMax shape the exponential backoff with jitter
+	// between cell retries (defaults 10ms / 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CellTimeout bounds each cell attempt (default none).
+	CellTimeout time.Duration
+	// DefaultJobTimeout applies when a request carries no deadline;
+	// MaxJobTimeout caps requested deadlines (defaults: none).
+	DefaultJobTimeout time.Duration
+	MaxJobTimeout     time.Duration
+	// MaxCellsPerJob rejects oversized grids at validation (default 4096).
+	MaxCellsPerJob int
+	// Faults injects deterministic chaos into every job's cells (tests).
+	Faults *faultinject.Plan
+	// JournalWrap interposes on journal writes (fault injection; tests).
+	JournalWrap func(io.Writer) io.Writer
+	// Logger receives structured events; nil discards.
+	Logger *slog.Logger
+	// Registry receives service and sweep metrics; nil creates one.
+	Registry *obs.Registry
+}
+
+func (c *Config) fill() {
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.CellWorkers <= 0 {
+		c.CellWorkers = runtime.GOMAXPROCS(0) / c.JobWorkers
+		if c.CellWorkers < 1 {
+			c.CellWorkers = 1
+		}
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.SubmitRate <= 0 {
+		c.SubmitRate = 50
+	}
+	if c.SubmitBurst <= 0 {
+		c.SubmitBurst = 100
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.MaxCellsPerJob <= 0 {
+		c.MaxCellsPerJob = 4096
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+}
+
+// Service metric names, alongside the runner's cell metrics in the same
+// registry.
+const (
+	MJobsSubmitted = "jobs_submitted"
+	MJobsDone      = "jobs_done"
+	MJobsFailed    = "jobs_failed"
+	MJobsCanceled  = "jobs_canceled"
+	MJobsShed      = "jobs_shed"
+	MJobsRunning   = "jobs_running"
+	MQueueDepth    = "queue_depth"
+)
+
+// Service is the sweep job manager: admission, queue, job workers, the
+// shared memoized cell cache, the write-ahead journal and the ledger.
+type Service struct {
+	cfg    Config
+	log    *slog.Logger
+	reg    *obs.Registry
+	bucket *TokenBucket
+	start  time.Time
+
+	journal *Journal
+	cells   *runner.Checkpoint
+
+	// ctx dies on Kill (hard stop); draining is the soft path.
+	ctx  context.Context
+	kill context.CancelCauseFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	queue    chan *Job
+	draining bool
+	drained  chan struct{} // closed when the last worker exits after drain
+
+	wg sync.WaitGroup
+}
+
+// Open builds a service over cfg.DataDir: creates the directory, opens the
+// journal and cell cache, and replays the journal — terminal jobs are
+// restored for status/result queries, in-flight and queued jobs are
+// requeued. Call Start to begin executing.
+func Open(cfg Config) (*Service, error) {
+	cfg.fill()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: Config.DataDir is required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	replayed, skipped, err := ReplayJournal(filepath.Join(cfg.DataDir, JournalName))
+	if err != nil {
+		return nil, err
+	}
+	journal, err := OpenJournal(filepath.Join(cfg.DataDir, JournalName), cfg.JournalWrap)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := runner.OpenCheckpoint(filepath.Join(cfg.DataDir, CellCacheName))
+	if err != nil {
+		journal.Close()
+		return nil, err
+	}
+	ctx, kill := context.WithCancelCause(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		reg:     cfg.Registry,
+		bucket:  NewTokenBucket(cfg.SubmitRate, cfg.SubmitBurst),
+		start:   time.Now(),
+		journal: journal,
+		cells:   cells,
+		ctx:     ctx,
+		kill:    kill,
+		jobs:    make(map[string]*Job),
+		drained: make(chan struct{}),
+	}
+	// The queue must hold every requeued job plus MaxQueue fresh ones;
+	// Submit checks depth under s.mu so sends never block.
+	var pending []*Job
+	for _, jj := range replayed {
+		jobCtx, cancel := context.WithCancelCause(s.ctx)
+		job := newJob(jj.ID, jj.Req, jobCtx, cancel)
+		job.mu.Lock()
+		job.restored = true
+		job.status.Submitted = jj.Submitted
+		switch jj.State {
+		case StateDone:
+			job.status.State = StateDone
+			job.status.Cells.Done = job.status.Cells.Planned
+		case StateFailed:
+			job.status.State = StateFailed
+			job.status.Error, job.status.Cause = jj.Err, jj.Cause
+		case StateCanceled:
+			job.status.State = StateCanceled
+		default:
+			// Queued or running when the last process died: requeue. The
+			// memoized cell cache turns the re-run into a fast replay of
+			// whatever had finished.
+			pending = append(pending, job)
+		}
+		job.mu.Unlock()
+		s.jobs[jj.ID] = job
+		s.order = append(s.order, jj.ID)
+	}
+	s.queue = make(chan *Job, cfg.MaxQueue+len(pending))
+	for _, job := range pending {
+		s.queue <- job
+	}
+	s.reg.Gauge(MQueueDepth).Set(int64(len(pending)))
+	if skipped > 0 || len(pending) > 0 {
+		s.log.Info("journal replayed",
+			"jobs", len(replayed), "requeued", len(pending), "skipped_lines", skipped)
+	}
+	return s, nil
+}
+
+// Start launches the job workers. Safe to call once.
+func (s *Service) Start() {
+	for w := 0; w < s.cfg.JobWorkers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.reg.Gauge(MQueueDepth).Add(-1)
+				if s.ctx.Err() != nil {
+					job.setState(StateInterrupted, "", causeName(context.Cause(s.ctx)))
+					continue
+				}
+				s.runJob(job)
+			}
+		}()
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.drained)
+	}()
+}
+
+// Submit validates, admits, journals and enqueues a request. The job is
+// durable once Submit returns: a crash after this point requeues it on
+// restart. Shed submissions return *ShedError; a draining server returns
+// ErrDraining; a sick journal surfaces its write error.
+func (s *Service) Submit(req GridRequest) (*Job, error) {
+	if err := req.Validate(s.cfg.MaxCellsPerJob); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.ctx.Err() != nil {
+		return nil, ErrDraining
+	}
+	// Depth first (cheap, sheds the burst), then the rate bucket.
+	if len(s.queue) >= s.cfg.MaxQueue {
+		s.reg.Counter(MJobsShed).Add(1)
+		return nil, &ShedError{Reason: "queue", RetryAfter: s.estimateDrain()}
+	}
+	if ok, retryAfter := s.bucket.Take(); !ok {
+		s.reg.Counter(MJobsShed).Add(1)
+		return nil, &ShedError{Reason: "rate", RetryAfter: retryAfter}
+	}
+	id := newJobID()
+	if err := s.journal.Submit(id, req); err != nil {
+		// Not durable — reject rather than risk losing an accepted job.
+		return nil, err
+	}
+	jobCtx, cancel := context.WithCancelCause(s.ctx)
+	job := newJob(id, req, jobCtx, cancel)
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.queue <- job // cannot block: depth checked under s.mu
+	s.reg.Counter(MJobsSubmitted).Add(1)
+	s.reg.Gauge(MQueueDepth).Add(1)
+	s.log.Info("job accepted", "job", id, "cells", req.cellCount(), "config", job.status.ConfigHash)
+	return job, nil
+}
+
+// estimateDrain guesses how long until a queue slot frees: queue depth
+// over the observed job completion rate, clamped to [1s, 1m].
+func (s *Service) estimateDrain() time.Duration {
+	finished := s.reg.Counter(MJobsDone).Value() +
+		s.reg.Counter(MJobsFailed).Value() +
+		s.reg.Counter(MJobsCanceled).Value()
+	elapsed := time.Since(s.start)
+	if finished == 0 || elapsed <= 0 {
+		return 2 * time.Second
+	}
+	perJob := elapsed / time.Duration(finished)
+	est := perJob * time.Duration(len(s.queue)) / time.Duration(max(1, s.cfg.JobWorkers))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// Job returns the job by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns how many jobs wait for a worker.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Registry exposes the metrics registry (healthz, debug server).
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Uptime reports time since Open.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
+
+// JournalErr surfaces journal health for readyz.
+func (s *Service) JournalErr() error { return s.journal.Err() }
+
+// runJob executes one job's grid on the runner pool.
+func (s *Service) runJob(job *Job) {
+	s.reg.Gauge(MJobsRunning).Add(1)
+	defer s.reg.Gauge(MJobsRunning).Add(-1)
+	if err := context.Cause(job.ctx()); err != nil {
+		// Canceled while queued.
+		s.finishJob(job, nil, err)
+		return
+	}
+	job.setState(StateRunning, "", "")
+	if err := s.journal.Start(job.id); err != nil {
+		s.log.Warn("journal start entry failed", "job", job.id, "err", err)
+	}
+
+	ctx := job.ctx()
+	timeout := s.cfg.DefaultJobTimeout
+	if job.req.TimeoutMs > 0 {
+		timeout = time.Duration(job.req.TimeoutMs) * time.Millisecond
+	}
+	if s.cfg.MaxJobTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxJobTimeout) {
+		timeout = s.cfg.MaxJobTimeout
+	}
+	var cancelTimeout context.CancelFunc
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeoutCause(ctx, timeout, ErrJobDeadline)
+		defer cancelTimeout()
+	}
+
+	specs := job.req.Cells()
+	cells := make([]runner.Cell[CellResult], len(specs))
+	for i, cs := range specs {
+		cs := cs
+		cells[i] = runner.Cell[CellResult]{Key: cs.Key(), Run: cs.Simulate}
+	}
+	cells = faultinject.Wrap(s.cfg.Faults, cells)
+
+	regStart, regDone := obs.RunnerHooks(s.reg, s.log.With("job", job.id))
+	s.reg.Counter(obs.MCellsPlanned).Add(int64(len(cells)))
+	results := runner.Run(ctx, cells, runner.Options{
+		Workers:     s.cfg.CellWorkers,
+		CellTimeout: s.cfg.CellTimeout,
+		Retries:     s.cfg.Retries,
+		Backoff:     ExpBackoff(s.cfg.BackoffBase, s.cfg.BackoffMax),
+		Checkpoint:  s.cells,
+		OnCellStart: regStart,
+		OnCellDone: func(ev runner.CellEvent) {
+			if regDone != nil {
+				regDone(ev)
+			}
+			errMsg := ""
+			if ev.Err != nil {
+				errMsg = ev.Err.Error()
+			}
+			job.noteCell(ev.Key, ev.FromCheckpoint, ev.Err != nil, ev.Attempts > 1, errMsg)
+		},
+	})
+	s.finishJob(job, results, context.Cause(ctx))
+}
+
+// ResultsFor returns a done job's cell results. For jobs restored from the
+// journal after a restart the in-memory results are gone; they are rebuilt
+// on first request from the memoized cell cache (cells missing from the
+// cache — lost to a crash between the cell write and the journal's done
+// entry — are recomputed in place, which is safe because cells are
+// deterministic). Returns nil for non-terminal or failed jobs.
+func (s *Service) ResultsFor(ctx context.Context, job *Job) ([]CellResult, error) {
+	if job.Status().State != StateDone {
+		return nil, nil
+	}
+	if rs := job.Results(); rs != nil {
+		return rs, nil
+	}
+	req := job.Request()
+	specs := req.Cells()
+	out := make([]CellResult, len(specs))
+	for i, cs := range specs {
+		if raw, ok := s.cells.Lookup(cs.Key()); ok {
+			if err := json.Unmarshal(raw, &out[i]); err == nil {
+				continue
+			}
+		}
+		r, err := cs.Simulate(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("service: rebuilding results for %s: %w", job.ID(), err)
+		}
+		out[i] = r
+	}
+	job.setResults(out)
+	return job.Results(), nil
+}
+
+// finishJob classifies the sweep outcome, updates the job, journals the
+// terminal state and appends a ledger record. Jobs stopped by the server
+// itself (drain abort, kill) stay non-terminal in the journal so the next
+// start requeues them.
+func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause error) {
+	vals, sweepErr := runner.Values(results)
+	switch {
+	case results != nil && sweepErr == nil:
+		job.setResults(vals)
+		job.setState(StateDone, "", "")
+		if err := s.journal.Done(job.id); err != nil {
+			s.log.Warn("journal done entry failed", "job", job.id, "err", err)
+		}
+		s.reg.Counter(MJobsDone).Add(1)
+		s.appendLedger(job, results)
+		s.log.Info("job done", "job", job.id, "cells", len(results))
+		return
+	case errors.Is(cause, ErrKilled) || errors.Is(cause, ErrDrainAborted):
+		job.setState(StateInterrupted, "", causeName(cause))
+		s.log.Warn("job interrupted", "job", job.id, "cause", causeName(cause))
+		return
+	case errors.Is(cause, ErrClientCanceled):
+		job.setState(StateCanceled, "", causeName(cause))
+		if err := s.journal.Cancel(job.id); err != nil {
+			s.log.Warn("journal cancel entry failed", "job", job.id, "err", err)
+		}
+		s.reg.Counter(MJobsCanceled).Add(1)
+		return
+	default:
+		msg := "job failed"
+		if sweepErr != nil {
+			msg = sweepErr.Error()
+		}
+		job.setState(StateFailed, msg, causeName(cause))
+		if err := s.journal.Fail(job.id, msg, causeName(cause)); err != nil {
+			s.log.Warn("journal fail entry failed", "job", job.id, "err", err)
+		}
+		s.reg.Counter(MJobsFailed).Add(1)
+		s.log.Warn("job failed", "job", job.id, "err", msg, "cause", causeName(cause))
+	}
+}
+
+// appendLedger records a completed job in the cross-run ledger, so
+// simreport sees service traffic alongside CLI runs.
+func (s *Service) appendLedger(job *Job, results []runner.Result[CellResult]) {
+	h := obs.Host()
+	st := job.Status()
+	rec := ledger.Record{
+		RunID:      job.id,
+		Time:       st.Submitted,
+		Tool:       "cachesimd",
+		ConfigHash: st.ConfigHash,
+		Outcome:    "ok",
+		WallMs:     st.Finished.Sub(st.Started).Milliseconds(),
+		Cells: ledger.Cells{
+			Planned:  int64(st.Cells.Planned),
+			Done:     int64(st.Cells.Done),
+			Replayed: int64(st.Cells.Replayed),
+			Failed:   int64(st.Cells.Failed),
+		},
+		Env: ledger.Env{
+			GoVersion:   h.GoVersion,
+			GOOS:        h.GOOS,
+			GOARCH:      h.GOARCH,
+			GOMAXPROCS:  h.GOMAXPROCS,
+			GitDescribe: h.GitDescribe,
+			Hostname:    h.Hostname,
+		},
+	}
+	for _, r := range results {
+		if r.Done {
+			rec.Refs += r.Value.Refs
+			rec.TotalCycles += r.Value.Cycles
+		}
+	}
+	if rec.Refs > 0 {
+		rec.CPI = float64(rec.TotalCycles) / float64(rec.Refs)
+		if wall := st.Finished.Sub(st.Started).Seconds(); wall > 0 {
+			rec.RefsPerSec = float64(rec.Refs) / wall
+		}
+	}
+	if _, err := ledger.Append(s.cfg.DataDir, rec); err != nil {
+		s.log.Warn("ledger append failed", "job", job.id, "err", err)
+	}
+}
+
+// Drain stops admitting, lets queued and running jobs finish, then flushes
+// and closes the journal and cell cache. If ctx expires first, running
+// jobs are aborted with ErrDrainAborted — they stay non-terminal in the
+// journal and resume on the next start — and Drain reports the abort.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // under mu: Submit sends only under mu after the check
+	}
+	s.mu.Unlock()
+	s.log.Info("draining", "queued", len(s.queue))
+	aborted := false
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		aborted = true
+		s.mu.Lock()
+		for _, job := range s.jobs {
+			job.Cancel(ErrDrainAborted)
+		}
+		s.mu.Unlock()
+		<-s.drained // cells observe the cause between phases; bounded work
+	}
+	var errs []error
+	if err := s.cells.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.journal.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	if aborted {
+		errs = append(errs, fmt.Errorf("service: drain deadline passed; in-flight jobs checkpointed for restart"))
+	}
+	return errors.Join(errs...)
+}
+
+// Kill is the tests' kill -9 stand-in: cancel everything with ErrKilled
+// and close the files without flushing job state. Journaled-but-unfinished
+// jobs will be requeued by the next Open, exactly as after a real crash.
+func (s *Service) Kill() {
+	s.kill(ErrKilled)
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	// Closing invalidates the handles; late cell completions hit the
+	// checkpoint's sticky error and are dropped, like writes after a
+	// process death.
+	s.cells.Close()   //nolint:errcheck // crash semantics
+	s.journal.Close() //nolint:errcheck // crash semantics
+}
+
+// causeName canonicalizes a cancellation cause for statuses and journals.
+func causeName(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrClientCanceled):
+		return "client-cancel"
+	case errors.Is(err, ErrJobDeadline), errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrDrainAborted):
+		return "drain"
+	case errors.Is(err, ErrKilled):
+		return "killed"
+	default:
+		return err.Error()
+	}
+}
+
+// ExpBackoff returns an exponential-backoff-with-full-jitter schedule:
+// attempt n waits a uniformly random duration in [d/2, d] where d =
+// base·2^(n-1) capped at max. Jitter decorrelates the retry storms of
+// cells that failed together (a transient fault plan, a brief resource
+// spike).
+func ExpBackoff(base, max time.Duration) func(attempt int) time.Duration {
+	return func(attempt int) time.Duration {
+		d := base
+		for i := 1; i < attempt && d < max; i++ {
+			d *= 2
+		}
+		if d > max || d <= 0 {
+			d = max
+		}
+		half := d / 2
+		if half <= 0 {
+			return d
+		}
+		return half + rand.N(half+1)
+	}
+}
