@@ -24,6 +24,12 @@
 #                  scratch ledger, then `simreport gate` — the simulator is
 #                  deterministic, so any cycle-count drift between the two
 #                  runs is a real regression and fails the gate
+#   metricslint  — metrics hygiene: every telemetry metric snake_case,
+#                  declared exactly once, and METRICS.md regenerates to the
+#                  checked-in bytes (drift fails)
+#   telemetrygate — span-recording overhead budget: the telemetry on/off
+#                  sub-benchmarks through the real service must stay within
+#                  2% of each other (bench2json -fail-over 2)
 #   check        — all of the above
 #
 # `make fuzz-long` runs the trace-format fuzzers for 30 s each and is not
@@ -36,9 +42,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz fuzz-long selfcheck faults soak vulncheck attrib perfgate bench clean
+.PHONY: check build vet test race fuzz fuzz-long selfcheck faults soak vulncheck attrib perfgate metricslint telemetrygate bench clean
 
-check: vet build test race fuzz selfcheck faults soak vulncheck attrib perfgate
+check: vet build test race fuzz selfcheck faults soak vulncheck attrib perfgate metricslint telemetrygate
 
 build:
 	$(GO) build ./...
@@ -104,6 +110,30 @@ perfgate:
 	$(GO) run ./cmd/simreport gate -ledger .perfgate -tolerance 0.1
 	@rm -rf .perfgate
 
+# Metrics hygiene: lint the telemetry metric catalog and fail if the
+# generated METRICS.md reference drifted from the code.
+metricslint:
+	$(GO) run ./cmd/metricslint
+
+# Telemetry overhead budget: run the off/on overhead benchmark as three
+# interleaved off/on pairs (separate `go test` runs, so slow machine drift
+# hits both modes equally), split the sub-benchmarks into best-of-3
+# snapshots (-best keeps each name's lowest ns/op — interference only ever
+# slows a run) under one normalized name, and let the bench2json fail-over
+# gate enforce that span recording costs at most 2% end to end.
+telemetrygate:
+	@rm -rf .telemetrygate && mkdir -p .telemetrygate
+	@for i in 1 2 3; do \
+		echo "telemetrygate: round $$i"; \
+		$(GO) test -run '^$$' -bench TelemetryOverhead -benchtime 50x . >> .telemetrygate/bench.txt || exit 1; \
+	done
+	@grep -v 'TelemetryOverhead/on' .telemetrygate/bench.txt | sed 's|TelemetryOverhead/off|TelemetryOverhead/guard|' \
+		| $(GO) run ./cmd/bench2json -best -o .telemetrygate/off.json
+	@grep -v 'TelemetryOverhead/off' .telemetrygate/bench.txt | sed 's|TelemetryOverhead/on|TelemetryOverhead/guard|' \
+		| $(GO) run ./cmd/bench2json -best -o .telemetrygate/on.json
+	$(GO) run ./cmd/bench2json -diff -fail-over 2 .telemetrygate/off.json .telemetrygate/on.json
+	@rm -rf .telemetrygate
+
 vulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./... || echo "vulncheck: advisories found (non-fatal)"; \
@@ -116,4 +146,4 @@ bench:
 
 clean:
 	$(GO) clean ./...
-	rm -rf .perfgate
+	rm -rf .perfgate .telemetrygate

@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/mem"
+	"repro/internal/service"
 	"repro/internal/simtrace"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -447,5 +448,54 @@ func BenchmarkFacadeQuickstart(b *testing.B) {
 		if _, err := explorer.Evaluate(cachetime.DesignPoint{TotalKB: 64, CycleNs: 40}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the service's span
+// recording end to end: one sweep job through the real service with
+// telemetry off vs on. `make telemetrygate` diffs the two sub-benchmarks
+// with bench2json -fail-over to enforce the ≤2% overhead budget. Each
+// iteration uses a distinct workload scale so the memoized cell cache
+// never short-circuits the simulation being measured.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		noTel bool
+	}{{"off", true}, {"on", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := service.Open(service.Config{
+				DataDir:     b.TempDir(),
+				JobWorkers:  1,
+				NoTelemetry: mode.noTel,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Start()
+			defer s.Kill()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job, err := s.Submit(service.GridRequest{
+					Workloads: []string{"mu3"},
+					Scale:     0.04 + float64(i%64)*0.0003,
+					SizesKB:   []int{1, 2, 4, 8},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				seq := 0
+				for {
+					evs, changed, terminal := job.EventsSince(seq)
+					seq += len(evs)
+					if terminal {
+						break
+					}
+					<-changed
+				}
+				if st := job.Status(); st.State != service.StateDone {
+					b.Fatalf("job ended %s (%s)", st.State, st.Error)
+				}
+			}
+		})
 	}
 }

@@ -45,6 +45,7 @@ func main() {
 	out := flag.String("o", "", "write JSON snapshot to this file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two snapshots: bench2json -diff OLD.json NEW.json")
 	failOver := flag.Float64("fail-over", 0, "with -diff: exit 1 when any benchmark's ns/op grew by more than this percent (0 = report only)")
+	best := flag.Bool("best", false, "when a name repeats (go test -count=N), keep only its lowest-ns/op run")
 	flag.Parse()
 
 	var err error
@@ -61,7 +62,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		err = runConvert(os.Stdin, *out)
+		err = runConvert(os.Stdin, *out, *best)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
@@ -69,13 +70,16 @@ func main() {
 	}
 }
 
-func runConvert(in io.Reader, out string) error {
+func runConvert(in io.Reader, out string, best bool) error {
 	snap, err := Parse(in)
 	if err != nil {
 		return err
 	}
 	if len(snap.Benches) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin (pipe `go test -bench` output in)")
+	}
+	if best {
+		snap.Benches = BestOf(snap.Benches)
 	}
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -91,6 +95,27 @@ func runConvert(in io.Reader, out string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(snap.Benches), out)
 	return nil
+}
+
+// BestOf collapses repeated benchmark names (as produced by `go test
+// -count=N`) to the occurrence with the lowest ns/op, preserving first-seen
+// order. The minimum is the noise-robust statistic for a gate: scheduler or
+// cache interference only ever makes a run slower, never faster.
+func BestOf(benches []Bench) []Bench {
+	idx := map[string]int{}
+	var out []Bench
+	for _, b := range benches {
+		i, seen := idx[b.Name]
+		if !seen {
+			idx[b.Name] = len(out)
+			out = append(out, b)
+			continue
+		}
+		if b.Metrics["ns/op"] < out[i].Metrics["ns/op"] {
+			out[i] = b
+		}
+	}
+	return out
 }
 
 // Parse reads `go test -bench` text output. Lines it does not recognise

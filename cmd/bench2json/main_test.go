@@ -99,3 +99,24 @@ func TestSlowdowns(t *testing.T) {
 		t.Errorf("25%% gate flagged %v", got)
 	}
 }
+
+// TestBestOf: -best collapses `go test -count=N` repeats to the fastest run
+// per name, keeping first-seen order and leaving unique names untouched.
+func TestBestOf(t *testing.T) {
+	in := []Bench{
+		{Name: "BenchmarkA-8", Iters: 10, Metrics: map[string]float64{"ns/op": 120}},
+		{Name: "BenchmarkB-8", Iters: 5, Metrics: map[string]float64{"ns/op": 7}},
+		{Name: "BenchmarkA-8", Iters: 10, Metrics: map[string]float64{"ns/op": 95, "allocs/op": 3}},
+		{Name: "BenchmarkA-8", Iters: 10, Metrics: map[string]float64{"ns/op": 110}},
+	}
+	out := BestOf(in)
+	if len(out) != 2 {
+		t.Fatalf("len = %d, want 2: %+v", len(out), out)
+	}
+	if out[0].Name != "BenchmarkA-8" || out[0].Metrics["ns/op"] != 95 || out[0].Metrics["allocs/op"] != 3 {
+		t.Errorf("best A = %+v, want the 95 ns/op run", out[0])
+	}
+	if out[1].Name != "BenchmarkB-8" || out[1].Metrics["ns/op"] != 7 {
+		t.Errorf("B = %+v", out[1])
+	}
+}

@@ -12,15 +12,25 @@
 // failures, graceful drain on SIGTERM/SIGINT (stop admitting, finish
 // in-flight work, flush the ledger, exit 0), /healthz and /readyz.
 //
+// Telemetry: every request records spans (http.request → job → cell →
+// attempt) with deterministic IDs, exported per job as NDJSON and
+// Perfetto-loadable Chrome trace JSON; /metrics exposes the full counter
+// catalog in Prometheus text format and /debug/dashboard serves a
+// self-contained live HTML dashboard. -telemetry=false turns span
+// recording off (results are bit-identical either way).
+//
 // Examples:
 //
 //	cachesimd -data /var/lib/cachesimd
 //	cachesimd -addr 127.0.0.1:7090 -data d -job-timeout 2m
 //	curl -s localhost:7090/v1/jobs -d '{"workloads":["mu3"],"sizes_kb":[2,4,8]}'
+//	curl -s localhost:7090/metrics
+//	curl -s localhost:7090/v1/jobs/<id>/trace > job.trace.json  # open in Perfetto
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -34,6 +44,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -59,7 +70,8 @@ func run() error {
 		maxCells   = flag.Int("max-cells", 0, "largest admissible grid (0 = default)")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM; in-flight jobs past it are checkpointed for the next start")
 		faultsSpec = flag.String("faults", "", "chaos: fault-injection plan for every job's cells (e.g. seed=1,panic=0.02,transient=0.1)")
-		debugAddr  = flag.String("debug-addr", "", "also serve /debug/vars and /debug/pprof on this address")
+		debugAddr  = flag.String("debug-addr", "", "also serve /debug/vars, /debug/pprof, /metrics and /debug/dashboard on this address")
+		telem      = flag.Bool("telemetry", true, "record request/job/cell/attempt spans and export job traces (metrics stay on regardless)")
 		verbose    = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
@@ -84,6 +96,7 @@ func run() error {
 		MaxCellsPerJob:    *maxCells,
 		Logger:            logger,
 		Registry:          obs.NewRegistry(),
+		NoTelemetry:       !*telem,
 	}
 	if *faultsSpec != "" {
 		plan, err := faultinject.ParsePlan(*faultsSpec)
@@ -101,7 +114,22 @@ func run() error {
 	svc.Start()
 
 	if *debugAddr != "" {
-		dbg, err := obs.Serve(*debugAddr, cfg.Registry)
+		// The debug server gets the same /metrics and dashboard as the API
+		// address (plus a read-only job listing the dashboard polls), so
+		// operators can firewall the API and still watch.
+		dbg, err := obs.Serve(*debugAddr, cfg.Registry,
+			obs.Route{Pattern: "GET /metrics", Handler: svc.MetricsHandler()},
+			obs.Route{Pattern: "GET /debug/dashboard", Handler: telemetry.Dashboard("/metrics", "/v1/jobs")},
+			obs.Route{Pattern: "GET /v1/jobs", Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				jobs := svc.Jobs()
+				statuses := make([]service.JobStatus, len(jobs))
+				for i, j := range jobs {
+					statuses[i] = j.Status()
+				}
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(statuses) //nolint:errcheck // client disconnect
+			})},
+		)
 		if err != nil {
 			return err
 		}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -269,6 +270,84 @@ func TestDaemonShedsUnderPressure(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 without Retry-After")
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.wait(); err != nil {
+		t.Fatalf("drain exit: %v", err)
+	}
+}
+
+// TestDaemonTelemetryEndpoints: the live process serves Prometheus metrics,
+// the dashboard page, and a per-job Chrome trace once a job completes.
+func TestDaemonTelemetryEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process e2e skipped in -short mode (run via `make soak`)")
+	}
+	d := startDaemon(t, "-data", t.TempDir(), "-workers", "1")
+
+	req := service.GridRequest{Workloads: []string{"mu3"}, Scale: 0.01, SizesKB: []int{2, 4}}
+	var st service.JobStatus
+	if code := postJSON(t, d.url("/v1/jobs"), req, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur service.JobStatus
+		getJSON(t, d.url("/v1/jobs/"+st.ID), &cur)
+		if cur.State == service.StateDone {
+			break
+		}
+		if cur.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job did not complete: %+v", cur)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// /metrics: valid exposition format with a real series catalog.
+	resp, err := http.Get(d.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := telemetry.ParsePromText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if len(series) < 20 {
+		t.Errorf("/metrics exposes %d series, want >= 20", len(series))
+	}
+	if series[telemetry.PromPrefix+"jobs_done"] < 1 {
+		t.Error("jobs_done not counted")
+	}
+
+	// /debug/dashboard: the self-contained page.
+	resp, err = http.Get(d.url("/debug/dashboard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(page, []byte("cachesimd dashboard")) {
+		t.Errorf("dashboard: status %d, %d bytes", resp.StatusCode, len(page))
+	}
+
+	// /v1/jobs/{id}/trace: loadable trace-event JSON for the finished job.
+	resp, err = http.Get(d.url("/v1/jobs/" + st.ID + "/trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&tr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("trace: status %d, err %v", resp.StatusCode, err)
+	}
+	if len(tr.TraceEvents) < 4 { // job + 2 cells + lane metadata at least
+		t.Errorf("trace has %d events", len(tr.TraceEvents))
 	}
 	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)

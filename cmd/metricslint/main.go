@@ -1,0 +1,49 @@
+// Command metricslint is the metrics-hygiene gate behind `make metricslint`.
+// It validates the telemetry metric catalog (snake_case names, known kinds,
+// help text, no duplicates) and keeps the checked-in METRICS.md reference in
+// lockstep with the code:
+//
+//	metricslint          # lint Defs and fail if METRICS.md drifted
+//	metricslint -w       # lint Defs and rewrite METRICS.md
+//
+// Exit status 1 means a lint violation or drift; the diff-producing state is
+// always printed so CI logs show what to regenerate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite METRICS.md instead of checking it")
+	path := flag.String("o", "METRICS.md", "metrics reference file to check or write")
+	flag.Parse()
+
+	if err := telemetry.LintDefs(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+	want := telemetry.MetricsMarkdown()
+	if *write {
+		if err := os.WriteFile(*path, []byte(want), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "metricslint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metricslint: wrote %s (%d metrics)\n", *path, len(telemetry.Defs))
+		return
+	}
+	got, err := os.ReadFile(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %v (regenerate with `go run ./cmd/metricslint -w`)\n", err)
+		os.Exit(1)
+	}
+	if string(got) != want {
+		fmt.Fprintf(os.Stderr, "metricslint: %s is out of date with internal/telemetry Defs; regenerate with `go run ./cmd/metricslint -w`\n", *path)
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: %s up to date (%d metrics)\n", *path, len(telemetry.Defs))
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -518,14 +519,21 @@ func cmdHTML(args []string, stdout, stderr io.Writer) error {
 	if len(recs) == 0 {
 		return fmt.Errorf("ledger is empty")
 	}
+	// Job traces live in <data-dir>/traces; cachesimd exports one Chrome
+	// trace per finished job, keyed by the run ID the ledger records.
+	traceDir := *dir
+	if fi, err := os.Stat(traceDir); err != nil || !fi.IsDir() {
+		traceDir = filepath.Dir(traceDir)
+	}
+	traceDir = filepath.Join(traceDir, "traces")
 	if *out == "-" {
-		return writeHTML(stdout, recs)
+		return writeHTML(stdout, recs, traceDir)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
-	werr := writeHTML(f, recs)
+	werr := writeHTML(f, recs, traceDir)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}

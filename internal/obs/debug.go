@@ -53,10 +53,21 @@ func publishRegistry(reg *Registry) {
 	})
 }
 
+// Route is one extra handler mounted on a debug server. Callers use it to
+// hang service-specific pages (a /metrics exposition, a live dashboard) off
+// the same listener as expvar and pprof without obs depending on them.
+type Route struct {
+	// Pattern is a ServeMux pattern, method-qualified if desired
+	// (e.g. "GET /metrics").
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve binds addr (":0" picks a free port), publishes the registry to
-// expvar and serves /debug/vars plus /debug/pprof/* until Close. Under the
-// obs_debug build tag it also enables mutex and block profiling.
-func Serve(addr string, reg *Registry) (*DebugServer, error) {
+// expvar and serves /debug/vars plus /debug/pprof/* until Close, along with
+// any extra routes. Under the obs_debug build tag it also enables mutex and
+// block profiling.
+func Serve(addr string, reg *Registry, extra ...Route) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener %s: %w", addr, err)
@@ -71,6 +82,9 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close

@@ -111,6 +111,13 @@ func (r *Reporter) Stop() {
 
 // tick emits one progress line. Split out (and clock-injected) so tests can
 // drive it without the goroutine.
+//
+// Rates and the ETA count only freshly simulated cells (done + failed).
+// Memoized cells — replayed from a checkpoint when a sweep or service job
+// resumes — land in a near-instant burst; folding them into the throughput
+// estimate made a half-restored grid report a rate (and an ETA) off by the
+// restored fraction. They still count toward the progress fraction, and the
+// line calls them out so X/N doesn't silently mix the two.
 func (r *Reporter) tick() {
 	now := r.now()
 	planned := r.reg.Counter(MCellsPlanned).Value()
@@ -118,7 +125,8 @@ func (r *Reporter) tick() {
 	replayed := r.reg.Counter(MCellsReplayed).Value()
 	failed := r.reg.Counter(MCellsFailed).Value()
 	refs := r.reg.Counter(MSimRefs).Value()
-	finished := done + replayed + failed
+	fresh := done + failed
+	finished := fresh + replayed
 
 	r.mu.Lock()
 	phase := "sweep"
@@ -126,21 +134,24 @@ func (r *Reporter) tick() {
 		phase = r.phases[n-1].name
 	}
 	windowDt := now.Sub(r.lastTick).Seconds()
-	windowDone := finished - r.lastDone
+	windowFresh := fresh - r.lastDone
 	windowRefs := refs - r.lastRefs
 	totalDt := now.Sub(r.start).Seconds()
-	r.lastTick, r.lastDone, r.lastRefs = now, finished, refs
+	r.lastTick, r.lastDone, r.lastRefs = now, fresh, refs
 	r.mu.Unlock()
 
-	// Windowed rates when the window saw work; cumulative otherwise.
-	cellRate := rate(windowDone, windowDt)
+	// Windowed rates when the window saw fresh work; cumulative otherwise.
+	cellRate := rate(windowFresh, windowDt)
 	refRate := rate(windowRefs, windowDt)
-	if windowDone == 0 {
-		cellRate = rate(finished, totalDt)
+	if windowFresh == 0 {
+		cellRate = rate(fresh, totalDt)
 		refRate = rate(refs, totalDt)
 	}
 
 	line := fmt.Sprintf("[obs] %s: %d/%d cells", phase, finished, planned)
+	if replayed > 0 {
+		line += fmt.Sprintf(" (%d memoized)", replayed)
+	}
 	if failed > 0 {
 		line += fmt.Sprintf(" (%d failed)", failed)
 	}

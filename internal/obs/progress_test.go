@@ -87,6 +87,48 @@ func TestReporterWindowedRateAndFailures(t *testing.T) {
 	}
 }
 
+// TestReporterETAWithMemoizedCells is the half-restored-grid regression: a
+// checkpoint replay dumps half the grid into the counters in the first
+// instant, and the ETA must still reflect the fresh simulation rate. The
+// old code folded replays into throughput, reporting ~0.5 cells/s here and
+// an ETA of ~6s for 30s of remaining work.
+func TestReporterETAWithMemoizedCells(t *testing.T) {
+	reg := NewRegistry()
+	var buf strings.Builder
+	clk := newFakeClock()
+	r := NewReporter(&buf, reg, time.Second)
+	r.Clock = clk.Now
+	r.Phase("resume")
+
+	// t=0: the journal replay restores half of an 8-cell grid instantly.
+	reg.Counter(MCellsPlanned).Add(8)
+	reg.Counter(MCellsReplayed).Add(4)
+	r.tick()
+	first := buf.String()
+	if !strings.Contains(first, "4/8 cells") || !strings.Contains(first, "(4 memoized)") {
+		t.Errorf("restore line wrong: %q", first)
+	}
+	if strings.Contains(first, "ETA") {
+		t.Errorf("ETA from replay burst alone (no fresh rate yet): %q", first)
+	}
+	buf.Reset()
+
+	// One fresh cell in 10s → 0.1 cells/s; 3 remaining → ETA 30s.
+	reg.Counter(MCellsDone).Add(1)
+	clk.Advance(10 * time.Second)
+	r.tick()
+	line := buf.String()
+	if !strings.Contains(line, "5/8 cells") {
+		t.Errorf("progress wrong: %q", line)
+	}
+	if !strings.Contains(line, "0.1 cells/s") {
+		t.Errorf("rate should count fresh cells only: %q", line)
+	}
+	if !strings.Contains(line, "ETA 30s") {
+		t.Errorf("ETA should project from the fresh rate: %q", line)
+	}
+}
+
 func TestReporterBreakdown(t *testing.T) {
 	reg := NewRegistry()
 	var buf strings.Builder

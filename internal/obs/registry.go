@@ -10,6 +10,7 @@
 package obs
 
 import (
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -190,6 +191,42 @@ func (r *Registry) Timing(name string) *Timing {
 		r.timings[name] = t
 	}
 	return t
+}
+
+// Exported is one metric in a Registry.Export listing: the name, which of
+// the three metric families it belongs to, and its current value (counters
+// and gauges use Value, timings use Timing). The typed view exists for
+// exposition formats that must distinguish monotonic counters from
+// point-in-time gauges — Snapshot flattens both to int64.
+type Exported struct {
+	Name   string
+	Kind   string // "counter", "gauge" or "timing"
+	Value  int64
+	Timing TimingSnapshot
+}
+
+// Export returns every metric with its family and current value, sorted by
+// name so exposition output is deterministic.
+func (r *Registry) Export() []Exported {
+	r.mu.Lock()
+	out := make([]Exported, 0, len(r.counters)+len(r.gauges)+len(r.timings))
+	for n, c := range r.counters {
+		out = append(out, Exported{Name: n, Kind: "counter", Value: c.Value()})
+	}
+	for n, g := range r.gauges {
+		out = append(out, Exported{Name: n, Kind: "gauge", Value: g.Value()})
+	}
+	timings := make(map[string]*Timing, len(r.timings))
+	for n, t := range r.timings {
+		timings[n] = t
+	}
+	r.mu.Unlock()
+	// Timing snapshots take the timing's own lock; do it outside r.mu.
+	for n, t := range timings {
+		out = append(out, Exported{Name: n, Kind: "timing", Timing: t.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // CounterValuesWithPrefix returns the current value of every counter whose

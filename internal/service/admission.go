@@ -50,6 +50,18 @@ func (b *TokenBucket) Take() (ok bool, retryAfter time.Duration) {
 	return false, time.Duration(math.Ceil(need * float64(time.Second)))
 }
 
+// Available reports how many whole tokens the bucket holds right now,
+// refilling first — the scrape-time value behind the tokens_available
+// gauge.
+func (b *TokenBucket) Available() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens = math.Min(b.burst, b.tokens+b.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	return int(b.tokens)
+}
+
 // ShedError reports a load-shed submission: the server is over its rate or
 // queue-depth envelope; the client should retry after RetryAfter. The HTTP
 // layer maps it to 429 + Retry-After.

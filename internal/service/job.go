@@ -23,6 +23,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/runner"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -268,8 +269,11 @@ type CellTally struct {
 
 // JobStatus is the poll view of one job.
 type JobStatus struct {
-	ID         string    `json:"id"`
-	State      JobState  `json:"state"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// RequestID is the X-Request-ID of the submitting request (client-
+	// supplied or generated); it doubles as the job trace's trace ID.
+	RequestID  string    `json:"request_id,omitempty"`
 	ConfigHash string    `json:"config_hash"`
 	Submitted  time.Time `json:"submitted"`
 	Started    time.Time `json:"started,omitempty"`
@@ -304,6 +308,13 @@ type Job struct {
 	runCtx context.Context         // dies on client cancel, drain abort or kill
 	cancel context.CancelCauseFunc // client cancellation, armed at submit
 
+	// tracer records this job's span tree; nil with telemetry disabled.
+	// The refs are nil-safe no-ops in that case, so span call sites never
+	// branch.
+	tracer   *telemetry.Tracer
+	rootSpan telemetry.SpanRef // http.request, ended by the HTTP handler
+	jobSpan  telemetry.SpanRef // submit → terminal, ended by finishJob
+
 	mu       sync.Mutex
 	status   JobStatus
 	events   []Event
@@ -312,7 +323,7 @@ type Job struct {
 	restored bool // journal-replayed from a previous server life
 }
 
-func newJob(id string, req GridRequest, ctx context.Context, cancel context.CancelCauseFunc) *Job {
+func newJob(id, reqID string, req GridRequest, ctx context.Context, cancel context.CancelCauseFunc) *Job {
 	j := &Job{
 		id:     id,
 		req:    req,
@@ -321,6 +332,7 @@ func newJob(id string, req GridRequest, ctx context.Context, cancel context.Canc
 		status: JobStatus{
 			ID:         id,
 			State:      StateQueued,
+			RequestID:  reqID,
 			ConfigHash: req.ConfigHash(),
 			Submitted:  time.Now().UTC(),
 			Cells:      CellTally{Planned: req.cellCount()},
@@ -328,6 +340,37 @@ func newJob(id string, req GridRequest, ctx context.Context, cancel context.Canc
 		changed: make(chan struct{}),
 	}
 	return j
+}
+
+// startTrace arms the job's span tree: the http.request root span (when a
+// request ID ties the job to an HTTP submission) and the job span under
+// it. Span IDs derive from the job ID — deterministic across runs — while
+// the trace ID is the request ID so operators can grep client-side IDs
+// straight into traces.
+func (j *Job) startTrace() {
+	traceID := j.status.RequestID
+	if traceID == "" {
+		traceID = j.id
+	}
+	j.tracer = telemetry.NewTracer(traceID, j.id)
+	if j.status.RequestID != "" {
+		j.rootSpan = j.tracer.Start("http.request", "", "http", 0)
+		j.rootSpan.SetAttr("request_id", j.status.RequestID)
+		j.rootSpan.SetAttr("method", "POST /v1/jobs")
+	}
+	j.jobSpan = j.tracer.Start("job", j.rootSpan.ID(), "job", 1)
+	j.jobSpan.SetAttr("job", j.id)
+	j.jobSpan.SetAttr("config", j.status.ConfigHash)
+}
+
+// Tracer exposes the job's span recorder; nil when telemetry is off.
+func (j *Job) Tracer() *telemetry.Tracer { return j.tracer }
+
+// EndRequestSpan closes the http.request root span with the response
+// status, once the submission response is written.
+func (j *Job) EndRequestSpan(status int) {
+	j.rootSpan.SetAttr("http_status", fmt.Sprintf("%d", status))
+	j.rootSpan.End()
 }
 
 // ID returns the job identifier.
@@ -430,6 +473,30 @@ func (j *Job) EventsSince(seq int) ([]Event, <-chan struct{}, bool) {
 		evs = append(evs, j.events[seq:]...)
 	}
 	return evs, j.changed, j.status.State.Terminal()
+}
+
+// ResumeSeq clamps a client's ?from= cursor for this job. Event sequence
+// numbers restart from 0 in each server life; a cursor beyond the current
+// log can only come from a stream of a previous life (the journal replay
+// rebuilt this job with a fresh, shorter log), so the honest resume is a
+// full replay of the new life rather than waiting forever for sequence
+// numbers that will never exist again.
+func (j *Job) ResumeSeq(seq int) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.restored && seq > len(j.events) {
+		return 0
+	}
+	return seq
+}
+
+// noteRestored publishes the synthetic state event a journal-replayed job
+// starts its new life with, so resumed event streams are anchored and a
+// restored terminal job still ends its stream with a state line.
+func (j *Job) noteRestored() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(Event{Type: "state", State: j.status.State})
 }
 
 // newJobID returns a collision-resistant job identifier; randomness (not a

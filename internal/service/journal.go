@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // JournalName is the job journal file inside the service data directory.
@@ -27,7 +29,10 @@ type journalEntry struct {
 	Job  string       `json:"job"`
 	Time time.Time    `json:"time"`
 	Req  *GridRequest `json:"req,omitempty"`
-	Err  string       `json:"err,omitempty"`
+	// ReqID is the submitting request's X-Request-ID, carried on submit
+	// entries so a restored job keeps its trace identity.
+	ReqID string `json:"req_id,omitempty"`
+	Err   string `json:"err,omitempty"`
 	// Cause preserves why a terminal failure happened ("deadline",
 	// "client-cancel"), so a restarted server restores honest statuses.
 	Cause string `json:"cause,omitempty"`
@@ -47,6 +52,19 @@ type Journal struct {
 	f   *os.File
 	w   io.Writer
 	err error // first unrecovered failure; the journal is sick after it
+
+	// appendT/fsyncT, when set, time every append and its fsync component.
+	// Journal latency is the floor under submit latency, so it gets its
+	// own series rather than hiding inside HTTP timings.
+	appendT, fsyncT *obs.Timing
+}
+
+// SetMetrics attaches append and fsync latency timings. Call before
+// serving traffic; nil disables either.
+func (j *Journal) SetMetrics(appendT, fsyncT *obs.Timing) {
+	j.mu.Lock()
+	j.appendT, j.fsyncT = appendT, fsyncT
+	j.mu.Unlock()
 }
 
 // OpenJournal opens (creating if needed) the journal at path. wrap, when
@@ -91,6 +109,10 @@ func (j *Journal) append(e journalEntry) error {
 	if j.f == nil {
 		return fmt.Errorf("service: journal %s is closed", j.path)
 	}
+	if j.appendT != nil {
+		start := time.Now()
+		defer func() { j.appendT.Observe(time.Since(start)) }()
+	}
 	const attempts = 3
 	var lastErr error
 	for i := 0; i < attempts; i++ {
@@ -102,7 +124,12 @@ func (j *Journal) append(e journalEntry) error {
 		}
 		n, werr := j.w.Write(line)
 		if werr == nil && n == len(line) {
-			if serr := j.f.Sync(); serr != nil {
+			syncStart := time.Now()
+			serr := j.f.Sync()
+			if j.fsyncT != nil {
+				j.fsyncT.Observe(time.Since(syncStart))
+			}
+			if serr != nil {
 				lastErr = serr
 				continue
 			}
@@ -121,9 +148,10 @@ func (j *Journal) append(e journalEntry) error {
 }
 
 // Submit journals a job acceptance (write-ahead: callers enqueue only
-// after this returns nil).
-func (j *Journal) Submit(id string, req GridRequest) error {
-	return j.append(journalEntry{T: "submit", Job: id, Req: &req})
+// after this returns nil). reqID is the submitting request's
+// X-Request-ID, "" for non-HTTP submissions.
+func (j *Journal) Submit(id, reqID string, req GridRequest) error {
+	return j.append(journalEntry{T: "submit", Job: id, ReqID: reqID, Req: &req})
 }
 
 // Start journals a worker picking the job up.
@@ -168,6 +196,7 @@ func (j *Journal) Close() error {
 // JournalJob is one job's folded journal history.
 type JournalJob struct {
 	ID    string
+	ReqID string // X-Request-ID from the submit entry
 	Req   GridRequest
 	State JobState // StateQueued/StateRunning for in-flight, terminal otherwise
 	Err   string
@@ -213,7 +242,7 @@ func ReplayJournal(path string) (jobs []JournalJob, skipped int, err error) {
 				skipped++
 				continue
 			}
-			jj = &JournalJob{ID: e.Job, Req: *e.Req, State: StateQueued, Submitted: e.Time}
+			jj = &JournalJob{ID: e.Job, ReqID: e.ReqID, Req: *e.Req, State: StateQueued, Submitted: e.Time}
 			byID[e.Job] = jj
 			order = append(order, e.Job)
 			continue

@@ -25,11 +25,11 @@ func TestJournalRoundTrip(t *testing.T) {
 	j, path := openTestJournal(t, nil)
 	req := GridRequest{Workloads: []string{"mu3"}, SizesKB: []int{2, 4}}
 	steps := []error{
-		j.Submit("j1", req), j.Start("j1"), j.Done("j1"),
-		j.Submit("j2", req), j.Start("j2"), j.Fail("j2", "boom", "deadline"),
-		j.Submit("j3", req), j.Cancel("j3"),
-		j.Submit("j4", req),                // still queued
-		j.Submit("j5", req), j.Start("j5"), // in flight
+		j.Submit("j1", "r1", req), j.Start("j1"), j.Done("j1"),
+		j.Submit("j2", "", req), j.Start("j2"), j.Fail("j2", "boom", "deadline"),
+		j.Submit("j3", "", req), j.Cancel("j3"),
+		j.Submit("j4", "", req),                // still queued
+		j.Submit("j5", "", req), j.Start("j5"), // in flight
 	}
 	for i, err := range steps {
 		if err != nil {
@@ -71,6 +71,9 @@ func TestJournalRoundTrip(t *testing.T) {
 	if jobs[0].Submitted.IsZero() {
 		t.Error("submit timestamp lost")
 	}
+	if jobs[0].ReqID != "r1" || jobs[1].ReqID != "" {
+		t.Errorf("request IDs lost: %q, %q", jobs[0].ReqID, jobs[1].ReqID)
+	}
 }
 
 // TestJournalSurvivesFlakyWrites: every few hundred bytes the underlying
@@ -89,7 +92,7 @@ func TestJournalSurvivesFlakyWrites(t *testing.T) {
 			for i := 0; i < n; i++ {
 				id := string(rune('a'+i%26)) + "-job"
 				id = id + strings.Repeat("x", i%3) // vary line lengths
-				if err := j.Submit(id+itoa(i), req); err != nil {
+				if err := j.Submit(id+itoa(i), "", req); err != nil {
 					t.Fatalf("submit %d not recovered: %v", i, err)
 				}
 				if err := j.Done(id + itoa(i)); err != nil {
@@ -130,7 +133,7 @@ func TestJournalSickAfterPersistentFailure(t *testing.T) {
 	j, _ := openTestJournal(t, func(w io.Writer) io.Writer {
 		return faultinject.NewFaultyWriter(w, 0, 1, faultinject.WriteEIO)
 	})
-	err := j.Submit("j1", GridRequest{Workloads: []string{"mu3"}})
+	err := j.Submit("j1", "", GridRequest{Workloads: []string{"mu3"}})
 	if err == nil {
 		t.Fatal("append with dead disk returned nil")
 	}

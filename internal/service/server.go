@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // NewServer builds the HTTP API over a Service:
@@ -16,12 +20,18 @@ import (
 //	GET    /v1/jobs/{id}        poll one job            → 200 + status
 //	GET    /v1/jobs/{id}/events progress stream         → 200, NDJSON
 //	GET    /v1/jobs/{id}/result fetch results           → 200/202/409
+//	GET    /v1/jobs/{id}/trace  job trace               → 200 Chrome JSON
+//	                            (?format=ndjson for raw spans)
 //	DELETE /v1/jobs/{id}        cancel                  → 202 + status
+//	GET    /metrics             Prometheus text format  → 200
+//	GET    /debug/dashboard     live HTML dashboard     → 200
 //	GET    /healthz             liveness                → 200
 //	GET    /readyz              readiness               → 200/503
 //
 // Load-shed submissions return 429 with Retry-After; a draining server
-// returns 503 for submissions and readiness.
+// returns 503 for submissions and readiness. Every response carries an
+// X-Request-ID (echoing a well-formed client one) and every request is
+// access-logged with it.
 func NewServer(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -30,7 +40,7 @@ func NewServer(s *Service) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}
-		job, err := s.Submit(req)
+		job, err := s.SubmitCtx(r.Context(), req)
 		if err != nil {
 			var shed *ShedError
 			switch {
@@ -49,6 +59,7 @@ func NewServer(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, job.Status())
+		job.EndRequestSpan(http.StatusAccepted)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := s.Jobs()
@@ -100,6 +111,36 @@ func NewServer(s *Service) http.Handler {
 			writeJSON(w, http.StatusConflict, st)
 		}
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		ndjson := r.URL.Query().Get("format") == "ndjson"
+		if tr := job.Tracer(); tr != nil && tr.Len() > 0 {
+			if ndjson {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				tr.WriteNDJSON(w) //nolint:errcheck // client disconnect
+			} else {
+				w.Header().Set("Content-Type", "application/json")
+				tr.WriteChromeTrace(w) //nolint:errcheck // client disconnect
+			}
+			return
+		}
+		// Jobs restored from the journal lost their in-memory tracer; a
+		// previous life may have exported the trace to disk.
+		name := job.ID() + ".trace.json"
+		if ndjson {
+			name = job.ID() + ".spans.ndjson"
+		}
+		path := filepath.Join(s.TraceDir(), name)
+		if _, err := os.Stat(path); err != nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no trace recorded for %s", job.ID()))
+			return
+		}
+		http.ServeFile(w, r, path)
+	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := s.Job(r.PathValue("id"))
 		if !ok {
@@ -130,13 +171,16 @@ func NewServer(s *Service) http.Handler {
 		}
 		writeJSON(w, code, body)
 	})
-	return mux
+	mux.Handle("GET /metrics", s.MetricsHandler())
+	mux.Handle("GET /debug/dashboard", telemetry.Dashboard("/metrics", "/v1/jobs"))
+	return withObservability(mux, s.Registry(), s.log)
 }
 
 // streamEvents writes the job's event log as NDJSON from ?from=<seq>
 // (default 0), then follows live events until the job is terminal or the
 // client goes away. Each line is flushed as it is written so curl shows
-// progress in real time.
+// progress in real time. Cursors from before a server restart are clamped
+// by Job.ResumeSeq: the new life's log replays from 0.
 func streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
 	seq := 0
 	if v := r.URL.Query().Get("from"); v != "" {
@@ -145,7 +189,7 @@ func streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q", v))
 			return
 		}
-		seq = n
+		seq = job.ResumeSeq(n)
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)

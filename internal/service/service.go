@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"math/rand/v2"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // Cancellation causes threaded through context.Cause into the runner's
@@ -76,6 +78,12 @@ type Config struct {
 	Logger *slog.Logger
 	// Registry receives service and sweep metrics; nil creates one.
 	Registry *obs.Registry
+	// NoTelemetry disables span recording and trace-file export. Metrics
+	// stay on either way — they are counters the service maintains anyway.
+	// Simulation results are bit-identical with or without telemetry (the
+	// span layer only observes); this switch exists to prove that and to
+	// shave the last fraction of span overhead on saturated servers.
+	NoTelemetry bool
 }
 
 func (c *Config) fill() {
@@ -118,16 +126,21 @@ func (c *Config) fill() {
 }
 
 // Service metric names, alongside the runner's cell metrics in the same
-// registry.
+// registry. The canonical declarations (with kinds and help text) live in
+// internal/telemetry's Defs table; these aliases keep service call sites
+// and existing tests on the short names.
 const (
-	MJobsSubmitted = "jobs_submitted"
-	MJobsDone      = "jobs_done"
-	MJobsFailed    = "jobs_failed"
-	MJobsCanceled  = "jobs_canceled"
-	MJobsShed      = "jobs_shed"
-	MJobsRunning   = "jobs_running"
-	MQueueDepth    = "queue_depth"
+	MJobsSubmitted = telemetry.MJobsSubmitted
+	MJobsDone      = telemetry.MJobsDone
+	MJobsFailed    = telemetry.MJobsFailed
+	MJobsCanceled  = telemetry.MJobsCanceled
+	MJobsShed      = telemetry.MJobsShed
+	MJobsRunning   = telemetry.MJobsRunning
+	MQueueDepth    = telemetry.MQueueDepth
 )
+
+// TraceDirName is the per-job trace export directory inside DataDir.
+const TraceDirName = "traces"
 
 // Service is the sweep job manager: admission, queue, job workers, the
 // shared memoized cell cache, the write-ahead journal and the ledger.
@@ -194,12 +207,20 @@ func Open(cfg Config) (*Service, error) {
 		jobs:    make(map[string]*Job),
 		drained: make(chan struct{}),
 	}
+	// Pre-register the full metric catalog so a fresh server's /metrics
+	// exposes every series at zero instead of growing them as code paths
+	// first fire, and attach journal latency timings.
+	telemetry.Register(s.reg)
+	journal.SetMetrics(
+		s.reg.Timing(telemetry.MJournalAppendLatency),
+		s.reg.Timing(telemetry.MJournalFsyncLatency),
+	)
 	// The queue must hold every requeued job plus MaxQueue fresh ones;
 	// Submit checks depth under s.mu so sends never block.
 	var pending []*Job
 	for _, jj := range replayed {
 		jobCtx, cancel := context.WithCancelCause(s.ctx)
-		job := newJob(jj.ID, jj.Req, jobCtx, cancel)
+		job := newJob(jj.ID, jj.ReqID, jj.Req, jobCtx, cancel)
 		job.mu.Lock()
 		job.restored = true
 		job.status.Submitted = jj.Submitted
@@ -219,6 +240,10 @@ func Open(cfg Config) (*Service, error) {
 			pending = append(pending, job)
 		}
 		job.mu.Unlock()
+		// Anchor the new life's event log: sequence numbers restart at 0
+		// after a replay, and streams resumed with a stale ?from= cursor
+		// replay from here (see Job.ResumeSeq).
+		job.noteRestored()
 		s.jobs[jj.ID] = job
 		s.order = append(s.order, jj.ID)
 	}
@@ -256,41 +281,56 @@ func (s *Service) Start() {
 	}()
 }
 
-// Submit validates, admits, journals and enqueues a request. The job is
-// durable once Submit returns: a crash after this point requeues it on
-// restart. Shed submissions return *ShedError; a draining server returns
-// ErrDraining; a sick journal surfaces its write error.
+// Submit validates, admits, journals and enqueues a request, without any
+// HTTP request context. See SubmitCtx.
 func (s *Service) Submit(req GridRequest) (*Job, error) {
+	return s.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx validates, admits, journals and enqueues a request. The job is
+// durable once SubmitCtx returns: a crash after this point requeues it on
+// restart. Shed submissions return *ShedError; a draining server returns
+// ErrDraining; a sick journal surfaces its write error. A request ID on
+// ctx (see WithRequestID) becomes the job's RequestID and its trace ID.
+func (s *Service) SubmitCtx(ctx context.Context, req GridRequest) (*Job, error) {
 	if err := req.Validate(s.cfg.MaxCellsPerJob); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || s.ctx.Err() != nil {
+		s.reg.Counter(telemetry.MShedDraining).Add(1)
 		return nil, ErrDraining
 	}
 	// Depth first (cheap, sheds the burst), then the rate bucket.
 	if len(s.queue) >= s.cfg.MaxQueue {
 		s.reg.Counter(MJobsShed).Add(1)
+		s.reg.Counter(telemetry.MShedQueue).Add(1)
 		return nil, &ShedError{Reason: "queue", RetryAfter: s.estimateDrain()}
 	}
 	if ok, retryAfter := s.bucket.Take(); !ok {
 		s.reg.Counter(MJobsShed).Add(1)
+		s.reg.Counter(telemetry.MShedRate).Add(1)
 		return nil, &ShedError{Reason: "rate", RetryAfter: retryAfter}
 	}
 	id := newJobID()
-	if err := s.journal.Submit(id, req); err != nil {
+	reqID := RequestIDFrom(ctx)
+	if err := s.journal.Submit(id, reqID, req); err != nil {
 		// Not durable — reject rather than risk losing an accepted job.
 		return nil, err
 	}
 	jobCtx, cancel := context.WithCancelCause(s.ctx)
-	job := newJob(id, req, jobCtx, cancel)
+	job := newJob(id, reqID, req, jobCtx, cancel)
+	if !s.cfg.NoTelemetry {
+		job.startTrace()
+	}
 	s.jobs[id] = job
 	s.order = append(s.order, id)
 	s.queue <- job // cannot block: depth checked under s.mu
 	s.reg.Counter(MJobsSubmitted).Add(1)
 	s.reg.Gauge(MQueueDepth).Add(1)
-	s.log.Info("job accepted", "job", id, "cells", req.cellCount(), "config", job.status.ConfigHash)
+	s.log.Info("job accepted", "job", id, "cells", req.cellCount(),
+		"config", job.status.ConfigHash, "request_id", reqID)
 	return job, nil
 }
 
@@ -391,13 +431,40 @@ func (s *Service) runJob(job *Job) {
 
 	regStart, regDone := obs.RunnerHooks(s.reg, s.log.With("job", job.id))
 	s.reg.Counter(obs.MCellsPlanned).Add(int64(len(cells)))
+
+	// Cell spans live on lane 2+index, attempt spans nest under them on
+	// the same lane (time containment renders the hierarchy; parallel
+	// cells get their own rows). One slot per index: the runner guarantees
+	// each index is touched by exactly one goroutine, so no lock.
+	tr := job.Tracer()
+	cellSpans := make([]telemetry.SpanRef, len(cells))
+	job.jobSpan.SetAttr("cells", fmt.Sprintf("%d", len(cells)))
 	results := runner.Run(ctx, cells, runner.Options{
 		Workers:     s.cfg.CellWorkers,
 		CellTimeout: s.cfg.CellTimeout,
 		Retries:     s.cfg.Retries,
 		Backoff:     ExpBackoff(s.cfg.BackoffBase, s.cfg.BackoffMax),
 		Checkpoint:  s.cells,
-		OnCellStart: regStart,
+		OnCellStart: func(key string, index int) {
+			if regStart != nil {
+				regStart(key, index)
+			}
+			cellSpans[index] = tr.Start("cell", job.jobSpan.ID(), key, 2+index)
+			cellSpans[index].SetAttr("key", key)
+		},
+		OnAttempt: func(ev runner.AttemptEvent) {
+			s.reg.Counter(telemetry.MCellAttempts).Add(1)
+			a := tr.StartAt("attempt", cellSpans[ev.Index].ID(),
+				fmt.Sprintf("%s/a%d", ev.Key, ev.Attempt), 2+ev.Index, ev.Start)
+			a.SetAttr("attempt", fmt.Sprintf("%d", ev.Attempt))
+			if ev.Err != nil {
+				a.SetAttr("err", ev.Err.Error())
+				if ev.Panicked {
+					a.SetAttr("panicked", "true")
+				}
+			}
+			a.EndAt(ev.End)
+		},
 		OnCellDone: func(ev runner.CellEvent) {
 			if regDone != nil {
 				regDone(ev)
@@ -406,6 +473,18 @@ func (s *Service) runJob(job *Job) {
 			if ev.Err != nil {
 				errMsg = ev.Err.Error()
 			}
+			sp := cellSpans[ev.Index]
+			if ev.FromCheckpoint {
+				// Memoized cells never start a worker span; record a
+				// zero-length marker so the trace shows them explicitly.
+				sp = tr.Start("cell", job.jobSpan.ID(), ev.Key, 2+ev.Index)
+				sp.SetAttr("memoized", "true")
+			}
+			sp.SetAttr("attempts", fmt.Sprintf("%d", ev.Attempts))
+			if errMsg != "" {
+				sp.SetAttr("err", errMsg)
+			}
+			sp.End()
 			job.noteCell(ev.Key, ev.FromCheckpoint, ev.Err != nil, ev.Attempts > 1, errMsg)
 		},
 	})
@@ -459,9 +538,12 @@ func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause
 		}
 		s.reg.Counter(MJobsDone).Add(1)
 		s.appendLedger(job, results)
+		s.endTrace(job, StateDone, "", "")
 		s.log.Info("job done", "job", job.id, "cells", len(results))
 		return
 	case errors.Is(cause, ErrKilled) || errors.Is(cause, ErrDrainAborted):
+		// Non-terminal: the job resumes in the next server life, so its
+		// trace stays open (and dies with the process, like a real crash).
 		job.setState(StateInterrupted, "", causeName(cause))
 		s.log.Warn("job interrupted", "job", job.id, "cause", causeName(cause))
 		return
@@ -471,6 +553,7 @@ func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause
 			s.log.Warn("journal cancel entry failed", "job", job.id, "err", err)
 		}
 		s.reg.Counter(MJobsCanceled).Add(1)
+		s.endTrace(job, StateCanceled, "", causeName(cause))
 		return
 	default:
 		msg := "job failed"
@@ -482,8 +565,60 @@ func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause
 			s.log.Warn("journal fail entry failed", "job", job.id, "err", err)
 		}
 		s.reg.Counter(MJobsFailed).Add(1)
+		s.endTrace(job, StateFailed, msg, causeName(cause))
 		s.log.Warn("job failed", "job", job.id, "err", msg, "cause", causeName(cause))
 	}
+}
+
+// endTrace closes the job span with the terminal outcome and exports the
+// trace to DataDir/traces as NDJSON and Chrome trace-event JSON, so the
+// timeline outlives the process and simreport can link it.
+func (s *Service) endTrace(job *Job, state JobState, errMsg, cause string) {
+	tr := job.Tracer()
+	if tr == nil {
+		return
+	}
+	job.jobSpan.SetAttr("state", string(state))
+	if errMsg != "" {
+		job.jobSpan.SetAttr("err", errMsg)
+	}
+	if cause != "" {
+		job.jobSpan.SetAttr("cause", cause)
+	}
+	job.jobSpan.End()
+	s.reg.Counter(telemetry.MTraceSpans).Add(int64(tr.Len()))
+	dir := filepath.Join(s.cfg.DataDir, TraceDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.log.Warn("trace dir", "job", job.id, "err", err)
+		return
+	}
+	write := func(name string, emit func(io.Writer) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err == nil {
+			err = emit(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			s.log.Warn("trace export failed", "job", job.id, "file", name, "err", err)
+		}
+	}
+	write(job.id+".spans.ndjson", tr.WriteNDJSON)
+	write(job.id+".trace.json", tr.WriteChromeTrace)
+}
+
+// TraceDir is where finished jobs' trace exports land.
+func (s *Service) TraceDir() string { return filepath.Join(s.cfg.DataDir, TraceDirName) }
+
+// MetricsHandler serves the registry in Prometheus text format, syncing
+// the scrape-time gauges (admission tokens, uptime) first. Mounted at
+// /metrics by NewServer and reusable on a debug listener.
+func (s *Service) MetricsHandler() http.Handler {
+	return telemetry.MetricsHandler(s.reg, func() {
+		s.reg.Gauge(telemetry.MTokensAvailable).Set(int64(s.bucket.Available()))
+		s.reg.Gauge(telemetry.MUptimeSeconds).Set(int64(s.Uptime().Seconds()))
+	})
 }
 
 // appendLedger records a completed job in the cross-run ledger, so

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"encoding/json"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format, the same
+// shape internal/simtrace exports so both kinds of trace open identically
+// in Perfetto and chrome://tracing. Here ts/dur are real microseconds.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	Ts    int64             `json:"ts"`
+	Dur   int64             `json:"dur"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// laneName labels a timeline row for the viewer's left gutter.
+func laneName(lane int) string {
+	switch lane {
+	case 0:
+		return "request"
+	case 1:
+		return "job"
+	default:
+		return fmt.Sprintf("cell %d", lane-2)
+	}
+}
+
+// WriteChromeTrace writes the trace as Chrome trace-event JSON: one
+// complete ("X") event per span on its lane's row, preceded by metadata
+// naming the process (the trace ID) and each populated lane. Timestamps
+// are microseconds since the earliest span start, so a job's timeline
+// always begins at 0 and backoff gaps between attempt spans read directly
+// as idle time.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	var epoch time.Time
+	lanes := map[int]bool{}
+	for _, sp := range spans {
+		if epoch.IsZero() || sp.Start.Before(epoch) {
+			epoch = sp.Start
+		}
+		lanes[sp.Lane] = true
+	}
+	laneIDs := make([]int, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Ints(laneIDs)
+
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(spans)+1+len(laneIDs)),
+		DisplayTimeUnit: "ms",
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", Pid: 1,
+		Args: map[string]string{"name": "trace " + t.TraceID()},
+	})
+	for _, l := range laneIDs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: 1, Tid: l,
+			Args: map[string]string{"name": laneName(l)},
+		})
+	}
+	for _, sp := range spans {
+		end := sp.End
+		if end.IsZero() {
+			end = sp.Start
+		}
+		args := map[string]string{"span_id": sp.SpanID}
+		if sp.Parent != "" {
+			args["parent_id"] = sp.Parent
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  sp.Name,
+			Cat:   "service",
+			Phase: "X",
+			Ts:    sp.Start.Sub(epoch).Microseconds(),
+			Dur:   end.Sub(sp.Start).Microseconds(),
+			Pid:   1,
+			Tid:   sp.Lane,
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// scriptedTrace builds the canonical service job trace on a fake clock:
+// http.request → job → two cells, cell 0 needing two attempts with a
+// backoff gap between them, cell 1 served memoized (zero-length span). This
+// is the shape the service records, pinned here byte-for-byte.
+func scriptedTrace() *Tracer {
+	clk := newFakeClock()
+	tr := NewTracer("r-abc123", "job-0001")
+	tr.SetClock(clk.Now)
+
+	req := tr.Start("http.request", "", "http", 0)
+	req.SetAttr("request_id", "r-abc123")
+	job := tr.Start("job", req.ID(), "job", 1)
+	job.SetAttr("job", "job-0001")
+
+	cell := tr.Start("cell", job.ID(), "mu3/2KB", 2)
+	a1Start := clk.Now()
+	a1 := tr.StartAt("attempt", cell.ID(), "mu3/2KB/a1", 2, a1Start)
+	a1.SetAttr("attempt", "1")
+	a1.SetAttr("err", "injected transient fault")
+	a1.EndAt(a1Start.Add(30 * time.Millisecond))
+	// Backoff gap: attempt 2 starts well after attempt 1 ended.
+	a2Start := a1Start.Add(80 * time.Millisecond)
+	a2 := tr.StartAt("attempt", cell.ID(), "mu3/2KB/a2", 2, a2Start)
+	a2.SetAttr("attempt", "2")
+	a2.EndAt(a2Start.Add(25 * time.Millisecond))
+	cell.SetAttr("attempts", "2")
+	cell.EndAt(a2Start.Add(25 * time.Millisecond))
+
+	memoStart := a2Start.Add(30 * time.Millisecond)
+	memo := tr.StartAt("cell", job.ID(), "mu3/4KB", 3, memoStart)
+	memo.SetAttr("memoized", "true")
+	memo.EndAt(memoStart) // zero-length: the cell cost nothing, only existed
+
+	job.EndAt(a2Start.Add(40 * time.Millisecond))
+	req.EndAt(a2Start.Add(50 * time.Millisecond))
+	return tr
+}
+
+// TestChromeTraceGolden pins the Chrome trace-event export byte-for-byte
+// and verifies the structural contract: valid trace-event JSON, metadata
+// naming every populated lane, and the http.request → job → cell → attempt
+// hierarchy visible as time containment on the lanes — with the retry
+// backoff gap between cell 0's attempts.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := scriptedTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "job_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run Golden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	var tr struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			Ts    int64             `json:"ts"`
+			Dur   int64             `json:"dur"`
+			Tid   int               `json:"tid"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("export is not valid trace-event JSON: %v", err)
+	}
+
+	type ev = struct {
+		Name  string            `json:"name"`
+		Phase string            `json:"ph"`
+		Ts    int64             `json:"ts"`
+		Dur   int64             `json:"dur"`
+		Tid   int               `json:"tid"`
+		Args  map[string]string `json:"args"`
+	}
+	byID := map[string]ev{}
+	lanes := map[int]string{}
+	var attempts []ev
+	for _, e := range tr.TraceEvents {
+		switch e.Phase {
+		case "M":
+			if e.Name == "thread_name" {
+				lanes[e.Tid] = e.Args["name"]
+			}
+		case "X":
+			byID[e.Args["span_id"]] = e
+			if e.Name == "attempt" {
+				attempts = append(attempts, e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if lanes[0] != "request" || lanes[1] != "job" || lanes[2] != "cell 0" || lanes[3] != "cell 1" {
+		t.Errorf("lane metadata wrong: %v", lanes)
+	}
+
+	// Hierarchy: every child's [ts, ts+dur] nests inside its parent's, and
+	// the chain attempt → cell → job → http.request resolves.
+	depth := func(e ev) int {
+		d := 0
+		for e.Args["parent_id"] != "" {
+			p, ok := byID[e.Args["parent_id"]]
+			if !ok {
+				t.Fatalf("span %s has dangling parent %s", e.Args["span_id"], e.Args["parent_id"])
+			}
+			if e.Ts < p.Ts || e.Ts+e.Dur > p.Ts+p.Dur {
+				t.Errorf("span %s [%d,%d] escapes parent %s [%d,%d]",
+					e.Name, e.Ts, e.Ts+e.Dur, p.Name, p.Ts, p.Ts+p.Dur)
+			}
+			e, d = p, d+1
+		}
+		if e.Name != "http.request" {
+			t.Errorf("chain does not end at http.request: %s", e.Name)
+		}
+		return d
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("found %d attempt spans, want 2", len(attempts))
+	}
+	for _, a := range attempts {
+		if got := depth(a); got != 3 {
+			t.Errorf("attempt depth = %d, want 3 (attempt→cell→job→request)", got)
+		}
+	}
+
+	// The retry gap: attempt 2 starts strictly after attempt 1 ends.
+	a1, a2 := attempts[0], attempts[1]
+	if a1.Args["attempt"] == "2" {
+		a1, a2 = a2, a1
+	}
+	if gap := a2.Ts - (a1.Ts + a1.Dur); gap <= 0 {
+		t.Errorf("no visible backoff gap between attempts (gap %dµs)", gap)
+	}
+	if a1.Args["err"] == "" {
+		t.Error("failed attempt lost its err attr")
+	}
+
+	// Timeline starts at zero: the earliest event is the request at ts 0.
+	if req := byID[attempts[0].Args["parent_id"]]; req.Ts < 0 {
+		t.Error("negative timestamp")
+	}
+	min := int64(1 << 62)
+	for _, e := range byID {
+		if e.Ts < min {
+			min = e.Ts
+		}
+	}
+	if min != 0 {
+		t.Errorf("earliest span ts = %d, want 0", min)
+	}
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Dashboard returns the self-contained live dashboard page: one HTML
+// document, no external assets, that polls metricsPath (Prometheus text)
+// and jobsPath (the /v1/jobs status list) every two seconds and renders
+// throughput and shed-rate sparklines, admission gauges, and per-job
+// progress bars. SVG polylines only — the page must work from `curl -o`
+// on an air-gapped box, the same constraint internal/textplot solves in
+// the terminal.
+func Dashboard(metricsPath, jobsPath string) http.Handler {
+	page := strings.NewReplacer(
+		"__METRICS__", metricsPath,
+		"__JOBS__", jobsPath,
+	).Replace(dashboardHTML)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(page)) //nolint:errcheck // client disconnect
+	})
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>cachesimd dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; padding: 1.2rem 1.6rem; background: #14161a; color: #d6dae0;
+         font: 14px/1.45 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; }
+  h1 { font-size: 1.05rem; margin: 0 0 .2rem; font-weight: 600; }
+  #meta { color: #7d8590; font-size: .8rem; margin-bottom: 1rem; }
+  #meta .err { color: #f38b8b; }
+  .tiles { display: flex; flex-wrap: wrap; gap: .7rem; margin-bottom: 1.1rem; }
+  .tile { background: #1b1f26; border: 1px solid #2a2f38; border-radius: 6px;
+          padding: .55rem .9rem; min-width: 7.5rem; }
+  .tile .v { font-size: 1.35rem; font-weight: 600; color: #e8ecf1; }
+  .tile .l { font-size: .72rem; color: #7d8590; text-transform: uppercase; letter-spacing: .05em; }
+  .charts { display: flex; flex-wrap: wrap; gap: .9rem; margin-bottom: 1.2rem; }
+  .chart { background: #1b1f26; border: 1px solid #2a2f38; border-radius: 6px; padding: .6rem .9rem; }
+  .chart .l { font-size: .72rem; color: #7d8590; text-transform: uppercase; letter-spacing: .05em; }
+  .chart .cur { float: right; color: #e8ecf1; font-size: .8rem; }
+  svg { display: block; margin-top: .3rem; }
+  polyline { fill: none; stroke-width: 1.5; }
+  table { border-collapse: collapse; width: 100%; font-size: .82rem; }
+  th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #242a33; }
+  th { color: #7d8590; font-weight: 500; text-transform: uppercase; font-size: .7rem; letter-spacing: .05em; }
+  td a { color: #79b8ff; text-decoration: none; }
+  .bar { background: #242a33; border-radius: 3px; height: 9px; width: 11rem; overflow: hidden; }
+  .bar i { display: block; height: 100%; background: #58a6ff; }
+  .state-done i { background: #3fb950; }
+  .state-failed i { background: #f85149; }
+  .st { padding: .05rem .45rem; border-radius: 9px; font-size: .72rem; }
+  .st-queued { background: #2d333b; } .st-running { background: #1f4b7a; }
+  .st-done { background: #1d4428; } .st-failed { background: #67211f; }
+  .st-canceled, .st-interrupted { background: #4d3800; }
+</style>
+</head>
+<body>
+<h1>cachesimd</h1>
+<div id="meta">connecting&hellip;</div>
+<div class="tiles" id="tiles"></div>
+<div class="charts" id="charts"></div>
+<table>
+  <thead><tr><th>job</th><th>state</th><th>progress</th><th>cells</th><th>retried</th><th>failed</th><th></th></tr></thead>
+  <tbody id="jobs"></tbody>
+</table>
+<script>
+"use strict";
+const POLL_MS = 2000, KEEP = 120;
+const hist = { cellRate: [], shedRate: [], queue: [], inflight: [] };
+let prev = null, prevT = 0;
+
+function parseProm(text) {
+  const m = {};
+  for (const line of text.split("\n")) {
+    if (!line || line[0] === "#") continue;
+    const sp = line.lastIndexOf(" ");
+    if (sp < 0) continue;
+    m[line.slice(0, sp)] = parseFloat(line.slice(sp + 1));
+  }
+  return m;
+}
+function g(m, name) { return m["cachesim_" + name] || 0; }
+function push(arr, v) { arr.push(v); if (arr.length > KEEP) arr.shift(); }
+
+function spark(arr, color) {
+  const W = 220, H = 44, max = Math.max(1e-9, ...arr);
+  const pts = arr.map((v, i) =>
+    (i * W / Math.max(1, arr.length - 1)).toFixed(1) + "," +
+    (H - 2 - v / max * (H - 6)).toFixed(1)).join(" ");
+  return '<svg width="' + W + '" height="' + H + '" viewBox="0 0 ' + W + " " + H + '">' +
+         '<polyline stroke="' + color + '" points="' + pts + '"/></svg>';
+}
+function tile(label, value) {
+  return '<div class="tile"><div class="v">' + value + '</div><div class="l">' + label + "</div></div>";
+}
+function chart(label, arr, color, unit) {
+  const cur = arr.length ? arr[arr.length - 1] : 0;
+  return '<div class="chart"><span class="l">' + label + '</span>' +
+         '<span class="cur">' + cur.toFixed(unit === "/s" ? 1 : 0) + unit + "</span>" +
+         spark(arr, color) + "</div>";
+}
+function esc(s) { return String(s).replace(/[&<>"]/g, c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c])); }
+
+function renderJobs(jobs) {
+  const rows = jobs.slice(-25).reverse().map(j => {
+    const c = j.cells || {}, planned = c.planned || 0, fin = (c.done || 0) + (c.failed || 0);
+    const pct = planned ? Math.round(100 * fin / planned) : 0;
+    const barClass = j.state === "failed" ? "bar state-failed" : j.state === "done" ? "bar state-done" : "bar";
+    return "<tr><td>" + esc(j.id) + '</td><td><span class="st st-' + esc(j.state) + '">' + esc(j.state) + "</span></td>" +
+      '<td><div class="' + barClass + '"><i style="width:' + pct + '%"></i></div></td>' +
+      "<td>" + fin + "/" + planned + (c.replayed ? " (" + c.replayed + " memo)" : "") + "</td>" +
+      "<td>" + (c.retried || 0) + "</td><td>" + (c.failed || 0) + "</td>" +
+      '<td><a href="__JOBS__/' + esc(j.id) + '/events">events</a> ' +
+      '<a href="__JOBS__/' + esc(j.id) + '/trace">trace</a></td></tr>';
+  });
+  document.getElementById("jobs").innerHTML = rows.join("");
+}
+
+async function poll() {
+  try {
+    const [mr, jr] = await Promise.all([fetch("__METRICS__"), fetch("__JOBS__")]);
+    const m = parseProm(await mr.text());
+    const jobs = await jr.json();
+    const now = Date.now() / 1000;
+    const cells = g(m, "cells_done") + g(m, "cells_replayed") + g(m, "cells_failed");
+    const shed = g(m, "jobs_shed");
+    if (prev) {
+      const dt = Math.max(0.1, now - prevT);
+      push(hist.cellRate, Math.max(0, (cells - prev.cells) / dt));
+      push(hist.shedRate, Math.max(0, (shed - prev.shed) / dt));
+    }
+    push(hist.queue, g(m, "queue_depth"));
+    push(hist.inflight, g(m, "cells_inflight"));
+    prev = { cells: cells, shed: shed }; prevT = now;
+
+    document.getElementById("tiles").innerHTML =
+      tile("jobs running", g(m, "jobs_running")) +
+      tile("queued", g(m, "queue_depth")) +
+      tile("tokens", g(m, "tokens_available")) +
+      tile("cells inflight", g(m, "cells_inflight")) +
+      tile("jobs done", g(m, "jobs_done")) +
+      tile("shed", shed) +
+      tile("cells done", g(m, "cells_done"));
+    document.getElementById("charts").innerHTML =
+      chart("cell throughput", hist.cellRate, "#58a6ff", "/s") +
+      chart("shed rate", hist.shedRate, "#f85149", "/s") +
+      chart("queue depth", hist.queue, "#d29922", "") +
+      chart("cells inflight", hist.inflight, "#3fb950", "");
+    renderJobs(jobs);
+    document.getElementById("meta").textContent =
+      "up " + Math.round(g(m, "uptime_seconds")) + "s · " +
+      g(m, "http_requests") + " requests · polling every " + POLL_MS / 1000 + "s";
+  } catch (err) {
+    document.getElementById("meta").innerHTML = '<span class="err">poll failed: ' + esc(err) + "</span>";
+  }
+  setTimeout(poll, POLL_MS);
+}
+poll();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLintDefs: the checked-in table passes, and each lint rule actually
+// fires on a violating table.
+func TestLintDefs(t *testing.T) {
+	if err := LintDefs(); err != nil {
+		t.Fatalf("shipped Defs table fails lint: %v", err)
+	}
+	orig := Defs
+	defer func() { Defs = orig }()
+	bad := map[string]MetricDef{
+		"not snake_case": {"QueueDepth", "gauge", "x"},
+		"unknown kind":   {"queue_depth2", "sparkline", "x"},
+		"empty help":     {"queue_depth3", "gauge", "  "},
+	}
+	for name, d := range bad {
+		Defs = append(append([]MetricDef{}, orig...), d)
+		if err := LintDefs(); err == nil {
+			t.Errorf("%s: lint passed for %+v", name, d)
+		}
+	}
+	Defs = append(append([]MetricDef{}, orig...), orig[0])
+	if err := LintDefs(); err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Errorf("duplicate name not caught: %v", err)
+	}
+}
+
+// TestRegisterCreatesCatalog: Register pre-creates every declared metric so
+// a fresh process exposes the whole catalog at zero.
+func TestRegisterCreatesCatalog(t *testing.T) {
+	reg := obs.NewRegistry()
+	Register(reg)
+	exported := reg.Export()
+	if len(exported) != len(Defs) {
+		t.Fatalf("registry has %d metrics after Register, want %d", len(exported), len(Defs))
+	}
+	for _, m := range exported {
+		d, ok := DefFor(m.Name)
+		if !ok {
+			t.Errorf("registered metric %q has no Def", m.Name)
+			continue
+		}
+		if d.Kind != m.Kind {
+			t.Errorf("metric %q registered as %s, declared %s", m.Name, m.Kind, d.Kind)
+		}
+	}
+}
+
+// TestMetricsMarkdown: the generated reference lists every metric and
+// carries the do-not-edit marker metricslint greps for.
+func TestMetricsMarkdown(t *testing.T) {
+	md := MetricsMarkdown()
+	if !strings.Contains(md, "Generated from internal/telemetry Defs") {
+		t.Error("generated-file marker missing")
+	}
+	for _, d := range Defs {
+		if !strings.Contains(md, "`"+d.Name+"`") {
+			t.Errorf("metric %q missing from METRICS.md", d.Name)
+		}
+		if !strings.Contains(md, d.Help) {
+			t.Errorf("help for %q missing from METRICS.md", d.Name)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed operation in a trace. Parent links spans into the
+// http.request → job → cell → attempt hierarchy; Lane is the timeline row
+// the Chrome export draws the span on (0 = request, 1 = job, 2+i = cell i
+// and its attempts).
+type Span struct {
+	TraceID string            `json:"trace_id"`
+	SpanID  string            `json:"span_id"`
+	Parent  string            `json:"parent_id,omitempty"`
+	Name    string            `json:"name"`
+	Lane    int               `json:"lane"`
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// DefaultSpanCap bounds how many spans one tracer retains. A grid job
+// records 2 + cells × (1 + attempts) spans, and MaxCellsPerJob defaults to
+// 4096, so the cap is sized to hold any admissible job with retries while
+// still bounding a pathological caller.
+const DefaultSpanCap = 32768
+
+// Tracer records the spans of one trace (one service job, typically). All
+// methods are safe for concurrent use and nil-safe: a nil *Tracer records
+// nothing, so call sites need no telemetry-enabled branches.
+type Tracer struct {
+	mu      sync.Mutex
+	traceID string
+	seed    string
+	clock   func() time.Time
+	spans   []Span
+	byID    map[string]int
+	cap     int
+	dropped int64
+}
+
+// NewTracer builds a tracer for one trace. traceID labels every span (the
+// request ID when the client supplied one, the job ID otherwise); seed is
+// the deterministic span-ID seed and must be stable across runs — the job
+// ID, never the time.
+func NewTracer(traceID, seed string) *Tracer {
+	return &Tracer{
+		traceID: traceID,
+		seed:    seed,
+		clock:   time.Now,
+		byID:    make(map[string]int),
+		cap:     DefaultSpanCap,
+	}
+}
+
+// SetClock injects a fake clock for tests. Not concurrency-safe; call
+// before any Start.
+func (t *Tracer) SetClock(fn func() time.Time) { t.clock = fn }
+
+// TraceID returns the trace ID, "" on a nil tracer.
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// spanID derives the deterministic span ID: a 12-hex-digit prefix of
+// sha256 over the seed, the parent ID, the span name and its key. Position
+// in the tree, not wall-clock, is the identity.
+func spanID(seed, parent, name, key string) string {
+	h := sha256.New()
+	for _, s := range []string{seed, parent, name, key} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// SpanRef is a handle to one recorded span. The zero SpanRef (and any ref
+// from a nil tracer or a full one) is a no-op, so callers never branch.
+type SpanRef struct {
+	t  *Tracer
+	id string
+}
+
+// Start opens a span now. key disambiguates siblings with the same name
+// under one parent (the cell key, "a2" for attempt 2); parent is the parent
+// span's ID, "" for a root.
+func (t *Tracer) Start(name, parent, key string, lane int) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	return t.StartAt(name, parent, key, lane, t.clock())
+}
+
+// StartAt opens a span with an explicit start time, for callers that learn
+// about the operation after it began (runner attempt events).
+func (t *Tracer) StartAt(name, parent, key string, lane int, at time.Time) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	id := spanID(t.seed, parent, name, key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.cap {
+		t.dropped++
+		return SpanRef{}
+	}
+	t.byID[id] = len(t.spans)
+	t.spans = append(t.spans, Span{
+		TraceID: t.traceID, SpanID: id, Parent: parent,
+		Name: name, Lane: lane, Start: at,
+	})
+	return SpanRef{t: t, id: id}
+}
+
+// ID returns the span's deterministic ID, "" for a no-op ref.
+func (s SpanRef) ID() string { return s.id }
+
+// SetAttr annotates the span. No-op on a zero ref.
+func (s SpanRef) SetAttr(k, v string) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	i, ok := s.t.byID[s.id]
+	if !ok {
+		return
+	}
+	if s.t.spans[i].Attrs == nil {
+		s.t.spans[i].Attrs = make(map[string]string)
+	}
+	s.t.spans[i].Attrs[k] = v
+}
+
+// End closes the span now.
+func (s SpanRef) End() {
+	if s.t == nil {
+		return
+	}
+	s.EndAt(s.t.clock())
+}
+
+// EndAt closes the span at an explicit time.
+func (s SpanRef) EndAt(at time.Time) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if i, ok := s.t.byID[s.id]; ok {
+		s.t.spans[i].End = at
+	}
+}
+
+// Len returns how many spans are recorded; 0 on a nil tracer.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans the cap discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns a copy of the recorded spans in creation order. Unfinished
+// spans have a zero End.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		if out[i].Attrs != nil {
+			attrs := make(map[string]string, len(out[i].Attrs))
+			for k, v := range out[i].Attrs {
+				attrs[k] = v
+			}
+			out[i].Attrs = attrs
+		}
+	}
+	return out
+}
+
+// WriteNDJSON writes one span per line in creation order — the grep-able
+// archival format next to the Chrome trace.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range t.Spans() {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out strictly increasing instants from a fixed epoch, so
+// span timestamps (and therefore golden files) are deterministic.
+type fakeClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1700000000, 0).UTC(), step: 10 * time.Millisecond}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// TestSpanIDDeterminism: span IDs are a pure function of seed and tree
+// position. Two runs of the same job produce identical IDs; a different job
+// does not.
+func TestSpanIDDeterminism(t *testing.T) {
+	build := func(seed string) []Span {
+		tr := NewTracer("trace-x", seed)
+		tr.SetClock(newFakeClock().Now)
+		root := tr.Start("http.request", "", "http", 0)
+		job := tr.Start("job", root.ID(), "job", 1)
+		cell := tr.Start("cell", job.ID(), "mu3/2KB", 2)
+		cell.End()
+		job.End()
+		root.End()
+		return tr.Spans()
+	}
+	a, b := build("job-1"), build("job-1")
+	if len(a) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(a))
+	}
+	for i := range a {
+		if a[i].SpanID != b[i].SpanID || a[i].Parent != b[i].Parent {
+			t.Errorf("span %d not deterministic: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	other := build("job-2")
+	if other[0].SpanID == a[0].SpanID {
+		t.Error("different seeds produced the same span ID")
+	}
+	// Siblings with the same name must differ via the key.
+	tr := NewTracer("t", "s")
+	c1 := tr.Start("cell", "p", "k1", 2)
+	c2 := tr.Start("cell", "p", "k2", 3)
+	if c1.ID() == c2.ID() {
+		t.Error("sibling spans with different keys share an ID")
+	}
+}
+
+// TestNilTracerSafe: a nil *Tracer and the zero SpanRef are total no-ops, so
+// telemetry-off call sites never branch.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	ref := tr.Start("x", "", "k", 0)
+	ref.SetAttr("a", "b")
+	ref.End()
+	ref.EndAt(time.Now())
+	if ref.ID() != "" {
+		t.Error("nil tracer handed out a span ID")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.TraceID() != "" || tr.Spans() != nil {
+		t.Error("nil tracer reports recorded state")
+	}
+	var zero SpanRef
+	zero.SetAttr("a", "b")
+	zero.End()
+}
+
+// TestSpanCap: a full tracer drops new spans (counted) instead of growing
+// without bound, and the dropped refs are no-ops.
+func TestSpanCap(t *testing.T) {
+	tr := NewTracer("t", "s")
+	tr.cap = 2
+	a := tr.Start("a", "", "1", 0)
+	tr.Start("b", "", "2", 0)
+	c := tr.Start("c", "", "3", 0)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (capped)", tr.Len())
+	}
+	if tr.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", tr.Dropped())
+	}
+	c.SetAttr("k", "v") // must not panic or resurrect the span
+	c.End()
+	if a.ID() == "" || c.ID() != "" {
+		t.Error("ref validity inverted: kept span has no ID or dropped span has one")
+	}
+}
+
+// TestWriteNDJSON: one valid JSON object per line, creation order, attrs
+// intact.
+func TestWriteNDJSON(t *testing.T) {
+	tr := NewTracer("trace-1", "job-1")
+	tr.SetClock(newFakeClock().Now)
+	root := tr.Start("job", "", "job", 1)
+	cell := tr.Start("cell", root.ID(), "mu3/4KB", 2)
+	cell.SetAttr("key", "mu3/4KB")
+	cell.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var spans []Span
+	for sc.Scan() {
+		var sp Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("line %d is not JSON: %v", len(spans)+1, err)
+		}
+		spans = append(spans, sp)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(spans))
+	}
+	if spans[0].Name != "job" || spans[1].Name != "cell" {
+		t.Errorf("creation order lost: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Parent != spans[0].SpanID {
+		t.Error("parent link lost in NDJSON")
+	}
+	if spans[1].Attrs["key"] != "mu3/4KB" {
+		t.Errorf("attrs lost: %v", spans[1].Attrs)
+	}
+	if spans[1].End.Before(spans[1].Start) {
+		t.Error("end precedes start")
+	}
+}

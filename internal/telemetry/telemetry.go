@@ -1,0 +1,19 @@
+// Package telemetry is the service observability layer: a dependency-free
+// span/trace recorder with deterministic IDs, hand-rolled Prometheus text
+// exposition over the obs.Registry, and a self-contained live dashboard
+// page. It exists so a running cachesimd is measurable, per the paper's own
+// premise: admission decisions, queue depth, journal latency and per-job
+// cell fan-out are design tradeoffs, and tradeoffs must be observed, not
+// guessed.
+//
+// Layering: telemetry depends on internal/obs (for the Registry) and on
+// nothing above it. internal/service wires spans and metrics through its
+// job lifecycle; obs itself stays telemetry-free and exposes extra debug
+// routes via obs.Route instead.
+//
+// Determinism rule: span IDs are seeded from the job ID (and the span's
+// position in the tree), never from the clock or math/rand. Two runs of the
+// same job ID produce the same span IDs, so traces diff cleanly and golden
+// tests don't need scrubbing. Timestamps are the only nondeterministic
+// field, and exports order by span creation, not time.
+package telemetry
