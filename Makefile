@@ -53,8 +53,10 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order every run, so accidental
+# order-dependence between tests surfaces in CI instead of in a refactor.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/obs/ ./internal/service/ ./cmd/...

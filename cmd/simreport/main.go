@@ -104,14 +104,21 @@ func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *string) {
 }
 
 // readLedger loads the ledger, reporting skipped newer-schema records once
-// on stderr (they are data, just not ours to interpret).
+// on stderr (they are data, just not ours to interpret) and corrupt
+// records the checksum scan rejected. simreport only warns — it never
+// repairs, because it may be reading a ledger that live runs are still
+// appending to; repair belongs to the ledger's owner (e.g. the sweep
+// service at startup).
 func readLedger(dir string, stderr io.Writer) ([]ledger.Record, error) {
-	recs, skipped, err := ledger.Read(ledger.Path(dir))
+	recs, stats, err := ledger.Read(ledger.Path(dir))
 	if err != nil {
 		return nil, err
 	}
-	if skipped > 0 {
-		fmt.Fprintf(stderr, "simreport: %d record(s) from a newer schema skipped\n", skipped)
+	if stats.SkippedNewer > 0 {
+		fmt.Fprintf(stderr, "simreport: %d record(s) from a newer schema skipped\n", stats.SkippedNewer)
+	}
+	if stats.Corrupt > 0 {
+		fmt.Fprintf(stderr, "simreport: warning: %d corrupt record(s) skipped; the ledger owner will quarantine them on its next repair\n", stats.Corrupt)
 	}
 	return recs, nil
 }

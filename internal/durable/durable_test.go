@@ -1,0 +1,267 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name string, content []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func payloads(recs []Rec) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = string(r.Payload)
+	}
+	return out
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := []string{`{"a":1}`, `{"b":"two"}`, `{"c":[3,3,3]}`}
+	for _, p := range want {
+		buf.Write(Frame([]byte(p)))
+	}
+	path := writeFile(t, "f.ndjson", buf.Bytes())
+	recs, stats, err := ScanFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := payloads(recs); !equal(got, want) {
+		t.Errorf("payloads = %v, want %v", got, want)
+	}
+	if stats.Records != 3 || stats.Legacy != 0 || stats.Quarantined != 0 || stats.Repaired {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestScanLegacyCompat(t *testing.T) {
+	content := "{\"a\":1}\n" + string(Frame([]byte(`{"b":2}`))) + "{\"c\":3}\n"
+	path := writeFile(t, "mixed.ndjson", []byte(content))
+	recs, stats, err := ScanFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 3 || stats.Legacy != 2 || stats.Quarantined != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !recs[0].Legacy || recs[1].Legacy || !recs[2].Legacy {
+		t.Errorf("legacy flags wrong: %+v", recs)
+	}
+}
+
+// TestScanQuarantineAndRepair: one flipped byte, one torn tail and one
+// garbage line across a framed file; the scan must keep the good records,
+// excise the rest into the sidecar and rewrite the file clean.
+func TestScanQuarantineAndRepair(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(Frame([]byte(`{"ok":1}`)))
+	corrupt := Frame([]byte(`{"ok":2}`))
+	corrupt[len(corrupt)-3] ^= 0x40 // flip a payload bit: CRC must catch it
+	buf.Write(corrupt)
+	buf.WriteString("not json at all\n")
+	buf.Write(Frame([]byte(`{"ok":3}`)))
+	buf.WriteString(`d1 deadbeef {"torn":`) // torn final record, no newline
+	path := writeFile(t, "q.ndjson", buf.Bytes())
+
+	recs, stats, err := ScanFile(path, Options{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := payloads(recs), []string{`{"ok":1}`, `{"ok":3}`}; !equal(got, want) {
+		t.Errorf("payloads = %v, want %v", got, want)
+	}
+	if stats.Quarantined != 3 || !stats.Repaired || stats.SidecarErr != nil {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(stats.Errors) != 3 {
+		t.Fatalf("errors = %v", stats.Errors)
+	}
+
+	// The sidecar holds all three rejects as parseable JSON lines.
+	side, err := os.ReadFile(QuarantinePath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(side)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sidecar has %d lines, want 3:\n%s", len(lines), side)
+	}
+	for _, l := range lines {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("sidecar line not JSON: %q: %v", l, err)
+		}
+		if e["reason"] == "" || e["data_b64"] == "" {
+			t.Errorf("sidecar entry incomplete: %v", e)
+		}
+	}
+
+	// Re-scan after repair: clean, fully framed, same payloads.
+	recs2, stats2, err := ScanFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(payloads(recs2), payloads(recs)) {
+		t.Errorf("repair changed payloads: %v vs %v", payloads(recs2), payloads(recs))
+	}
+	if stats2.Quarantined != 0 || stats2.Legacy != 0 || stats2.Repaired {
+		t.Errorf("post-repair stats = %+v", stats2)
+	}
+}
+
+// TestRepairUpgradesLegacy: when a repair rewrite happens, legacy records
+// come out framed.
+func TestRepairUpgradesLegacy(t *testing.T) {
+	content := "{\"a\":1}\njunk{{\n{\"b\":2}\n"
+	path := writeFile(t, "up.ndjson", []byte(content))
+	_, stats, err := ScanFile(path, Options{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Legacy != 2 || stats.Quarantined != 1 || !stats.Repaired {
+		t.Fatalf("stats = %+v", stats)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if !strings.HasPrefix(line, frameTag) {
+			t.Errorf("line not upgraded to framed: %q", line)
+		}
+	}
+	// A clean legacy file is left byte-identical: upgrade only rides along
+	// with a repair that must rewrite anyway.
+	clean := writeFile(t, "clean.ndjson", []byte("{\"a\":1}\n"))
+	if _, stats, err := ScanFile(clean, Options{Repair: true}); err != nil || stats.Repaired {
+		t.Fatalf("clean legacy file rewritten: stats=%+v err=%v", stats, err)
+	}
+	if raw, _ := os.ReadFile(clean); string(raw) != "{\"a\":1}\n" {
+		t.Errorf("clean legacy file changed: %q", raw)
+	}
+}
+
+// TestScanOverLongLine: a line past MaxLine is quarantined with a typed,
+// offset-carrying error — and the scan keeps going, unlike
+// bufio.Scanner's ErrTooLong abort.
+func TestScanOverLongLine(t *testing.T) {
+	long := `{"pad":"` + strings.Repeat("x", 300) + `"}`
+	content := "{\"a\":1}\n" + long + "\n{\"b\":2}\n"
+	path := writeFile(t, "long.ndjson", []byte(content))
+	recs, stats, err := ScanFile(path, Options{MaxLine: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := payloads(recs), []string{`{"a":1}`, `{"b":2}`}; !equal(got, want) {
+		t.Errorf("payloads = %v, want %v", got, want)
+	}
+	if stats.Quarantined != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	re := stats.Errors[0]
+	if re.Line != 2 || re.Offset != 8 || !strings.Contains(re.Reason, "exceeds 128 bytes") {
+		t.Errorf("record error = %+v", re)
+	}
+}
+
+// TestScanStrict: strict mode surfaces the first corruption as a
+// *RecordError instead of quarantining.
+func TestScanStrict(t *testing.T) {
+	long := strings.Repeat("y", 300)
+	path := writeFile(t, "strict.ndjson", []byte("{\"a\":1}\n"+long+"\n"))
+	_, _, err := ScanFile(path, Options{MaxLine: 64, Strict: true})
+	var re *RecordError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RecordError", err)
+	}
+	if re.Line != 2 || re.Offset != 8 {
+		t.Errorf("record error = %+v", re)
+	}
+	if _, err := os.Stat(QuarantinePath(path)); !os.IsNotExist(err) {
+		t.Error("strict scan wrote a sidecar")
+	}
+}
+
+func TestScanValidate(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(Frame([]byte(`{"key":"k1"}`)))
+	buf.Write(Frame([]byte(`{"key":""}`))) // CRC-valid but semantically bad
+	path := writeFile(t, "v.ndjson", buf.Bytes())
+	validate := func(p []byte) error {
+		var e struct{ Key string }
+		if err := json.Unmarshal(p, &e); err != nil {
+			return err
+		}
+		if e.Key == "" {
+			return fmt.Errorf("empty key")
+		}
+		return nil
+	}
+	recs, stats, err := ScanFile(path, Options{Validate: validate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || stats.Quarantined != 1 {
+		t.Fatalf("recs=%d stats=%+v", len(recs), stats)
+	}
+}
+
+func TestScanBlankLinesAreFences(t *testing.T) {
+	content := "\n\n{\"a\":1}\n\n   \n{\"b\":2}\n\n"
+	path := writeFile(t, "b.ndjson", []byte(content))
+	recs, stats, err := ScanFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || stats.Quarantined != 0 {
+		t.Errorf("recs=%d stats=%+v", len(recs), stats)
+	}
+}
+
+func TestScanMissingFile(t *testing.T) {
+	recs, stats, err := ScanFile(filepath.Join(t.TempDir(), "nope"), Options{})
+	if err != nil || recs != nil || stats.Records != 0 || stats.Quarantined != 0 {
+		t.Errorf("missing file: recs=%v stats=%+v err=%v", recs, stats, err)
+	}
+}
+
+// TestScanUnknownFrameVersion: a future "d2" record is quarantined (we
+// cannot verify it), never misread as legacy JSON.
+func TestScanUnknownFrameVersion(t *testing.T) {
+	path := writeFile(t, "v2.ndjson", []byte("d2 00000000 {\"future\":true}\n"))
+	recs, stats, err := ScanFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || stats.Quarantined != 1 {
+		t.Errorf("recs=%d stats=%+v", len(recs), stats)
+	}
+	if !strings.Contains(stats.Errors[0].Reason, "unknown frame version") {
+		t.Errorf("reason = %q", stats.Errors[0].Reason)
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file holds the silent disk-fault injectors: writers and readers
+// that damage data without reporting an error, modelling the failure
+// modes a bad disk, cable or controller produces — a flipped bit in a
+// sector, a write acknowledged but only partially persisted. Unlike
+// FaultyWriter (which reports EIO/short-write and exercises error-path
+// recovery), these are only catchable end to end: by per-record checksums
+// (internal/durable) or read-back verification. Damage sites follow the
+// same deterministic cumulative-byte plan as FaultyWriter: the first
+// operation crossing failAt bytes is damaged, re-arming each every bytes
+// when every > 0, so a chaos run is exactly reproducible.
+
+// flipSite picks which byte (within an operation's buffer) and which bit
+// to flip, as a pure function of the plan seed and the cumulative offset,
+// reusing the plan hash's finalizer mixing.
+func flipSite(seed uint64, offset int64, n int) (int, byte) {
+	u := uniform(seed, fmt.Sprintf("bitflip/%d", offset))
+	i := int(u * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	bit := byte(1) << (uint(offset+int64(i)) % 8)
+	return i, bit
+}
+
+// BitFlipWriter wraps an io.Writer, silently inverting one bit in the
+// first write crossing each fault threshold. The damaged write reports
+// full success — exactly what a corrupting disk does.
+type BitFlipWriter struct {
+	w       io.Writer
+	seed    uint64
+	next    int64
+	every   int64
+	written int64
+	// Faults counts injected flips, for tests asserting the damage fired.
+	Faults int
+}
+
+// NewBitFlipWriter wraps w to flip one bit in the first write crossing
+// failAt cumulative bytes, re-arming each additional every bytes (0 =
+// flip once). seed fixes the damaged byte and bit deterministically.
+func NewBitFlipWriter(w io.Writer, seed uint64, failAt, every int64) *BitFlipWriter {
+	return &BitFlipWriter{w: w, seed: seed, next: failAt, every: every}
+}
+
+// Disarm stops all future flips.
+func (f *BitFlipWriter) Disarm() { f.next = -1 }
+
+func (f *BitFlipWriter) Write(p []byte) (int, error) {
+	buf := p
+	if f.next >= 0 && len(p) > 0 && f.written+int64(len(p)) > f.next {
+		f.Faults++
+		if f.every > 0 {
+			f.next += f.every
+		} else {
+			f.next = -1
+		}
+		buf = append([]byte(nil), p...)
+		i, bit := flipSite(f.seed, f.written, len(buf))
+		buf[i] ^= bit
+	}
+	n, err := f.w.Write(buf)
+	f.written += int64(n)
+	return n, err
+}
+
+// TruncateWriter wraps an io.Writer, silently dropping the tail of the
+// first write crossing each fault threshold while still reporting the
+// full length as written — the lying-disk torn write that no error path
+// can see, only a later checksum scan.
+type TruncateWriter struct {
+	w       io.Writer
+	next    int64
+	every   int64
+	written int64
+	// Faults counts injected truncations.
+	Faults int
+}
+
+// NewTruncateWriter wraps w to halve the first write crossing failAt
+// cumulative bytes (keeping at least one byte off), re-arming each every
+// bytes (0 = once).
+func NewTruncateWriter(w io.Writer, failAt, every int64) *TruncateWriter {
+	return &TruncateWriter{w: w, next: failAt, every: every}
+}
+
+// Disarm stops all future truncations.
+func (f *TruncateWriter) Disarm() { f.next = -1 }
+
+func (f *TruncateWriter) Write(p []byte) (int, error) {
+	if f.next >= 0 && len(p) > 0 && f.written+int64(len(p)) > f.next {
+		f.Faults++
+		if f.every > 0 {
+			f.next += f.every
+		} else {
+			f.next = -1
+		}
+		keep := len(p) / 2
+		n, err := f.w.Write(p[:keep])
+		f.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+		// The lie: the caller hears every byte landed.
+		return len(p), nil
+	}
+	n, err := f.w.Write(p)
+	f.written += int64(n)
+	return n, err
+}
+
+// BitFlipReader wraps an io.Reader, silently inverting one bit in the
+// first read crossing each fault threshold — corruption surfacing on the
+// read path (a bad sector under previously-good data).
+type BitFlipReader struct {
+	r     io.Reader
+	seed  uint64
+	next  int64
+	every int64
+	read  int64
+	// Faults counts injected flips.
+	Faults int
+}
+
+// NewBitFlipReader wraps r to flip one bit in the first read crossing
+// failAt cumulative bytes, re-arming each every bytes (0 = once).
+func NewBitFlipReader(r io.Reader, seed uint64, failAt, every int64) *BitFlipReader {
+	return &BitFlipReader{r: r, seed: seed, next: failAt, every: every}
+}
+
+func (f *BitFlipReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if f.next >= 0 && n > 0 && f.read+int64(n) > f.next {
+		f.Faults++
+		if f.every > 0 {
+			f.next += f.every
+		} else {
+			f.next = -1
+		}
+		i, bit := flipSite(f.seed, f.read, n)
+		p[i] ^= bit
+	}
+	f.read += int64(n)
+	return n, err
+}

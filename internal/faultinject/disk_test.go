@@ -1,0 +1,122 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// countDiffBits counts differing bits between two equal-length buffers.
+func countDiffBits(a, b []byte) int {
+	n := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			n += int(x & 1)
+			x >>= 1
+		}
+	}
+	return n
+}
+
+func TestBitFlipWriterDeterministicSingleBit(t *testing.T) {
+	src := bytes.Repeat([]byte("0123456789abcdef"), 8) // 128 bytes
+	run := func() ([]byte, int) {
+		var buf bytes.Buffer
+		w := NewBitFlipWriter(&buf, 7, 32, 64)
+		for off := 0; off < len(src); off += 16 {
+			n, err := w.Write(src[off : off+16])
+			if n != 16 || err != nil {
+				t.Fatalf("write reported n=%d err=%v; bit flips must be silent", n, err)
+			}
+		}
+		return buf.Bytes(), w.Faults
+	}
+	got1, faults1 := run()
+	got2, _ := run()
+	if faults1 != 2 {
+		t.Fatalf("faults = %d, want 2 (failAt 32, every 64 over 128 bytes)", faults1)
+	}
+	if diff := countDiffBits(src, got1); diff != 2 {
+		t.Errorf("flipped %d bits total, want exactly 2 (one per fault)", diff)
+	}
+	if !bytes.Equal(got1, got2) {
+		t.Error("same seed and plan produced different damage; not deterministic")
+	}
+	// A different seed damages different bits.
+	var buf bytes.Buffer
+	w := NewBitFlipWriter(&buf, 8, 32, 64)
+	w.Write(src) //nolint:errcheck
+	if bytes.Equal(buf.Bytes(), got1) {
+		t.Error("different seed produced identical damage")
+	}
+}
+
+func TestBitFlipWriterDisarm(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBitFlipWriter(&buf, 1, 0, 1)
+	w.Disarm()
+	src := []byte("unharmed payload")
+	w.Write(src) //nolint:errcheck
+	if !bytes.Equal(buf.Bytes(), src) || w.Faults != 0 {
+		t.Errorf("disarmed writer still damaged data: %q faults=%d", buf.Bytes(), w.Faults)
+	}
+}
+
+func TestTruncateWriterLies(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTruncateWriter(&buf, 10, 0)
+	if n, err := w.Write([]byte("0123456789")); n != 10 || err != nil {
+		t.Fatalf("pre-fault write: n=%d err=%v", n, err)
+	}
+	// This write crosses byte 10: half its bytes vanish, yet it reports
+	// full success.
+	n, err := w.Write([]byte("ABCDEFGH"))
+	if n != 8 || err != nil {
+		t.Fatalf("faulted write must lie: n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "0123456789ABCD" {
+		t.Errorf("underlying bytes = %q, want truncated tail", got)
+	}
+	if w.Faults != 1 {
+		t.Errorf("faults = %d, want 1", w.Faults)
+	}
+	// every=0: disarmed after one fault.
+	if n, _ := w.Write([]byte("xy")); n != 2 || buf.String() != "0123456789ABCDxy" {
+		t.Errorf("post-fault write damaged: %q", buf.String())
+	}
+}
+
+func TestBitFlipReaderDeterministic(t *testing.T) {
+	src := bytes.Repeat([]byte{0x00}, 64)
+	read := func() []byte {
+		r := NewBitFlipReader(bytes.NewReader(src), 3, 16, 0)
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	got1, got2 := read(), read()
+	if diff := countDiffBits(src, got1); diff != 1 {
+		t.Errorf("flipped %d bits, want exactly 1", diff)
+	}
+	if !bytes.Equal(got1, got2) {
+		t.Error("reader damage not deterministic")
+	}
+}
+
+func TestFaultyWriterDisarm(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFaultyWriter(&buf, 0, 1, WriteEIO)
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("armed FaultyWriter did not fail")
+	}
+	w.Disarm()
+	if n, err := w.Write([]byte("ok")); n != 2 || err != nil {
+		t.Fatalf("disarmed FaultyWriter still failing: n=%d err=%v", n, err)
+	}
+	if buf.String() != "ok" {
+		t.Errorf("bytes = %q", buf.String())
+	}
+}

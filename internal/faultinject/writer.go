@@ -59,6 +59,11 @@ func NewFaultyWriter(w io.Writer, failAt int64, every int64, mode WriteFault) *F
 	return &FaultyWriter{w: w, mode: mode, next: failAt, every: every}
 }
 
+// Disarm stops all future faults: writes pass through untouched from now
+// on. Tests use it as the "disk recovered" signal when proving the storage
+// circuit breaker's self-heal path.
+func (f *FaultyWriter) Disarm() { f.next = -1 }
+
 func (f *FaultyWriter) Write(p []byte) (int, error) {
 	if f.next >= 0 && f.written+int64(len(p)) > f.next {
 		f.Faults++

@@ -53,12 +53,12 @@ func TestConcurrentAppendSustained(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	recs, skipped, err := Read(Path(dir))
+	recs, stats, err := Read(Path(dir))
 	if err != nil {
 		t.Fatalf("racing appends damaged the ledger: %v", err)
 	}
-	if skipped != 0 {
-		t.Fatalf("%d records skipped", skipped)
+	if stats != (ReadStats{}) {
+		t.Fatalf("records skipped or corrupt: %+v", stats)
 	}
 	if len(recs) != writers*perWriter {
 		t.Fatalf("read %d records, want %d", len(recs), writers*perWriter)

@@ -13,7 +13,6 @@
 package ledger
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -22,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 )
 
@@ -172,11 +172,14 @@ func Append(dir string, rec Record) (string, error) {
 	if rec.Schema == 0 {
 		rec.Schema = SchemaVersion
 	}
-	line, err := json.Marshal(rec)
+	payload, err := json.Marshal(rec)
 	if err != nil {
 		return "", fmt.Errorf("ledger: encoding record %s: %w", rec.RunID, err)
 	}
-	line = append(line, '\n')
+	// Frame the line with a per-record CRC32C so a later scan can tell a
+	// bit-rotted record from an intact one. The frame is still one line and
+	// still a single write, so concurrent-append atomicity is unchanged.
+	line := durable.Frame(payload)
 	path := Path(dir)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return "", fmt.Errorf("ledger: %w", err)
@@ -199,43 +202,89 @@ func Append(dir string, rec Record) (string, error) {
 	return path, nil
 }
 
-// Read loads every record from the ledger file, in append (chronological)
-// order. Records stamped with a schema newer than this build understands
-// are skipped and counted in skipped; a record that does not parse at all
-// is an error (single-write appends do not tear, so a corrupt line means
-// the file was damaged, not half-written).
-func Read(path string) (recs []Record, skipped int, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, fmt.Errorf("ledger: %w", err)
+// ReadStats reports everything Read saw besides the usable records.
+type ReadStats struct {
+	// SkippedNewer counts records stamped by a schema newer than this
+	// build, skipped rather than misread.
+	SkippedNewer int
+	// Corrupt counts records the scan rejected — failed checksum, torn or
+	// over-long line, unparsable JSON, missing schema stamp. History loss,
+	// not an error: the surviving records are still a valid trend.
+	Corrupt int
+	// Legacy counts pre-checksum records read compatibly.
+	Legacy int
+}
+
+// Read loads every intact record from the ledger file, in append
+// (chronological) order. Checksummed records are verified; pre-checksum
+// (legacy) records are read compatibly and counted. Corruption — a failed
+// CRC, a torn or over-long line, unparsable JSON — is counted in
+// stats.Corrupt and skipped, never fatal: a damaged disk costs the
+// damaged records, not the whole history. Read never rewrites the file
+// (the ledger supports concurrent appenders; see Repair for the
+// single-owner repair path), so corrupt lines stay in place until an
+// owner repairs them.
+func Read(path string) (recs []Record, stats ReadStats, err error) {
+	if _, serr := os.Stat(path); serr != nil {
+		return nil, stats, fmt.Errorf("ledger: %w", serr)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+	raws, scan, err := durable.ScanFile(path, durable.Options{})
+	if err != nil {
+		return nil, stats, fmt.Errorf("ledger: reading %s: %w", path, err)
+	}
+	stats.Corrupt = scan.Quarantined
+	stats.Legacy = scan.Legacy
+	for _, r := range raws {
+		var rec Record
+		if uerr := json.Unmarshal(r.Payload, &rec); uerr != nil {
+			stats.Corrupt++
 			continue
 		}
-		var rec Record
-		if uerr := json.Unmarshal([]byte(line), &rec); uerr != nil {
-			return nil, skipped, fmt.Errorf("ledger: %s:%d: %w", path, lineno, uerr)
-		}
 		if rec.Schema > SchemaVersion {
-			skipped++
+			stats.SkippedNewer++
 			continue
 		}
 		if rec.Schema < 1 {
-			return nil, skipped, fmt.Errorf("ledger: %s:%d: record without schema version", path, lineno)
+			stats.Corrupt++
+			continue
 		}
 		recs = append(recs, rec)
 	}
-	if serr := sc.Err(); serr != nil {
-		return nil, skipped, fmt.Errorf("ledger: reading %s: %w", path, serr)
+	return recs, stats, nil
+}
+
+// Repair runs the scan-quarantine-repair pass over the ledger under
+// dirOrFile: corrupt records move to the `*.quarantine` sidecar, legacy
+// records are upgraded to checksummed frames when a rewrite happens, and
+// the file is atomically rewritten clean. Only safe for a single owner —
+// the rewrite races concurrent O_APPEND writers — so long-lived owners
+// (the sweep service repairs its own DataDir ledger on open) call it at
+// startup, while multi-writer readers (simreport) only scan and warn. A
+// missing ledger is not an error.
+func Repair(dirOrFile string) (durable.Stats, error) {
+	path := Path(dirOrFile)
+	_, stats, err := durable.ScanFile(path, durable.Options{
+		Repair: true,
+		// Accept any JSON object with a schema stamp ≥ 1, including
+		// versions newer than this build: repair must never quarantine a
+		// record only a newer tool understands.
+		Validate: func(p []byte) error {
+			var rec struct {
+				Schema int `json:"schema"`
+			}
+			if err := json.Unmarshal(p, &rec); err != nil {
+				return err
+			}
+			if rec.Schema < 1 {
+				return fmt.Errorf("record without schema version")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return stats, fmt.Errorf("ledger: repairing %s: %w", path, err)
 	}
-	return recs, skipped, nil
+	return stats, nil
 }
 
 // ByConfig filters records down to one configuration's history, preserving

@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -48,12 +49,12 @@ func TestAppendReadRoundTrip(t *testing.T) {
 			t.Fatalf("path = %s", path)
 		}
 	}
-	got, skipped, err := Read(Path(dir))
+	got, stats, err := Read(Path(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 0 {
-		t.Errorf("skipped = %d", skipped)
+	if stats != (ReadStats{}) {
+		t.Errorf("stats = %+v", stats)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("read %d records, want %d", len(got), len(want))
@@ -89,7 +90,7 @@ func TestAppendStampsSchema(t *testing.T) {
 }
 
 // TestReadSkipsNewerSchema: records from a future schema are skipped and
-// counted, not misread; records with no schema at all are an error.
+// counted, not misread; records with no schema at all count as corrupt.
 func TestReadSkipsNewerSchema(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := Append(dir, sampleRecord("run-1", 15000)); err != nil {
@@ -100,34 +101,133 @@ func TestReadSkipsNewerSchema(t *testing.T) {
 	if _, err := Append(dir, future); err != nil {
 		t.Fatal(err)
 	}
-	got, skipped, err := Read(Path(dir))
+	got, stats, err := Read(Path(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || skipped != 1 {
-		t.Errorf("got %d records, %d skipped; want 1, 1", len(got), skipped)
+	if len(got) != 1 || stats.SkippedNewer != 1 {
+		t.Errorf("got %d records, stats %+v; want 1, SkippedNewer 1", len(got), stats)
 	}
 
 	bad := filepath.Join(t.TempDir(), "bad.ndjson")
 	if err := os.WriteFile(bad, []byte("{\"run_id\":\"no-schema\"}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Read(bad); err == nil || !strings.Contains(err.Error(), "schema") {
-		t.Errorf("schema-less record: err = %v", err)
+	if recs, stats, err := Read(bad); err != nil || len(recs) != 0 || stats.Corrupt != 1 {
+		t.Errorf("schema-less record: recs=%d stats=%+v err=%v", len(recs), stats, err)
 	}
 }
 
-func TestReadErrors(t *testing.T) {
+// TestReadSurvivesCorruption: damaged lines cost the damaged records, not
+// the whole history, and Read never rewrites the file (concurrent
+// appenders may still be writing it).
+func TestReadSurvivesCorruption(t *testing.T) {
 	if _, _, err := Read(filepath.Join(t.TempDir(), "missing.ndjson")); err == nil {
 		t.Error("missing file: want error")
 	}
-	corrupt := filepath.Join(t.TempDir(), "c.ndjson")
-	if err := os.WriteFile(corrupt, []byte("{not json\n"), 0o644); err != nil {
+	dir := t.TempDir()
+	if _, err := Append(dir, sampleRecord("run-1", 15000)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Read(corrupt); err == nil || !strings.Contains(err.Error(), ":1:") {
-		t.Errorf("corrupt line error = %v", err)
+	path := Path(dir)
+	if err := os.WriteFile(path, append(readAll(t, path), []byte("{not json\n")...), 0o644); err != nil {
+		t.Fatal(err)
 	}
+	if _, err := Append(dir, sampleRecord("run-2", 15100)); err != nil {
+		t.Fatal(err)
+	}
+	before := readAll(t, path)
+	recs, stats, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || stats.Corrupt != 1 {
+		t.Errorf("recs=%d stats=%+v; want 2 intact, 1 corrupt", len(recs), stats)
+	}
+	if string(readAll(t, path)) != string(before) {
+		t.Error("Read rewrote the ledger file")
+	}
+
+	// A flipped bit inside a checksummed record is caught by the CRC, not
+	// returned as plausible-but-wrong history.
+	fdir := t.TempDir()
+	if _, err := Append(fdir, sampleRecord("run-flip", 15200)); err != nil {
+		t.Fatal(err)
+	}
+	fpath := Path(fdir)
+	flipped := readAll(t, fpath)
+	flipped[len(flipped)/2] ^= 0x20
+	if err := os.WriteFile(fpath, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err = Read(fpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || stats.Corrupt != 1 {
+		t.Errorf("after bit flip: recs=%d stats=%+v", len(recs), stats)
+	}
+}
+
+// TestRepairQuarantinesAndUpgrades: the single-owner repair pass excises
+// corrupt lines into the sidecar, upgrades legacy records to checksummed
+// frames, and keeps newer-schema records (only a newer tool can read
+// them, but they are not corrupt).
+func TestRepairQuarantinesAndUpgrades(t *testing.T) {
+	dir := t.TempDir()
+	path := Path(dir)
+	future := sampleRecord("run-future", 9)
+	future.Schema = SchemaVersion + 1
+	legacyLine, err := json.Marshal(sampleRecord("run-legacy", 14000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(legacyLine, "\ngarbage{{\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Append(dir, future); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Repair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Quarantined != 1 || stats.Legacy != 1 || !stats.Repaired {
+		t.Fatalf("repair stats = %+v", stats)
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("quarantine sidecar missing: %v", err)
+	}
+	recs, rstats, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || rstats.Corrupt != 0 || rstats.Legacy != 0 || rstats.SkippedNewer != 1 {
+		t.Errorf("post-repair read: recs=%d stats=%+v", len(recs), rstats)
+	}
+	if recs[0].RunID != "run-legacy" {
+		t.Errorf("surviving record = %s", recs[0].RunID)
+	}
+	// A clean ledger repairs to a no-op.
+	if stats, err := Repair(dir); err != nil || stats.Repaired {
+		t.Errorf("second repair: stats=%+v err=%v", stats, err)
+	}
+	// So does a missing one.
+	if _, err := Repair(filepath.Join(t.TempDir(), "empty")); err != nil {
+		t.Errorf("missing ledger repair: %v", err)
+	}
+}
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 // TestFromManifest: the manifest → record projection carries identity,
@@ -176,12 +276,12 @@ func TestFromManifest(t *testing.T) {
 // TestFixtureReads: the checked-in fixture (shared with cmd/simreport's
 // golden tests) parses and keeps its shape.
 func TestFixtureReads(t *testing.T) {
-	recs, skipped, err := Read(filepath.Join("testdata", FileName))
+	recs, stats, err := Read(filepath.Join("testdata", FileName))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 0 || len(recs) != 4 {
-		t.Fatalf("fixture: %d records, %d skipped", len(recs), skipped)
+	if stats.Corrupt != 0 || stats.SkippedNewer != 0 || len(recs) != 4 {
+		t.Fatalf("fixture: %d records, stats %+v", len(recs), stats)
 	}
 	if got := len(ByConfig(recs, "a1b2c3d4e5f60718")); got != 3 {
 		t.Errorf("cachesim config history = %d, want 3", got)
@@ -234,11 +334,11 @@ func TestConcurrentAppend(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	recs, skipped, err := Read(Path(dir))
+	recs, stats, err := Read(Path(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != n || skipped != 0 {
-		t.Errorf("read %d records, %d skipped; want %d, 0", len(recs), skipped, n)
+	if len(recs) != n || stats != (ReadStats{}) {
+		t.Errorf("read %d records, stats %+v; want %d intact", len(recs), stats, n)
 	}
 }

@@ -1,25 +1,41 @@
 package runner
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
+
+	"repro/internal/durable"
 )
 
 // Checkpoint is an append-only NDJSON log of completed cells, keyed by cell
-// Key. One line per cell: {"key":"...","value":<cell value JSON>}. Each
-// record is flushed as it is written, so a crash or SIGINT loses at most the
-// entry being written — and a torn final line is dropped (and truncated
-// away) on the next open, keeping the log appendable.
+// Key. One line per cell: a durable-framed (CRC32C-checksummed) record
+// whose payload is {"key":"...","value":<cell value JSON>}. Each record is
+// flushed as it is written, so a crash or SIGINT loses at most the entry
+// being written. Opening runs durable's scan-quarantine-repair pass:
+// corrupt, torn or over-long records are moved to the `*.quarantine`
+// sidecar and counted, never trusted and never fatal — a quarantined cell
+// is simply recomputed, which is safe because cells are deterministic.
+// Legacy un-framed checkpoints are read compatibly and upgraded to framed
+// records whenever a repair rewrite happens. Duplicate keys resolve
+// last-wins, in file order.
 type Checkpoint struct {
-	path string
+	path  string
+	stats durable.Stats
 
-	mu   sync.Mutex
-	f    *os.File
-	done map[string]json.RawMessage
-	err  error // first write failure, reported by Close
+	mu      sync.Mutex
+	f       *os.File
+	w       io.Writer // f, possibly wrapped by a fault injector
+	done    map[string]json.RawMessage
+	err     error // first write failure since the last ClearErr
+	persist bool  // false = memory-only (degraded mode: memoization off)
+
+	// onWrite, when set, observes every persistence attempt (nil error =
+	// success). The service's storage circuit breaker listens here. Called
+	// without the checkpoint lock held.
+	onWrite func(error)
 }
 
 type checkpointEntry struct {
@@ -27,51 +43,119 @@ type checkpointEntry struct {
 	Value json.RawMessage `json:"value"`
 }
 
+// probeKeyPrefix marks breaker recovery-probe records: they exercise the
+// write path end to end but carry no cell data, so loading skips them.
+const probeKeyPrefix = "!probe"
+
 // OpenCheckpoint opens (creating if absent) the checkpoint log at path,
-// loading every complete entry already present. A truncated final line —
-// the signature of a crash mid-write — is discarded and trimmed from the
-// file; corruption anywhere else is an error.
+// loading every intact entry already present. Corruption anywhere —
+// flipped bits, torn lines, over-long records — is quarantined to the
+// sidecar and excised from the file, not an error; ScanStats reports the
+// counts.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("runner: reading checkpoint %s: %w", path, err)
+	recs, stats, err := durable.ScanFile(path, durable.Options{
+		Repair: true,
+		Validate: func(p []byte) error {
+			var e checkpointEntry
+			if err := json.Unmarshal(p, &e); err != nil {
+				return err
+			}
+			if e.Key == "" {
+				return fmt.Errorf("entry without key")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
 	}
 	done := make(map[string]json.RawMessage)
-	valid := 0 // byte length of the valid prefix
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			// No newline: a torn final record. Drop it.
-			break
+	for _, r := range recs {
+		var e checkpointEntry
+		if err := json.Unmarshal(r.Payload, &e); err != nil {
+			// Validate already accepted it; unreachable, but never fatal.
+			continue
 		}
-		line := data[off : off+nl]
-		if len(bytes.TrimSpace(line)) > 0 {
-			var e checkpointEntry
-			if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
-				return nil, fmt.Errorf("runner: checkpoint %s: corrupt entry at byte %d: %v", path, off, err)
-			}
-			done[e.Key] = e.Value
+		if len(e.Key) >= len(probeKeyPrefix) && e.Key[:len(probeKeyPrefix)] == probeKeyPrefix {
+			continue
 		}
-		off += nl + 1
-		valid = off
+		done[e.Key] = e.Value // duplicates: last wins
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runner: opening checkpoint %s: %w", path, err)
 	}
-	if err := f.Truncate(int64(valid)); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("runner: trimming checkpoint %s: %w", path, err)
-	}
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("runner: seeking checkpoint %s: %w", path, err)
-	}
-	return &Checkpoint{path: path, f: f, done: done}, nil
+	return &Checkpoint{path: path, stats: stats, f: f, w: f, done: done, persist: true}, nil
 }
 
 // Path returns the log's file path.
 func (c *Checkpoint) Path() string { return c.path }
+
+// ScanStats reports what the opening scan found: legacy records read
+// compatibly, corrupt records quarantined, whether the file was repaired.
+func (c *Checkpoint) ScanStats() durable.Stats { return c.stats }
+
+// WrapWriter interposes wrap on the append path — the fault-injection
+// hook chaos tests use to model a corrupting or failing disk. Call before
+// any records are written.
+func (c *Checkpoint) WrapWriter(wrap func(io.Writer) io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if wrap != nil && c.f != nil {
+		c.w = wrap(c.f)
+	}
+}
+
+// SetOnWrite registers an observer for persistence attempts (nil error =
+// success). The storage circuit breaker listens here.
+func (c *Checkpoint) SetOnWrite(fn func(error)) {
+	c.mu.Lock()
+	c.onWrite = fn
+	c.mu.Unlock()
+}
+
+// SetPersist toggles disk persistence. While off (degraded mode) record
+// updates only the in-memory map: the running sweep keeps memoizing
+// within the process, nothing touches the sick disk.
+func (c *Checkpoint) SetPersist(on bool) {
+	c.mu.Lock()
+	c.persist = on
+	c.mu.Unlock()
+}
+
+// Err returns the first unpersisted-write failure since the last
+// ClearErr, nil while healthy.
+func (c *Checkpoint) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// ClearErr forgets the sticky write failure — the breaker's recovery path
+// after a probe succeeds.
+func (c *Checkpoint) ClearErr() {
+	c.mu.Lock()
+	c.err = nil
+	c.mu.Unlock()
+}
+
+// Probe writes one synced probe record through the (possibly wrapped)
+// append path, reporting whether the store can persist again. Probe
+// records are skipped on load.
+func (c *Checkpoint) Probe() error {
+	line := durable.Frame(mustMarshal(checkpointEntry{Key: probeKeyPrefix, Value: json.RawMessage("null")}))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return fmt.Errorf("runner: checkpoint %s is closed", c.path)
+	}
+	if n, err := c.w.Write(line); err != nil {
+		return err
+	} else if n != len(line) {
+		return io.ErrShortWrite
+	}
+	return c.f.Sync()
+}
 
 // Len returns how many completed cells the log currently holds.
 func (c *Checkpoint) Len() int {
@@ -88,28 +172,44 @@ func (c *Checkpoint) Lookup(key string) (json.RawMessage, bool) {
 	return raw, ok
 }
 
-// record appends one completed cell and flushes it to the OS. Write
-// failures are sticky and surface from Close; the in-memory map is updated
-// regardless so the running sweep still benefits.
+// record appends one completed cell and flushes it to the OS. The
+// in-memory map is updated first and unconditionally, so the running
+// sweep benefits even when the disk is failing; write failures are sticky
+// (first one reported by Close) but appends keep being attempted — since
+// the opening scan quarantines any interleaved garbage, retrying is safe,
+// and the breaker needs to observe repeated failures to trip.
 func (c *Checkpoint) record(key string, v any) {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		c.fail(fmt.Errorf("runner: checkpoint %s: encoding cell %s: %w", c.path, key, err))
 		return
 	}
-	line, err := json.Marshal(checkpointEntry{Key: key, Value: raw})
+	payload, err := json.Marshal(checkpointEntry{Key: key, Value: raw})
 	if err != nil {
 		c.fail(fmt.Errorf("runner: checkpoint %s: encoding entry %s: %w", c.path, key, err))
 		return
 	}
+	line := durable.Frame(payload)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.done[key] = raw
-	if c.err != nil || c.f == nil {
+	if !c.persist || c.f == nil {
+		c.mu.Unlock()
 		return
 	}
-	if _, err := c.f.Write(append(line, '\n')); err != nil {
-		c.err = fmt.Errorf("runner: checkpoint %s: appending %s: %w", c.path, key, err)
+	n, werr := c.w.Write(line)
+	if werr == nil && n != len(line) {
+		werr = io.ErrShortWrite
+	}
+	if werr != nil {
+		werr = fmt.Errorf("runner: checkpoint %s: appending %s: %w", c.path, key, werr)
+		if c.err == nil {
+			c.err = werr
+		}
+	}
+	onWrite := c.onWrite
+	c.mu.Unlock()
+	if onWrite != nil {
+		onWrite(werr)
 	}
 }
 
@@ -142,4 +242,12 @@ func (c *Checkpoint) Close() error {
 		return fmt.Errorf("runner: closing checkpoint %s: %w", c.path, closeErr)
 	}
 	return nil
+}
+
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // fixed struct shapes; cannot fail
+	}
+	return b
 }

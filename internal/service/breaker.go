@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DegradedError reports a submission refused because the storage circuit
+// breaker is open: the journal cannot make jobs durable, so accepting
+// work would break the zero-lost-jobs promise. The HTTP layer maps it to
+// 503 + Retry-After (the probe interval — the soonest the disk could be
+// declared healthy again).
+type DegradedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("service: degraded (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Breaker is the storage circuit breaker's trip logic: consecutive
+// persistence failures reaching the threshold open it; reset closes it.
+// Self-locking, because observations arrive from journal and checkpoint
+// write paths that may already hold the service mutex — the service wires
+// its observations in and acts on trips (pause the journal, stop
+// checkpoint persistence, flip readiness).
+type Breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	consecutive int
+	open        bool
+	reason      string
+}
+
+// NewBreaker returns a closed breaker tripping after threshold
+// consecutive failures (default 3).
+func NewBreaker(threshold int) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	return &Breaker{threshold: threshold}
+}
+
+// observe folds one persistence outcome in, reporting whether this
+// observation tripped the breaker (exactly once per open). A success
+// resets the consecutive count but does not close an open breaker — only
+// a full probe cycle (reset) does, so readiness flaps on probe cadence,
+// not on every lucky write.
+func (b *Breaker) observe(err error) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.consecutive = 0
+		return false
+	}
+	b.consecutive++
+	if !b.open && b.consecutive >= b.threshold {
+		b.open = true
+		b.reason = err.Error()
+		return true
+	}
+	return false
+}
+
+// state reports whether the breaker is open and why.
+func (b *Breaker) state() (open bool, reason string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open, b.reason
+}
+
+// reset closes the breaker after a successful probe cycle.
+func (b *Breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open = false
+	b.consecutive = 0
+	b.reason = ""
+}

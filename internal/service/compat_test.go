@@ -1,0 +1,130 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/telemetry"
+)
+
+// TestLegacyUnframedFilesCompat: data dirs written before checksummed
+// framing — plain JSON lines in the journal, cell cache and ledger — must
+// open cleanly: the journal replays and requeues, memoized cells serve
+// bit-identical results, the ledger reads back, and none of it is
+// mistaken for corruption. Clean legacy files are NOT rewritten (upgrade
+// happens only when a repair rewrites anyway), so a downgrade stays
+// possible until the first real corruption.
+func TestLegacyUnframedFilesCompat(t *testing.T) {
+	dir := t.TempDir()
+	req := smallGrid()
+
+	// A pre-upgrade journal: one submitted-but-unfinished job (requeues)
+	// and one finished job, as plain unframed JSON lines.
+	reqJSON, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := fmt.Sprintf(`{"t":"submit","job":"j-old-1","time":"2026-08-01T10:00:00Z","req":%s}
+{"t":"start","job":"j-old-1","time":"2026-08-01T10:00:01Z"}
+{"t":"submit","job":"j-old-2","time":"2026-08-01T10:00:02Z","req":%s}
+{"t":"done","job":"j-old-2","time":"2026-08-01T10:00:03Z"}
+`, reqJSON, reqJSON)
+	if err := os.WriteFile(filepath.Join(dir, JournalName), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A pre-upgrade cell cache holding the direct simulation of every cell
+	// in the grid, as plain unframed JSON lines.
+	var cells []byte
+	want := map[string]CellResult{}
+	for _, cs := range req.Cells() {
+		r, err := cs.Simulate(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[cs.Key()] = r
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line, err := json.Marshal(map[string]json.RawMessage{
+			"key":   json.RawMessage(`"` + cs.Key() + `"`),
+			"value": raw,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, line...)
+		cells = append(cells, '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, CellCacheName), cells, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A pre-upgrade ledger line.
+	oldLedger := `{"schema":1,"run_id":"j-old-2","time":"2026-08-01T10:00:03Z","tool":"cachesimd","outcome":"ok"}` + "\n"
+	if err := os.WriteFile(ledger.Path(dir), []byte(oldLedger), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(testConfig(dir))
+	if err != nil {
+		t.Fatalf("opening a pre-upgrade data dir: %v", err)
+	}
+
+	// Nothing legacy was mistaken for corruption.
+	for _, m := range []string{telemetry.MJournalQuarantined, telemetry.MCellsQuarantined, telemetry.MLedgerQuarantined} {
+		if v := s.Registry().Counter(m).Value(); v != 0 {
+			t.Errorf("%s = %d on clean legacy files", m, v)
+		}
+	}
+	// Clean legacy files are not rewritten on open.
+	if got, err := os.ReadFile(ledger.Path(dir)); err != nil || string(got) != oldLedger {
+		t.Errorf("clean legacy ledger was rewritten (err=%v):\n%s", err, got)
+	}
+
+	// The finished job restored terminal; the in-flight one requeued and —
+	// because every cell is already memoized — replays bit-identically.
+	doneJob, ok := s.Job("j-old-2")
+	if !ok || doneJob.Status().State != StateDone {
+		t.Fatalf("legacy finished job not restored done (ok=%v)", ok)
+	}
+	s.Start()
+	job, ok := s.Job("j-old-1")
+	if !ok {
+		t.Fatal("legacy in-flight job not restored")
+	}
+	st := waitTerminal(t, job, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("legacy job ended %s (%s)", st.State, st.Error)
+	}
+	if st.Cells.Replayed != len(want) {
+		t.Errorf("replayed %d cells from the legacy cache, want %d", st.Cells.Replayed, len(want))
+	}
+	for _, r := range job.Results() {
+		if !reflect.DeepEqual(r, want[r.Key]) {
+			t.Errorf("cell %s diverges from the legacy cache:\n got %+v\nwant %+v", r.Key, r, want[r.Key])
+		}
+	}
+
+	// The legacy ledger record reads back alongside the new framed append.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := ledger.Read(ledger.Path(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corrupt != 0 || stats.Legacy != 1 {
+		t.Errorf("ledger stats = %+v, want 1 legacy and 0 corrupt", stats)
+	}
+	if len(recs) != 2 || recs[0].RunID != "j-old-2" || recs[1].RunID != job.ID() {
+		t.Errorf("ledger records = %+v", recs)
+	}
+}

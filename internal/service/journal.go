@@ -1,15 +1,15 @@
 package service
 
 import (
-	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 )
 
@@ -20,10 +20,17 @@ const JournalName = "journal.ndjson"
 // data directory.
 const CellCacheName = "cells.ndjson"
 
+// ErrJournalPaused reports an append rejected because the journal is
+// paused — the storage circuit breaker has tripped and the service is in
+// degraded mode.
+var ErrJournalPaused = errors.New("service: journal paused (degraded mode)")
+
 // journalEntry is one write-ahead record of the job lifecycle. "submit"
 // carries the request; "start" marks a worker picking the job up; "done",
-// "fail" and "cancel" are terminal. A job whose last entry is non-terminal
-// was in flight when the process died and is requeued on the next start.
+// "fail" and "cancel" are terminal; "probe" is a breaker recovery probe,
+// carrying no job state and skipped on replay. A job whose last entry is
+// non-terminal was in flight when the process died and is requeued on the
+// next start.
 type journalEntry struct {
 	T    string       `json:"t"`
 	Job  string       `json:"job"`
@@ -32,26 +39,38 @@ type journalEntry struct {
 	// ReqID is the submitting request's X-Request-ID, carried on submit
 	// entries so a restored job keeps its trace identity.
 	ReqID string `json:"req_id,omitempty"`
-	Err   string `json:"err,omitempty"`
+	// Client is the submitting client's identity (X-Client-ID or remote
+	// host), carried on submit entries so quotas survive a restart's
+	// requeue honestly attributed.
+	Client string `json:"client,omitempty"`
+	Err    string `json:"err,omitempty"`
 	// Cause preserves why a terminal failure happened ("deadline",
 	// "client-cancel"), so a restarted server restores honest statuses.
 	Cause string `json:"cause,omitempty"`
 }
 
-// Journal is the crash-safe write-ahead job log: one JSON line per
-// lifecycle event, appended with a single write call and fsynced, so a
-// kill -9 loses at most the entry being written. Unlike the runner
-// checkpoint, whose torn line can only be the last, a journal write that
-// fails midway (EIO, short write) is recovered in place — terminate the
-// torn line, rewrite the record — so damaged fragments can sit mid-file;
-// the reader skips them by design.
+// Journal is the crash-safe write-ahead job log: one checksummed
+// (CRC32C-framed) JSON line per lifecycle event, appended with a single
+// write call and fsynced, so a kill -9 loses at most the entry being
+// written. Every acknowledged append is also read back and compared
+// against the file — the only defense against a *silently* corrupting
+// disk, which reports success while flipping bits or dropping tails. A
+// write that fails outright or fails read-back is recovered in place:
+// terminate the torn fragment with a newline fence, rewrite the record.
+// Damaged fragments therefore sit mid-file until the next open's
+// scan-quarantine-repair pass moves them to the `*.quarantine` sidecar.
 type Journal struct {
 	path string
 
-	mu  sync.Mutex
-	f   *os.File
-	w   io.Writer
-	err error // first unrecovered failure; the journal is sick after it
+	mu     sync.Mutex
+	f      *os.File
+	w      io.Writer
+	err    error // first unrecovered failure; the journal is sick after it
+	paused bool  // degraded mode: reject appends without touching the disk
+
+	// onResult, when set, observes every append outcome (nil = durable).
+	// The storage circuit breaker listens here. Called without the lock.
+	onResult func(error)
 
 	// appendT/fsyncT, when set, time every append and its fsync component.
 	// Journal latency is the floor under submit latency, so it gets its
@@ -67,11 +86,21 @@ func (j *Journal) SetMetrics(appendT, fsyncT *obs.Timing) {
 	j.mu.Unlock()
 }
 
-// OpenJournal opens (creating if needed) the journal at path. wrap, when
+// SetOnResult registers an observer for append outcomes (nil error =
+// durable). The storage circuit breaker listens here.
+func (j *Journal) SetOnResult(fn func(error)) {
+	j.mu.Lock()
+	j.onResult = fn
+	j.mu.Unlock()
+}
+
+// OpenJournal opens (creating if needed) the journal at path. The
+// descriptor is read-write: appends go through it in O_APPEND mode while
+// read-back verification ReadAts the bytes just written. wrap, when
 // non-nil, interposes on the file writer — the fault-injection hook the
-// chaos soak uses to make journal writes flaky.
+// chaos soak uses to make journal writes flaky or silently corrupting.
 func OpenJournal(path string, wrap func(io.Writer) io.Writer) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("service: opening journal %s: %w", path, err)
 	}
@@ -92,22 +121,62 @@ func (j *Journal) Err() error {
 	return j.err
 }
 
-// append writes one entry durably. A failed or short write is retried:
-// each retry first writes a lone newline to terminate any torn fragment
-// (the reader skips the resulting garbage line), then rewrites the whole
-// record. After the retries are exhausted the journal is marked sick and
-// the error returned — callers must not consider the event durable.
+// ClearErr forgets the sticky failure — the breaker's recovery path after
+// a probe succeeds.
+func (j *Journal) ClearErr() {
+	j.mu.Lock()
+	j.err = nil
+	j.mu.Unlock()
+}
+
+// SetPaused toggles degraded mode: while paused, appends fail immediately
+// with ErrJournalPaused instead of touching the sick disk.
+func (j *Journal) SetPaused(on bool) {
+	j.mu.Lock()
+	j.paused = on
+	j.mu.Unlock()
+}
+
+// Probe appends one probe entry through the full durable path (write,
+// fsync, read-back), bypassing the pause, and reports whether the journal
+// can persist again. Probe entries are skipped on replay.
+func (j *Journal) Probe() error {
+	return j.appendOpts(journalEntry{T: "probe"}, true)
+}
+
+// append writes one entry durably. A failed, short or
+// read-back-mismatched write is retried: each retry first writes a lone
+// newline to terminate any torn fragment (the scan quarantines the
+// resulting garbage line), then rewrites the whole record. After the
+// retries are exhausted the journal is marked sick and the error returned
+// — callers must not consider the event durable.
 func (j *Journal) append(e journalEntry) error {
+	return j.appendOpts(e, false)
+}
+
+func (j *Journal) appendOpts(e journalEntry, probe bool) error {
 	e.Time = time.Now().UTC()
-	line, err := json.Marshal(e)
+	payload, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("service: encoding journal entry for %s: %w", e.Job, err)
 	}
-	line = append(line, '\n')
+	line := durable.Frame(payload)
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	err = j.appendLocked(e, line, probe)
+	onResult := j.onResult
+	j.mu.Unlock()
+	if onResult != nil && !probe {
+		onResult(err)
+	}
+	return err
+}
+
+func (j *Journal) appendLocked(e journalEntry, line []byte, probe bool) error {
 	if j.f == nil {
 		return fmt.Errorf("service: journal %s is closed", j.path)
+	}
+	if j.paused && !probe {
+		return ErrJournalPaused
 	}
 	if j.appendT != nil {
 		start := time.Now()
@@ -118,40 +187,77 @@ func (j *Journal) append(e journalEntry) error {
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			// Terminate whatever fragment the failed write left; if even
-			// this fails the next full-line attempt still fences the
-			// fragment with its own leading garbage-line skip.
+			// this fails — or is itself corrupted — the read-back's
+			// preceding-newline check catches it and we fence again.
 			j.w.Write([]byte("\n")) //nolint:errcheck // best-effort fence
 		}
+		st, serr := j.f.Stat()
+		if serr != nil {
+			lastErr = serr
+			continue
+		}
+		off := st.Size()
 		n, werr := j.w.Write(line)
-		if werr == nil && n == len(line) {
-			syncStart := time.Now()
-			serr := j.f.Sync()
-			if j.fsyncT != nil {
-				j.fsyncT.Observe(time.Since(syncStart))
+		if werr != nil || n != len(line) {
+			if werr == nil {
+				werr = io.ErrShortWrite
 			}
-			if serr != nil {
-				lastErr = serr
-				continue
-			}
-			return nil
+			lastErr = werr
+			continue
 		}
-		if werr == nil {
-			werr = io.ErrShortWrite
+		syncStart := time.Now()
+		serr = j.f.Sync()
+		if j.fsyncT != nil {
+			j.fsyncT.Observe(time.Since(syncStart))
 		}
-		lastErr = werr
+		if serr != nil {
+			lastErr = serr
+			continue
+		}
+		if verr := j.verify(line, off); verr != nil {
+			lastErr = verr
+			continue
+		}
+		return nil
 	}
-	err = fmt.Errorf("service: journal %s: appending %s/%s: %w", j.path, e.Job, e.T, lastErr)
-	if j.err == nil {
+	err := fmt.Errorf("service: journal %s: appending %s/%s: %w", j.path, e.Job, e.T, lastErr)
+	if j.err == nil && !probe {
 		j.err = err
 	}
 	return err
 }
 
+// verify reads the just-written record back from disk and compares it
+// byte for byte, additionally requiring the byte before it to be a
+// newline (or the record to start the file) so a corrupted fence cannot
+// merge it into a preceding garbage line. This is what turns "the disk
+// said OK" into "the bytes are really there".
+func (j *Journal) verify(line []byte, off int64) error {
+	buf := make([]byte, len(line))
+	if _, err := j.f.ReadAt(buf, off); err != nil {
+		return fmt.Errorf("read-back at %d: %w", off, err)
+	}
+	if string(buf) != string(line) {
+		return fmt.Errorf("read-back at %d: bytes differ from what was written", off)
+	}
+	if off > 0 {
+		var prev [1]byte
+		if _, err := j.f.ReadAt(prev[:], off-1); err != nil {
+			return fmt.Errorf("read-back at %d: %w", off-1, err)
+		}
+		if prev[0] != '\n' {
+			return fmt.Errorf("read-back at %d: record not newline-delimited", off)
+		}
+	}
+	return nil
+}
+
 // Submit journals a job acceptance (write-ahead: callers enqueue only
 // after this returns nil). reqID is the submitting request's
-// X-Request-ID, "" for non-HTTP submissions.
-func (j *Journal) Submit(id, reqID string, req GridRequest) error {
-	return j.append(journalEntry{T: "submit", Job: id, ReqID: reqID, Req: &req})
+// X-Request-ID and client its quota identity; "" for non-HTTP
+// submissions.
+func (j *Journal) Submit(id, reqID, client string, req GridRequest) error {
+	return j.append(journalEntry{T: "submit", Job: id, ReqID: reqID, Client: client, Req: &req})
 }
 
 // Start journals a worker picking the job up.
@@ -195,42 +301,68 @@ func (j *Journal) Close() error {
 
 // JournalJob is one job's folded journal history.
 type JournalJob struct {
-	ID    string
-	ReqID string // X-Request-ID from the submit entry
-	Req   GridRequest
-	State JobState // StateQueued/StateRunning for in-flight, terminal otherwise
-	Err   string
-	Cause string
+	ID     string
+	ReqID  string // X-Request-ID from the submit entry
+	Client string // quota identity from the submit entry
+	Req    GridRequest
+	State  JobState // StateQueued/StateRunning for in-flight, terminal otherwise
+	Err    string
+	Cause  string
 	// Submitted is the submit entry's timestamp.
 	Submitted time.Time
 }
 
+// ReplayStats reports what replaying the journal saw besides the jobs.
+type ReplayStats struct {
+	// Scan is the underlying checksum scan: legacy records read
+	// compatibly, corrupt/torn/over-long lines quarantined to the sidecar,
+	// whether the file was rewritten clean.
+	Scan durable.Stats
+	// Orphans counts parseable events for jobs whose submit entry was
+	// lost before it was acknowledged: nothing was promised, so they are
+	// skipped.
+	Orphans int
+}
+
 // ReplayJournal folds the journal into per-job records, in submission
-// order. Lines that do not parse are counted and skipped: they are the
-// expected debris of crash-interrupted or fault-recovered appends, fenced
-// by the newline re-sync, never silent data loss — every durable event
-// line is intact by construction (single write call, fsync).
-func ReplayJournal(path string) (jobs []JournalJob, skipped int, err error) {
-	f, err := os.Open(path)
+// order, running the scan-quarantine-repair pass first: corrupt lines —
+// the expected debris of crash-interrupted or fault-recovered appends,
+// plus anything a bad disk rotted in place — are moved to the
+// `*.quarantine` sidecar and counted, never silent data loss, because
+// every acknowledged event was read back intact when it was written.
+// Legacy (pre-checksum) journals replay compatibly and are upgraded to
+// framed records whenever a repair rewrite happens.
+func ReplayJournal(path string) (jobs []JournalJob, stats ReplayStats, err error) {
+	recs, scan, err := durable.ScanFile(path, durable.Options{
+		Repair: true,
+		Validate: func(p []byte) error {
+			var e journalEntry
+			if err := json.Unmarshal(p, &e); err != nil {
+				return err
+			}
+			if e.T == "" {
+				return fmt.Errorf("entry without type")
+			}
+			if e.T != "probe" && e.Job == "" {
+				return fmt.Errorf("entry without job id")
+			}
+			return nil
+		},
+	})
+	stats.Scan = scan
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, 0, nil
-		}
-		return nil, 0, fmt.Errorf("service: opening journal %s: %w", path, err)
+		return nil, stats, fmt.Errorf("service: reading journal %s: %w", path, err)
 	}
-	defer f.Close()
 	byID := make(map[string]*JournalJob)
 	var order []string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+	for _, r := range recs {
+		var e journalEntry
+		if uerr := json.Unmarshal(r.Payload, &e); uerr != nil || e.T == "" || (e.T != "probe" && e.Job == "") {
+			// Validate accepted it; unreachable, but never fatal.
+			stats.Orphans++
 			continue
 		}
-		var e journalEntry
-		if uerr := json.Unmarshal([]byte(line), &e); uerr != nil || e.Job == "" || e.T == "" {
-			skipped++
+		if e.T == "probe" {
 			continue
 		}
 		jj, ok := byID[e.Job]
@@ -239,17 +371,23 @@ func ReplayJournal(path string) (jobs []JournalJob, skipped int, err error) {
 				// An orphan event for a job whose submit entry was lost to
 				// a torn write before it was acknowledged: nothing was
 				// promised, skip it.
-				skipped++
+				stats.Orphans++
 				continue
 			}
-			jj = &JournalJob{ID: e.Job, ReqID: e.ReqID, Req: *e.Req, State: StateQueued, Submitted: e.Time}
+			jj = &JournalJob{ID: e.Job, ReqID: e.ReqID, Client: e.Client, Req: *e.Req, State: StateQueued, Submitted: e.Time}
 			byID[e.Job] = jj
 			order = append(order, e.Job)
 			continue
 		}
 		switch e.T {
+		case "submit":
+			// A duplicate submit (degraded-mode recovery re-appending, or a
+			// retried write surviving twice) must not reset a terminal
+			// state: first submit wins, later ones are ignored.
 		case "start":
-			jj.State = StateRunning
+			if !jj.State.Terminal() {
+				jj.State = StateRunning
+			}
 		case "done":
 			jj.State = StateDone
 		case "fail":
@@ -259,11 +397,8 @@ func ReplayJournal(path string) (jobs []JournalJob, skipped int, err error) {
 			jj.State = StateCanceled
 		}
 	}
-	if serr := sc.Err(); serr != nil {
-		return nil, skipped, fmt.Errorf("service: reading journal %s: %w", path, serr)
-	}
 	for _, id := range order {
 		jobs = append(jobs, *byID[id])
 	}
-	return jobs, skipped, nil
+	return jobs, stats, nil
 }

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// ClientQuota layers per-client token buckets on top of the global
+// admission bucket, so one greedy client exhausts its own budget instead
+// of everyone's. Buckets are cost-aware: an accepted job drains
+// GridRequest.Cost tokens (cell count scaled by workload size), so a
+// client spending its quota on one huge sweep waits just as long as one
+// spending it on many small ones. Buckets are created on first sight and
+// the idlest is evicted once maxClients is exceeded — an eviction only
+// refills (a bucket absent from the map is implicitly full), so churning
+// identities cannot conjure extra tokens beyond one burst each.
+type ClientQuota struct {
+	mu         sync.Mutex
+	rate       float64
+	burst      float64
+	maxClients int
+	now        func() time.Time
+	clients    map[string]*clientBucket
+}
+
+type clientBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewClientQuota returns a quota tracker: each client refills at rate
+// tokens/second up to burst, with at most maxClients buckets tracked
+// (default 1024).
+func NewClientQuota(rate float64, burst, maxClients int) *ClientQuota {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if maxClients <= 0 {
+		maxClients = 1024
+	}
+	return &ClientQuota{
+		rate:       rate,
+		burst:      float64(burst),
+		maxClients: maxClients,
+		now:        time.Now,
+		clients:    make(map[string]*clientBucket),
+	}
+}
+
+// Take tries to spend cost tokens from client's bucket. Oversized jobs —
+// cost beyond the burst capacity — require a completely full bucket
+// rather than being unpayable forever. When the bucket is short, Take
+// reports how long until it holds enough.
+func (q *ClientQuota) Take(client string, cost float64) (ok bool, retryAfter time.Duration) {
+	if cost < 1 {
+		cost = 1
+	}
+	need := math.Min(cost, q.burst)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, found := q.clients[client]
+	if !found {
+		b = &clientBucket{tokens: q.burst}
+		q.clients[client] = b
+		q.evictLocked(client)
+	} else {
+		b.tokens = math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds())
+	}
+	b.last = now
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	wait := (need - b.tokens) / q.rate
+	return false, time.Duration(math.Ceil(wait * float64(time.Second)))
+}
+
+// evictLocked drops the longest-idle bucket when the map outgrows
+// maxClients, never the one just touched.
+func (q *ClientQuota) evictLocked(keep string) {
+	if len(q.clients) <= q.maxClients {
+		return
+	}
+	var victim string
+	var oldest time.Time
+	for id, b := range q.clients {
+		if id == keep {
+			continue
+		}
+		if victim == "" || b.last.Before(oldest) {
+			victim, oldest = id, b.last
+		}
+	}
+	if victim != "" {
+		delete(q.clients, victim)
+	}
+}
+
+// Len reports how many client buckets are tracked — the quota_clients
+// gauge.
+func (q *ClientQuota) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.clients)
+}

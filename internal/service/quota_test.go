@@ -1,0 +1,120 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock gives quota tests a hand-cranked time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQuota(rate float64, burst, maxClients int) (*ClientQuota, *fakeClock) {
+	q := NewClientQuota(rate, burst, maxClients)
+	c := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	q.now = c.now
+	return q, c
+}
+
+func TestQuotaBurstThenRefill(t *testing.T) {
+	q, clock := newTestQuota(1, 5, 0)
+	for i := 0; i < 5; i++ {
+		if ok, _ := q.Take("alice", 1); !ok {
+			t.Fatalf("take %d refused within burst", i)
+		}
+	}
+	ok, retry := q.Take("alice", 1)
+	if ok {
+		t.Fatal("6th take admitted past an empty bucket")
+	}
+	if retry != time.Second {
+		t.Errorf("retryAfter = %v, want 1s (1 token at 1/s)", retry)
+	}
+	clock.advance(2 * time.Second)
+	if ok, _ := q.Take("alice", 1); !ok {
+		t.Error("refilled token refused")
+	}
+	if ok, _ := q.Take("alice", 1); !ok {
+		t.Error("second refilled token refused")
+	}
+	if ok, _ := q.Take("alice", 1); ok {
+		t.Error("third take admitted with only 2s of refill")
+	}
+}
+
+func TestQuotaCostAware(t *testing.T) {
+	q, _ := newTestQuota(1, 10, 0)
+	if ok, _ := q.Take("alice", 7); !ok {
+		t.Fatal("7-cost job refused against a full burst of 10")
+	}
+	ok, retry := q.Take("alice", 7)
+	if ok {
+		t.Fatal("second 7-cost job admitted with only 3 tokens left")
+	}
+	if retry != 4*time.Second {
+		t.Errorf("retryAfter = %v, want 4s (needs 4 more tokens at 1/s)", retry)
+	}
+	// Fractional and sub-1 costs floor at 1 token.
+	if ok, _ := q.Take("alice", 0.1); !ok {
+		t.Error("sub-1-cost job refused with 3 tokens available")
+	}
+}
+
+// TestQuotaOversizedJob: a job costing more than the burst capacity needs a
+// completely full bucket — payable, not unpayable forever.
+func TestQuotaOversizedJob(t *testing.T) {
+	q, clock := newTestQuota(2, 4, 0)
+	if ok, _ := q.Take("alice", 100); !ok {
+		t.Fatal("oversized job refused against a full bucket")
+	}
+	// Bucket is now empty; the same job needs the full burst back.
+	ok, retry := q.Take("alice", 100)
+	if ok {
+		t.Fatal("oversized job admitted against an empty bucket")
+	}
+	if retry != 2*time.Second {
+		t.Errorf("retryAfter = %v, want 2s (4 tokens at 2/s)", retry)
+	}
+	clock.advance(2 * time.Second)
+	if ok, _ := q.Take("alice", 100); !ok {
+		t.Error("oversized job refused after a full refill")
+	}
+}
+
+// TestQuotaClientsIndependent: one client draining its bucket does not
+// touch another's.
+func TestQuotaClientsIndependent(t *testing.T) {
+	q, _ := newTestQuota(1, 2, 0)
+	q.Take("greedy", 2)
+	if ok, _ := q.Take("greedy", 1); ok {
+		t.Fatal("greedy client not exhausted")
+	}
+	if ok, _ := q.Take("polite", 1); !ok {
+		t.Error("polite client paid for greedy's spending")
+	}
+}
+
+// TestQuotaEviction: beyond maxClients the longest-idle bucket is dropped,
+// never the one just touched — and a re-created bucket starts full, so
+// eviction can only ever refill, not conjure extra concurrent debt.
+func TestQuotaEviction(t *testing.T) {
+	q, clock := newTestQuota(1, 5, 2)
+	q.Take("a", 1)
+	clock.advance(time.Second)
+	q.Take("b", 1)
+	q.Take("c", 1) // exceeds maxClients=2; "a" is idlest → evicted
+	if q.Len() != 2 {
+		t.Fatalf("tracked %d clients, want 2", q.Len())
+	}
+	// "b" kept its drained state (4 of 5 tokens left); "a" returns with a
+	// fresh (full) bucket.
+	q.Take("b", 4)
+	if ok, _ := q.Take("b", 1); ok {
+		t.Error("b's spending history was lost without eviction")
+	}
+	if ok, _ := q.Take("a", 5); !ok {
+		t.Error("evicted client did not come back with a full bucket")
+	}
+}

@@ -43,10 +43,16 @@ func NewServer(s *Service) http.Handler {
 		job, err := s.SubmitCtx(r.Context(), req)
 		if err != nil {
 			var shed *ShedError
+			var degraded *DegradedError
 			switch {
 			case errors.As(err, &shed):
 				w.Header().Set("Retry-After", strconv.Itoa(int(shed.RetryAfter.Seconds()+0.999)))
 				httpError(w, http.StatusTooManyRequests, err)
+			case errors.As(err, &degraded):
+				// Storage is sick: the job cannot be made durable. 503 with
+				// the probe interval — the soonest recovery could land.
+				w.Header().Set("Retry-After", strconv.Itoa(int(degraded.RetryAfter.Seconds()+0.999)))
+				httpError(w, http.StatusServiceUnavailable, err)
 			case errors.Is(err, ErrDraining):
 				httpError(w, http.StatusServiceUnavailable, err)
 			case s.JournalErr() != nil:
@@ -165,6 +171,9 @@ func NewServer(s *Service) http.Handler {
 		if s.Draining() {
 			code = http.StatusServiceUnavailable
 			body["reason"] = "draining"
+		} else if open, reason := s.Degraded(); open {
+			code = http.StatusServiceUnavailable
+			body["reason"] = "degraded: " + reason
 		} else if err := s.JournalErr(); err != nil {
 			code = http.StatusServiceUnavailable
 			body["reason"] = "journal: " + err.Error()

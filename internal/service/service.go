@@ -70,10 +70,28 @@ type Config struct {
 	MaxJobTimeout     time.Duration
 	// MaxCellsPerJob rejects oversized grids at validation (default 4096).
 	MaxCellsPerJob int
+	// ClientRate and ClientBurst parameterize per-client quota buckets,
+	// charged the request's cost estimate (GridRequest.Cost). ClientRate 0
+	// disables quotas entirely (the default — single-tenant servers need no
+	// fairness layer).
+	ClientRate  float64
+	ClientBurst int
+	// MaxClients bounds tracked quota buckets; the idlest is evicted
+	// beyond it (default 1024).
+	MaxClients int
+	// BreakerThreshold is how many consecutive journal or cell-cache write
+	// failures trip the storage circuit breaker into degraded mode
+	// (default 3).
+	BreakerThreshold int
+	// ProbeInterval is how often degraded mode probes storage for recovery
+	// (default 2s). It doubles as the Retry-After on degraded refusals.
+	ProbeInterval time.Duration
 	// Faults injects deterministic chaos into every job's cells (tests).
 	Faults *faultinject.Plan
 	// JournalWrap interposes on journal writes (fault injection; tests).
 	JournalWrap func(io.Writer) io.Writer
+	// CellWrap interposes on cell-cache writes (fault injection; tests).
+	CellWrap func(io.Writer) io.Writer
 	// Logger receives structured events; nil discards.
 	Logger *slog.Logger
 	// Registry receives service and sweep metrics; nil creates one.
@@ -117,6 +135,18 @@ func (c *Config) fill() {
 	if c.MaxCellsPerJob <= 0 {
 		c.MaxCellsPerJob = 4096
 	}
+	if c.ClientBurst <= 0 {
+		c.ClientBurst = 25
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 1024
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -153,6 +183,7 @@ type Service struct {
 
 	journal *Journal
 	cells   *runner.Checkpoint
+	quota   *ClientQuota // nil when quotas are disabled
 
 	// ctx dies on Kill (hard stop); draining is the soft path.
 	ctx  context.Context
@@ -164,6 +195,17 @@ type Service struct {
 	queue    chan *Job
 	draining bool
 	drained  chan struct{} // closed when the last worker exits after drain
+
+	// breaker holds the storage circuit state (self-locking — observations
+	// fire from write paths that may hold mu). unjournaled (under mu)
+	// holds terminal journal entries that could not be persisted while
+	// degraded; recovery re-appends them so the next restart does not
+	// requeue finished jobs.
+	breaker     *Breaker
+	unjournaled map[string]journalEntry
+
+	stopProbe chan struct{} // closes the prober goroutine
+	probeOnce sync.Once
 
 	wg sync.WaitGroup
 }
@@ -180,7 +222,13 @@ func Open(cfg Config) (*Service, error) {
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	replayed, skipped, err := ReplayJournal(filepath.Join(cfg.DataDir, JournalName))
+	// The service owns its DataDir ledger exclusively, so it is the one
+	// place a ledger repair is race-free: run it before anything appends.
+	ledgerScan, err := ledger.Repair(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	replayed, replayStats, err := ReplayJournal(filepath.Join(cfg.DataDir, JournalName))
 	if err != nil {
 		return nil, err
 	}
@@ -193,19 +241,28 @@ func Open(cfg Config) (*Service, error) {
 		journal.Close()
 		return nil, err
 	}
+	if cfg.CellWrap != nil {
+		cells.WrapWriter(cfg.CellWrap)
+	}
 	ctx, kill := context.WithCancelCause(context.Background())
 	s := &Service{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		reg:     cfg.Registry,
-		bucket:  NewTokenBucket(cfg.SubmitRate, cfg.SubmitBurst),
-		start:   time.Now(),
-		journal: journal,
-		cells:   cells,
-		ctx:     ctx,
-		kill:    kill,
-		jobs:    make(map[string]*Job),
-		drained: make(chan struct{}),
+		cfg:         cfg,
+		log:         cfg.Logger,
+		reg:         cfg.Registry,
+		bucket:      NewTokenBucket(cfg.SubmitRate, cfg.SubmitBurst),
+		start:       time.Now(),
+		journal:     journal,
+		cells:       cells,
+		ctx:         ctx,
+		kill:        kill,
+		jobs:        make(map[string]*Job),
+		drained:     make(chan struct{}),
+		breaker:     NewBreaker(cfg.BreakerThreshold),
+		unjournaled: make(map[string]journalEntry),
+		stopProbe:   make(chan struct{}),
+	}
+	if cfg.ClientRate > 0 {
+		s.quota = NewClientQuota(cfg.ClientRate, cfg.ClientBurst, cfg.MaxClients)
 	}
 	// Pre-register the full metric catalog so a fresh server's /metrics
 	// exposes every series at zero instead of growing them as code paths
@@ -215,12 +272,27 @@ func Open(cfg Config) (*Service, error) {
 		s.reg.Timing(telemetry.MJournalAppendLatency),
 		s.reg.Timing(telemetry.MJournalFsyncLatency),
 	)
+	// The breaker observes every journal and cell-cache persistence
+	// attempt; enough consecutive failures flip the service degraded.
+	journal.SetOnResult(s.observeStorage("journal"))
+	cells.SetOnWrite(s.observeStorage("cell-cache"))
+	// Surface what the opening integrity scans found.
+	cellScan := cells.ScanStats()
+	s.reg.Counter(telemetry.MJournalQuarantined).Add(int64(replayStats.Scan.Quarantined))
+	s.reg.Counter(telemetry.MCellsQuarantined).Add(int64(cellScan.Quarantined))
+	s.reg.Counter(telemetry.MLedgerQuarantined).Add(int64(ledgerScan.Quarantined))
+	if q := replayStats.Scan.Quarantined + cellScan.Quarantined + ledgerScan.Quarantined; q > 0 {
+		s.log.Warn("corrupt records quarantined on open",
+			"journal", replayStats.Scan.Quarantined,
+			"cells", cellScan.Quarantined,
+			"ledger", ledgerScan.Quarantined)
+	}
 	// The queue must hold every requeued job plus MaxQueue fresh ones;
 	// Submit checks depth under s.mu so sends never block.
 	var pending []*Job
 	for _, jj := range replayed {
 		jobCtx, cancel := context.WithCancelCause(s.ctx)
-		job := newJob(jj.ID, jj.ReqID, jj.Req, jobCtx, cancel)
+		job := newJob(jj.ID, jj.ReqID, jj.Client, jj.Req, jobCtx, cancel)
 		job.mu.Lock()
 		job.restored = true
 		job.status.Submitted = jj.Submitted
@@ -252,9 +324,12 @@ func Open(cfg Config) (*Service, error) {
 		s.queue <- job
 	}
 	s.reg.Gauge(MQueueDepth).Set(int64(len(pending)))
-	if skipped > 0 || len(pending) > 0 {
+	if replayStats.Scan.Quarantined > 0 || replayStats.Orphans > 0 || len(pending) > 0 {
 		s.log.Info("journal replayed",
-			"jobs", len(replayed), "requeued", len(pending), "skipped_lines", skipped)
+			"jobs", len(replayed), "requeued", len(pending),
+			"quarantined", replayStats.Scan.Quarantined,
+			"orphans", replayStats.Orphans,
+			"legacy", replayStats.Scan.Legacy)
 	}
 	return s, nil
 }
@@ -279,6 +354,109 @@ func (s *Service) Start() {
 		s.wg.Wait()
 		close(s.drained)
 	}()
+	go s.probeLoop()
+}
+
+// observeStorage builds the breaker's observer for one persistence
+// surface. Paused-journal rejections are the breaker's own doing, not new
+// disk evidence, so they are not counted.
+func (s *Service) observeStorage(source string) func(error) {
+	return func(err error) {
+		if errors.Is(err, ErrJournalPaused) {
+			return
+		}
+		if s.breaker.observe(err) {
+			s.enterDegraded(source, err)
+		}
+	}
+}
+
+// enterDegraded flips the service into degraded mode: the journal is
+// paused and the cell cache stops persisting (nothing else touches the
+// sick disk), new submissions shed with 503, /readyz reports the reason,
+// and the prober starts looking for recovery. In-flight jobs keep
+// running — memoization still works in memory, and their terminal states
+// park in unjournaled until the disk heals.
+func (s *Service) enterDegraded(source string, cause error) {
+	s.journal.SetPaused(true)
+	s.cells.SetPersist(false)
+	s.reg.Gauge(telemetry.MDegraded).Set(1)
+	s.reg.Counter(telemetry.MBreakerTrips).Add(1)
+	s.log.Error("storage breaker tripped; entering degraded mode",
+		"source", source, "err", cause)
+}
+
+// probeLoop drives degraded-mode recovery: every ProbeInterval it writes
+// one probe record through each persistence surface's full durable path;
+// when both land, the service recovers. Runs for the service lifetime,
+// idle while healthy.
+func (s *Service) probeLoop() {
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopProbe:
+			return
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+		}
+		if open, _ := s.breaker.state(); !open {
+			continue
+		}
+		s.reg.Counter(telemetry.MStorageProbes).Add(1)
+		jerr := s.journal.Probe()
+		cerr := s.cells.Probe()
+		if jerr != nil || cerr != nil {
+			s.log.Warn("storage probe failed", "journal_err", jerr, "cell_err", cerr)
+			continue
+		}
+		s.exitDegraded()
+	}
+}
+
+// exitDegraded restores healthy operation after a successful probe cycle:
+// sticky errors are cleared, the journal unpauses, the cell cache
+// persists again, and every terminal state parked while degraded is
+// re-appended so a later restart replays the truth instead of requeueing
+// finished jobs.
+func (s *Service) exitDegraded() {
+	s.journal.ClearErr()
+	s.cells.ClearErr()
+	s.journal.SetPaused(false)
+	s.cells.SetPersist(true)
+	s.breaker.reset()
+	s.mu.Lock()
+	parked := s.unjournaled
+	s.unjournaled = make(map[string]journalEntry)
+	s.mu.Unlock()
+	s.reg.Gauge(telemetry.MDegraded).Set(0)
+	flushed := 0
+	for _, e := range parked {
+		if err := s.journal.append(e); err != nil {
+			s.log.Warn("replaying parked journal entry failed", "job", e.Job, "err", err)
+			s.mu.Lock()
+			s.unjournaled[e.Job] = e
+			s.mu.Unlock()
+			continue
+		}
+		flushed++
+	}
+	s.log.Info("storage recovered; degraded mode cleared", "flushed_entries", flushed)
+}
+
+// parkUnjournaled remembers a terminal entry that could not be journaled,
+// to be re-appended when storage recovers. Re-appending is idempotent:
+// replay folds duplicate terminals to the same state.
+func (s *Service) parkUnjournaled(e journalEntry) {
+	s.mu.Lock()
+	s.unjournaled[e.Job] = e
+	s.mu.Unlock()
+}
+
+// Degraded reports whether the storage breaker is open, and why.
+func (s *Service) Degraded() (bool, string) {
+	return s.breaker.state()
 }
 
 // Submit validates, admits, journals and enqueues a request, without any
@@ -302,11 +480,33 @@ func (s *Service) SubmitCtx(ctx context.Context, req GridRequest) (*Job, error) 
 		s.reg.Counter(telemetry.MShedDraining).Add(1)
 		return nil, ErrDraining
 	}
-	// Depth first (cheap, sheds the burst), then the rate bucket.
+	if open, reason := s.breaker.state(); open {
+		// The journal cannot make this job durable; refuse honestly with
+		// the soonest the next probe could clear the breaker.
+		s.reg.Counter(MJobsShed).Add(1)
+		s.reg.Counter(telemetry.MShedDegraded).Add(1)
+		return nil, &DegradedError{Reason: reason, RetryAfter: s.cfg.ProbeInterval}
+	}
+	// Depth first (cheap, sheds the burst), then the client quota — before
+	// the global bucket, so a greedy client is charged its own budget
+	// without draining everyone's — then the global rate bucket.
 	if len(s.queue) >= s.cfg.MaxQueue {
 		s.reg.Counter(MJobsShed).Add(1)
 		s.reg.Counter(telemetry.MShedQueue).Add(1)
 		return nil, &ShedError{Reason: "queue", RetryAfter: s.estimateDrain()}
+	}
+	client := ClientFrom(ctx)
+	if s.quota != nil {
+		qc := client
+		if qc == "" {
+			qc = "local"
+		}
+		if ok, retryAfter := s.quota.Take(qc, req.Cost()); !ok {
+			s.reg.Counter(MJobsShed).Add(1)
+			s.reg.Counter(telemetry.MShedClient).Add(1)
+			return nil, &ShedError{Reason: "client", RetryAfter: retryAfter}
+		}
+		s.reg.Gauge(telemetry.MQuotaClients).Set(int64(s.quota.Len()))
 	}
 	if ok, retryAfter := s.bucket.Take(); !ok {
 		s.reg.Counter(MJobsShed).Add(1)
@@ -315,12 +515,12 @@ func (s *Service) SubmitCtx(ctx context.Context, req GridRequest) (*Job, error) 
 	}
 	id := newJobID()
 	reqID := RequestIDFrom(ctx)
-	if err := s.journal.Submit(id, reqID, req); err != nil {
+	if err := s.journal.Submit(id, reqID, client, req); err != nil {
 		// Not durable — reject rather than risk losing an accepted job.
 		return nil, err
 	}
 	jobCtx, cancel := context.WithCancelCause(s.ctx)
-	job := newJob(id, reqID, req, jobCtx, cancel)
+	job := newJob(id, reqID, client, req, jobCtx, cancel)
 	if !s.cfg.NoTelemetry {
 		job.startTrace()
 	}
@@ -330,7 +530,7 @@ func (s *Service) SubmitCtx(ctx context.Context, req GridRequest) (*Job, error) 
 	s.reg.Counter(MJobsSubmitted).Add(1)
 	s.reg.Gauge(MQueueDepth).Add(1)
 	s.log.Info("job accepted", "job", id, "cells", req.cellCount(),
-		"config", job.status.ConfigHash, "request_id", reqID)
+		"config", job.status.ConfigHash, "request_id", reqID, "client", client)
 	return job, nil
 }
 
@@ -535,6 +735,7 @@ func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause
 		job.setState(StateDone, "", "")
 		if err := s.journal.Done(job.id); err != nil {
 			s.log.Warn("journal done entry failed", "job", job.id, "err", err)
+			s.parkUnjournaled(journalEntry{T: "done", Job: job.id})
 		}
 		s.reg.Counter(MJobsDone).Add(1)
 		s.appendLedger(job, results)
@@ -551,6 +752,7 @@ func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause
 		job.setState(StateCanceled, "", causeName(cause))
 		if err := s.journal.Cancel(job.id); err != nil {
 			s.log.Warn("journal cancel entry failed", "job", job.id, "err", err)
+			s.parkUnjournaled(journalEntry{T: "cancel", Job: job.id})
 		}
 		s.reg.Counter(MJobsCanceled).Add(1)
 		s.endTrace(job, StateCanceled, "", causeName(cause))
@@ -563,6 +765,7 @@ func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause
 		job.setState(StateFailed, msg, causeName(cause))
 		if err := s.journal.Fail(job.id, msg, causeName(cause)); err != nil {
 			s.log.Warn("journal fail entry failed", "job", job.id, "err", err)
+			s.parkUnjournaled(journalEntry{T: "fail", Job: job.id, Err: msg, Cause: causeName(cause)})
 		}
 		s.reg.Counter(MJobsFailed).Add(1)
 		s.endTrace(job, StateFailed, msg, causeName(cause))
@@ -670,6 +873,7 @@ func (s *Service) appendLedger(job *Job, results []runner.Result[CellResult]) {
 // jobs are aborted with ErrDrainAborted — they stay non-terminal in the
 // journal and resume on the next start — and Drain reports the abort.
 func (s *Service) Drain(ctx context.Context) error {
+	s.probeOnce.Do(func() { close(s.stopProbe) })
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
@@ -706,6 +910,7 @@ func (s *Service) Drain(ctx context.Context) error {
 // and close the files without flushing job state. Journaled-but-unfinished
 // jobs will be requeued by the next Open, exactly as after a real crash.
 func (s *Service) Kill() {
+	s.probeOnce.Do(func() { close(s.stopProbe) })
 	s.kill(ErrKilled)
 	s.mu.Lock()
 	if !s.draining {

@@ -31,22 +31,32 @@ func TestMetricsEndpoint(t *testing.T) {
 	job, _ := s.Job(st.ID)
 	waitTerminal(t, job, 30*time.Second)
 
-	resp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
-		t.Errorf("content type %q", ct)
-	}
-	series, err := telemetry.ParsePromText(resp.Body)
-	if err != nil {
-		t.Fatalf("/metrics output does not parse: %v", err)
+	// The terminal-state counters land moments after the state flip that
+	// waitTerminal observes, so scrape until jobs_done reflects the job.
+	var series map[string]float64
+	p := telemetry.PromPrefix
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Errorf("content type %q", ct)
+		}
+		series, err = telemetry.ParsePromText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("/metrics output does not parse: %v", err)
+		}
+		if series[p+"jobs_done"] >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	if len(series) < 20 {
 		t.Errorf("/metrics exposes %d series, want >= 20", len(series))
 	}
-	p := telemetry.PromPrefix
 	checks := map[string]float64{
 		p + "jobs_submitted": 1,
 		p + "jobs_done":      1,
@@ -221,10 +231,20 @@ func TestJobTraceNesting(t *testing.T) {
 		t.Errorf("%d span lines, want 10", lines)
 	}
 
-	// Terminal jobs export both trace files for post-mortem use.
+	// Terminal jobs export both trace files for post-mortem use. The export
+	// lands moments after the job turns terminal, so poll briefly.
 	for _, name := range []string{st.ID + ".trace.json", st.ID + ".spans.ndjson"} {
-		if _, err := os.Stat(filepath.Join(s.TraceDir(), name)); err != nil {
-			t.Errorf("trace file not exported: %v", err)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			_, err := os.Stat(filepath.Join(s.TraceDir(), name))
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("trace file not exported: %v", err)
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
 		}
 	}
 }

@@ -54,6 +54,28 @@ const (
 	// MUptimeSeconds gauges seconds since the service opened, refreshed at
 	// scrape time.
 	MUptimeSeconds = "uptime_seconds"
+	// MShedClient counts 429s from per-client quota buckets.
+	MShedClient = "shed_client"
+	// MShedDegraded counts 503s from submissions while storage is degraded.
+	MShedDegraded = "shed_degraded"
+	// MQuotaClients gauges per-client quota buckets currently tracked.
+	MQuotaClients = "quota_clients"
+	// MJournalQuarantined counts journal records quarantined by the
+	// open-time checksum scan.
+	MJournalQuarantined = "journal_quarantined"
+	// MCellsQuarantined counts cell-cache records quarantined by the
+	// open-time checksum scan.
+	MCellsQuarantined = "cells_quarantined"
+	// MLedgerQuarantined counts ledger records quarantined by the
+	// open-time repair.
+	MLedgerQuarantined = "ledger_quarantined"
+	// MDegraded gauges degraded mode: 1 while the storage circuit breaker
+	// is open, 0 otherwise.
+	MDegraded = "degraded"
+	// MBreakerTrips counts storage circuit breaker trips.
+	MBreakerTrips = "breaker_trips"
+	// MStorageProbes counts degraded-mode recovery probes attempted.
+	MStorageProbes = "storage_probes"
 )
 
 // MetricDef declares one metric: its registry name, family and help text.
@@ -94,6 +116,9 @@ var Defs = []MetricDef{
 	{MShedQueue, "counter", "Submissions shed on the queue-depth limit (429)."},
 	{MShedRate, "counter", "Submissions shed on the rate limit (429)."},
 	{MShedDraining, "counter", "Submissions refused while draining (503)."},
+	{MShedClient, "counter", "Submissions shed on a per-client quota (429)."},
+	{MShedDegraded, "counter", "Submissions refused while storage is degraded (503)."},
+	{MQuotaClients, "gauge", "Per-client quota buckets currently tracked."},
 	// HTTP API.
 	{MHTTPRequests, "counter", "API requests served."},
 	{MHTTPErrors, "counter", "API requests answered with status >= 400."},
@@ -101,6 +126,13 @@ var Defs = []MetricDef{
 	// Journal durability.
 	{MJournalAppendLatency, "timing", "Journal append latency (write + retries + fsync)."},
 	{MJournalFsyncLatency, "timing", "Journal fsync latency."},
+	// Storage integrity and the circuit breaker.
+	{MJournalQuarantined, "counter", "Journal records quarantined by the open-time checksum scan."},
+	{MCellsQuarantined, "counter", "Cell-cache records quarantined by the open-time checksum scan."},
+	{MLedgerQuarantined, "counter", "Ledger records quarantined by the open-time repair."},
+	{MDegraded, "gauge", "1 while the storage circuit breaker is open, 0 otherwise."},
+	{MBreakerTrips, "counter", "Storage circuit breaker trips."},
+	{MStorageProbes, "counter", "Degraded-mode recovery probes attempted."},
 	// Runner attempts and tracing.
 	{MCellAttempts, "counter", "Runner attempts across all cells, retries included."},
 	{MTraceSpans, "counter", "Spans recorded into finished job traces."},
