@@ -44,20 +44,27 @@ type Bench struct {
 func main() {
 	out := flag.String("o", "", "write JSON snapshot to this file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two snapshots: bench2json -diff OLD.json NEW.json")
-	failOver := flag.Float64("fail-over", 0, "with -diff: exit 1 when any benchmark's ns/op grew by more than this percent (0 = report only)")
-	best := flag.Bool("best", false, "when a name repeats (go test -count=N), keep only its lowest-ns/op run")
+	failOver := flag.Float64("fail-over", 0, "with -diff: exit 1 when a watched metric grew by more than this percent (0 = report only)")
+	failMetrics := flag.String("fail-metrics", "ns/op", "with -diff -fail-over: comma-separated metrics the gate watches; growth is the bad direction (e.g. ns/op,allocs/op,B/op)")
+	best := flag.Bool("best", false, "when a name repeats (go test -count=N), keep each metric's minimum across the repeats")
 	flag.Parse()
 
 	var err error
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: bench2json -diff [-fail-over PCT] OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: bench2json -diff [-fail-over PCT] [-fail-metrics ns/op,allocs/op] OLD.json NEW.json")
 			os.Exit(2)
 		}
+		var watch []string
+		for _, m := range strings.Split(*failMetrics, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				watch = append(watch, m)
+			}
+		}
 		var slow []string
-		slow, err = runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *failOver)
+		slow, err = runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *failOver, watch)
 		if err == nil && len(slow) > 0 {
-			fmt.Fprintf(os.Stderr, "bench2json: %d benchmark(s) slowed by more than %g%%: %s\n",
+			fmt.Fprintf(os.Stderr, "bench2json: %d benchmark metric(s) grew by more than %g%%: %s\n",
 				len(slow), *failOver, strings.Join(slow, ", "))
 			os.Exit(1)
 		}
@@ -98,9 +105,12 @@ func runConvert(in io.Reader, out string, best bool) error {
 }
 
 // BestOf collapses repeated benchmark names (as produced by `go test
-// -count=N`) to the occurrence with the lowest ns/op, preserving first-seen
-// order. The minimum is the noise-robust statistic for a gate: scheduler or
-// cache interference only ever makes a run slower, never faster.
+// -count=N` or repeated sub-benchmark runs) to the element-wise minimum of
+// each metric, preserving first-seen order. The minimum is the noise-robust
+// statistic for a gate: scheduler or cache interference only ever inflates
+// a sample, never deflates it — and taking it per metric means every
+// watched metric gets its own floor rather than riding along with whichever
+// run happened to win on ns/op.
 func BestOf(benches []Bench) []Bench {
 	idx := map[string]int{}
 	var out []Bench
@@ -108,11 +118,18 @@ func BestOf(benches []Bench) []Bench {
 		i, seen := idx[b.Name]
 		if !seen {
 			idx[b.Name] = len(out)
-			out = append(out, b)
+			merged := b
+			merged.Metrics = make(map[string]float64, len(b.Metrics))
+			for unit, v := range b.Metrics {
+				merged.Metrics[unit] = v
+			}
+			out = append(out, merged)
 			continue
 		}
-		if b.Metrics["ns/op"] < out[i].Metrics["ns/op"] {
-			out[i] = b
+		for unit, v := range b.Metrics {
+			if ov, ok := out[i].Metrics[unit]; !ok || v < ov {
+				out[i].Metrics[unit] = v
+			}
 		}
 	}
 	return out
@@ -167,7 +184,7 @@ func parseBenchLine(line string) (Bench, bool) {
 	return b, true
 }
 
-func runDiff(w io.Writer, oldPath, newPath string, failOver float64) ([]string, error) {
+func runDiff(w io.Writer, oldPath, newPath string, failOver float64, metrics []string) ([]string, error) {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
 		return nil, err
@@ -180,13 +197,20 @@ func runDiff(w io.Writer, oldPath, newPath string, failOver float64) ([]string, 
 	if failOver <= 0 {
 		return nil, nil
 	}
-	return Slowdowns(oldSnap, newSnap, failOver), nil
+	return Slowdowns(oldSnap, newSnap, failOver, metrics), nil
 }
 
-// Slowdowns lists the benchmarks present in both snapshots whose ns/op grew
-// by more than pct percent — the -fail-over gate. Benchmarks on one side
-// only never fail the gate (a rename should show in the diff, not break CI).
-func Slowdowns(oldSnap, newSnap *Snapshot, pct float64) []string {
+// Slowdowns lists each watched metric of the benchmarks present in both
+// snapshots that grew by more than pct percent — the -fail-over gate.
+// metrics nil or empty means ns/op. A benchmark missing a watched metric on
+// either side never fails the gate (benchmarks without -benchmem have no
+// allocs/op; that's a reporting gap, not a regression), and neither do
+// benchmarks on one side only (a rename should show in the diff, not break
+// CI).
+func Slowdowns(oldSnap, newSnap *Snapshot, pct float64, metrics []string) []string {
+	if len(metrics) == 0 {
+		metrics = []string{"ns/op"}
+	}
 	oldBy := map[string]Bench{}
 	for _, b := range oldSnap.Benches {
 		oldBy[b.Name] = b
@@ -197,9 +221,15 @@ func Slowdowns(oldSnap, newSnap *Snapshot, pct float64) []string {
 		if !ok {
 			continue
 		}
-		ov, nv := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
-		if ov > 0 && (nv-ov)/ov*100 > pct {
-			slow = append(slow, fmt.Sprintf("%s (%+.1f%%)", nb.Name, (nv-ov)/ov*100))
+		for _, unit := range metrics {
+			ov, hasOld := ob.Metrics[unit]
+			nv, hasNew := nb.Metrics[unit]
+			if !hasOld || !hasNew || ov <= 0 {
+				continue
+			}
+			if (nv-ov)/ov*100 > pct {
+				slow = append(slow, fmt.Sprintf("%s %s (%+.1f%%)", nb.Name, unit, (nv-ov)/ov*100))
+			}
 		}
 	}
 	return slow

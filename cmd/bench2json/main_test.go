@@ -91,32 +91,61 @@ func TestSlowdowns(t *testing.T) {
 		{Name: "BenchmarkEdge-8", Metrics: map[string]float64{"ns/op": 104}}, // +4%, under gate
 		{Name: "BenchmarkNew-8", Metrics: map[string]float64{"ns/op": 9999}},
 	}}
-	slow := Slowdowns(oldSnap, newSnap, 5)
+	slow := Slowdowns(oldSnap, newSnap, 5, nil)
 	if len(slow) != 1 || !strings.Contains(slow[0], "BenchmarkSlow-8") || !strings.Contains(slow[0], "+20.0%") {
 		t.Errorf("slowdowns = %v, want only BenchmarkSlow-8 at +20.0%%", slow)
 	}
-	if got := Slowdowns(oldSnap, newSnap, 25); len(got) != 0 {
+	if got := Slowdowns(oldSnap, newSnap, 25, nil); len(got) != 0 {
 		t.Errorf("25%% gate flagged %v", got)
 	}
 }
 
-// TestBestOf: -best collapses `go test -count=N` repeats to the fastest run
-// per name, keeping first-seen order and leaving unique names untouched.
+// TestSlowdownsFailMetrics: -fail-metrics widens the gate to allocation
+// metrics; a metric absent from either side is a reporting gap, not a
+// regression.
+func TestSlowdownsFailMetrics(t *testing.T) {
+	oldSnap := &Snapshot{Benches: []Bench{
+		{Name: "BenchmarkAlloc-8", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 10, "B/op": 1000}},
+		{Name: "BenchmarkNoMem-8", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	newSnap := &Snapshot{Benches: []Bench{
+		// ns/op flat, allocs/op +50%, B/op +3%.
+		{Name: "BenchmarkAlloc-8", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 15, "B/op": 1030}},
+		// grew allocs/op, but the baseline never measured it.
+		{Name: "BenchmarkNoMem-8", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 99}},
+	}}
+	slow := Slowdowns(oldSnap, newSnap, 5, []string{"allocs/op", "B/op"})
+	if len(slow) != 1 || !strings.Contains(slow[0], "BenchmarkAlloc-8 allocs/op (+50.0%)") {
+		t.Errorf("slowdowns = %v, want only BenchmarkAlloc-8 allocs/op", slow)
+	}
+	// The default gate still watches only ns/op, which did not move.
+	if got := Slowdowns(oldSnap, newSnap, 5, []string{"ns/op"}); len(got) != 0 {
+		t.Errorf("ns/op gate flagged %v", got)
+	}
+}
+
+// TestBestOf: -best collapses `go test -count=N` repeats to each metric's
+// minimum (metrics floor independently — the cpu-ns/op floor need not come
+// from the run that won on ns/op), keeping first-seen order and leaving
+// unique names untouched.
 func TestBestOf(t *testing.T) {
 	in := []Bench{
 		{Name: "BenchmarkA-8", Iters: 10, Metrics: map[string]float64{"ns/op": 120}},
 		{Name: "BenchmarkB-8", Iters: 5, Metrics: map[string]float64{"ns/op": 7}},
 		{Name: "BenchmarkA-8", Iters: 10, Metrics: map[string]float64{"ns/op": 95, "allocs/op": 3}},
-		{Name: "BenchmarkA-8", Iters: 10, Metrics: map[string]float64{"ns/op": 110}},
+		{Name: "BenchmarkA-8", Iters: 10, Metrics: map[string]float64{"ns/op": 110, "allocs/op": 2}},
 	}
 	out := BestOf(in)
 	if len(out) != 2 {
 		t.Fatalf("len = %d, want 2: %+v", len(out), out)
 	}
-	if out[0].Name != "BenchmarkA-8" || out[0].Metrics["ns/op"] != 95 || out[0].Metrics["allocs/op"] != 3 {
-		t.Errorf("best A = %+v, want the 95 ns/op run", out[0])
+	if out[0].Name != "BenchmarkA-8" || out[0].Metrics["ns/op"] != 95 || out[0].Metrics["allocs/op"] != 2 {
+		t.Errorf("best A = %+v, want ns/op 95 and allocs/op 2", out[0])
 	}
 	if out[1].Name != "BenchmarkB-8" || out[1].Metrics["ns/op"] != 7 {
 		t.Errorf("B = %+v", out[1])
+	}
+	if in[0].Metrics["allocs/op"] != 0 || len(in[0].Metrics) != 1 {
+		t.Errorf("BestOf mutated its input: %+v", in[0])
 	}
 }

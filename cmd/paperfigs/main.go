@@ -37,6 +37,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/perfobs"
 	"repro/internal/runner"
 	"repro/internal/simtrace"
 	"repro/internal/textplot"
@@ -173,6 +174,7 @@ func run() (err error) {
 
 		progress  = flag.Duration("progress", 0, "print sweep progress/ETA lines to stderr at this interval (0 = off)")
 		debugAddr = flag.String("debug-addr", "", "serve live expvar and pprof on this address (e.g. :8080; :0 picks a free port)")
+		profDir   = flag.String("profile", "", "capture CPU+heap pprof profiles into DIR/<run-id>/ (bounded retention); arms the manifest, and with -ledger the digest lands in the run record")
 		manifest  = flag.String("manifest", "", "write the run manifest JSON here (default when observability is on: <checkpoint>.manifest.json, else paperfigs.manifest.json)")
 		ledgerDir = flag.String("ledger", "", "append a compact run record to the ledger in this directory (inspect with simreport)")
 		logLevel  = flag.String("log", "info", "structured log level on stderr: debug, info, warn, error")
@@ -220,7 +222,7 @@ func run() (err error) {
 	// -attrib counts as asking: its aggregate is reported via the manifest.
 	// -ledger arms the registry and the in-memory manifest (the ledger
 	// record is its projection) but writes no manifest file of its own.
-	manifestOn := *progress > 0 || *debugAddr != "" || *manifest != "" || *attrib
+	manifestOn := *progress > 0 || *debugAddr != "" || *manifest != "" || *attrib || *profDir != ""
 	obsOn := manifestOn || *ledgerDir != ""
 	manifestPath := *manifest
 	if manifestOn && manifestPath == "" {
@@ -248,6 +250,23 @@ func run() (err error) {
 		rep.Start()
 		defer rep.Stop()
 		rep.Phase("generate")
+	}
+	// Profile capture brackets trace generation through the last figure.
+	// The phase sampler marks the same boundaries the reporter's phases
+	// time, adding an allocation dimension to each.
+	var (
+		capt     *perfobs.Capture
+		phaseAll *perfobs.PhaseSampler
+	)
+	if *profDir != "" {
+		c, cerr := perfobs.Start(*profDir, runID, perfobs.Options{})
+		if cerr != nil {
+			return cerr
+		}
+		capt = c
+		defer capt.Stop() //nolint:errcheck // releases the profiler on early error returns; the manifest defer below stops first
+		phaseAll = perfobs.NewPhaseSampler()
+		phaseAll.Mark("generate")
 	}
 
 	// Ctrl-C (or SIGTERM) cancels the sweep context: in-flight cells
@@ -323,6 +342,31 @@ func run() (err error) {
 			m.Checkpoint = &obs.ManifestCheckpoint{Path: *ckpt}
 		}
 		defer func() {
+			// Stop the capture first so the digest and profile paths land
+			// in the manifest (and the ledger projection below) even on
+			// interrupted or failed runs.
+			var perfFP *perfobs.Fingerprint
+			if capt != nil {
+				if sum, serr := capt.Stop(); serr != nil {
+					logger.Error("profile capture stop failed", "err", serr)
+				} else if fp, ferr := capt.Fingerprint(0); ferr != nil {
+					logger.Error("profile digest failed", "err", ferr)
+				} else {
+					fp.PhaseAllocs = phaseAll.Finish()
+					perfFP = fp
+					m.Profiles = []obs.ManifestProfile{
+						{Kind: "cpu", Path: sum.CPUPath, Bytes: sum.CPUBytes},
+						{Kind: "heap", Path: sum.HeapPath, Bytes: sum.HeapBytes},
+					}
+					for _, pa := range fp.PhaseAllocs {
+						m.PhaseAllocs = append(m.PhaseAllocs, obs.ManifestPhaseAlloc{
+							Name: pa.Name, AllocBytes: pa.AllocBytes,
+							AllocObjects: pa.AllocObjects, GCCycles: pa.GCCycles,
+						})
+					}
+					fmt.Fprintf(os.Stderr, "profiles: %s (cpu %dB, heap %dB)\n", sum.Dir, sum.CPUBytes, sum.HeapBytes)
+				}
+			}
 			m.FillFromRegistry(reg, time.Since(start))
 			if cp != nil {
 				m.Checkpoint.Entries = cp.Len()
@@ -349,7 +393,9 @@ func run() (err error) {
 				// The ledger record is the manifest's cross-run projection;
 				// interrupted and failed runs are ledgered too (with their
 				// outcome), so history shows every invocation.
-				if path, lerr := ledger.Append(*ledgerDir, ledger.FromManifest(m, "paperfigs")); lerr != nil {
+				rec := ledger.FromManifest(m, "paperfigs")
+				rec.Perf = perfFP
+				if path, lerr := ledger.Append(*ledgerDir, rec); lerr != nil {
 					logger.Error("ledger append failed", "dir", *ledgerDir, "err", lerr)
 				} else {
 					fmt.Fprintf(os.Stderr, "ledger: %s\n", path)
@@ -364,6 +410,9 @@ func run() (err error) {
 		}
 		if rep != nil {
 			rep.Phase(f.name)
+		}
+		if phaseAll != nil {
+			phaseAll.Mark(f.name)
 		}
 		t0 := time.Now()
 		fmt.Printf("\n================ %s ================\n", f.title)

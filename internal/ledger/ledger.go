@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/obs"
+	"repro/internal/perfobs"
 )
 
 // SchemaVersion is stamped into every record this build appends. Readers
@@ -97,6 +98,11 @@ type Record struct {
 	// Warmup maps trace name → first warm-stable reference, from the
 	// interval instrument's stabilization estimator.
 	Warmup map[string]int64 `json:"warmup,omitempty"`
+	// Perf is the run's profile fingerprint (top functions by CPU self-time
+	// and allocation share), present when the run captured profiles via
+	// -profile. It sits next to CPI and latency so `simreport perf` can
+	// trend and gate hot-path composition the way `gate` trends totals.
+	Perf *perfobs.Fingerprint `json:"perf,omitempty"`
 
 	Env Env `json:"env"`
 }

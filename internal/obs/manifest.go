@@ -56,6 +56,29 @@ type Manifest struct {
 	// Warmup records per-trace warm-up stabilization estimates from the
 	// interval time series, when interval instrumentation ran.
 	Warmup []ManifestWarmup `json:"warmup,omitempty"`
+	// Profiles references the pprof files a -profile run captured, so the
+	// manifest is the index into the capture directory's bounded retention.
+	Profiles []ManifestProfile `json:"profiles,omitempty"`
+	// PhaseAllocs breaks the run's allocation totals down per phase
+	// (runtime/metrics deltas around the same marks Phases times).
+	PhaseAllocs []ManifestPhaseAlloc `json:"phase_allocs,omitempty"`
+}
+
+// ManifestProfile references one captured pprof profile file.
+type ManifestProfile struct {
+	// Kind is "cpu" or "heap".
+	Kind  string `json:"kind"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// ManifestPhaseAlloc is one phase's allocation delta: what the process
+// allocated between that phase's start mark and the next.
+type ManifestPhaseAlloc struct {
+	Name         string `json:"name"`
+	AllocBytes   int64  `json:"alloc_bytes"`
+	AllocObjects int64  `json:"alloc_objects"`
+	GCCycles     int64  `json:"gc_cycles"`
 }
 
 // ManifestWarmup is one trace's warm-up stabilization estimate: the first

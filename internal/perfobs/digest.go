@@ -1,0 +1,237 @@
+package perfobs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultTopN is how many functions a digest or fingerprint keeps.
+const DefaultTopN = 15
+
+// FuncCost is one function's row in a digest: self (flat) cost attributed
+// to samples whose leaf frame is the function, and cumulative cost for
+// samples with the function anywhere on the stack.
+type FuncCost struct {
+	Func    string  `json:"func"`
+	Flat    int64   `json:"flat"`
+	Cum     int64   `json:"cum"`
+	FlatPct float64 `json:"flat_pct"`
+	CumPct  float64 `json:"cum_pct"`
+}
+
+// Callsite is one source line's row in the by-callsite table: the innermost
+// frame of each sample keyed by function, file and line. For heap profiles
+// this is the allocation-by-callsite table.
+type Callsite struct {
+	Func    string  `json:"func"`
+	File    string  `json:"file"`
+	Line    int64   `json:"line"`
+	Flat    int64   `json:"flat"`
+	FlatPct float64 `json:"flat_pct"`
+}
+
+// Digest is one profile projected down to its top-N tables.
+type Digest struct {
+	// Type is the sample type the digest measures ("cpu", "alloc_space", ...).
+	Type string `json:"type"`
+	// Unit is that sample type's unit ("nanoseconds", "bytes", ...).
+	Unit string `json:"unit"`
+	// Total is the sum of the measured value across all samples.
+	Total int64 `json:"total"`
+	// Samples counts stack samples, the digest's confidence denominator: a
+	// CPU digest built from 4 samples is an anecdote, not a profile.
+	Samples int64 `json:"samples"`
+	// Funcs is the top-N function table by flat cost.
+	Funcs []FuncCost `json:"funcs,omitempty"`
+	// Callsites is the top-N innermost-frame table by flat cost.
+	Callsites []Callsite `json:"callsites,omitempty"`
+}
+
+// sampleTypePriority orders the default digest choice per profile kind: the
+// cost dimension, not the count dimension.
+var sampleTypePriority = []string{"cpu", "alloc_space", "inuse_space"}
+
+// DigestProfile projects a profile into its top-N digest. sampleType ""
+// picks the profile's cost dimension ("cpu" for CPU profiles, "alloc_space"
+// for heap profiles, else the profile's last sample type).
+func DigestProfile(p *Profile, sampleType string, topN int) (*Digest, error) {
+	if topN <= 0 {
+		topN = DefaultTopN
+	}
+	col := -1
+	if sampleType == "" {
+		for _, want := range sampleTypePriority {
+			if col = p.typeIndex(want); col >= 0 {
+				break
+			}
+		}
+		if col < 0 && len(p.SampleTypes) > 0 {
+			col = len(p.SampleTypes) - 1
+		}
+	} else {
+		col = p.typeIndex(sampleType)
+	}
+	if col < 0 {
+		known := make([]string, len(p.SampleTypes))
+		for i, st := range p.SampleTypes {
+			known[i] = st.Type
+		}
+		return nil, fmt.Errorf("perfobs: profile has no sample type %q (has: %v)", sampleType, known)
+	}
+	d := &Digest{Type: p.SampleTypes[col].Type, Unit: p.SampleTypes[col].Unit}
+
+	type siteKey struct {
+		fn   string
+		file string
+		line int64
+	}
+	flat := make(map[string]int64)
+	cum := make(map[string]int64)
+	sites := make(map[siteKey]int64)
+	onStack := make(map[string]bool)
+	for _, s := range p.Samples {
+		v := s.Values[col]
+		if v == 0 {
+			continue
+		}
+		d.Total += v
+		d.Samples++
+		// Flat cost goes to the innermost frame: the first line of the first
+		// location (pprof stacks are leaf-first; location lines are
+		// innermost-first when inlining merged frames).
+		if len(s.LocationIDs) > 0 {
+			leaf := p.Locations[s.LocationIDs[0]]
+			if len(leaf.Lines) > 0 {
+				fn := p.Functions[leaf.Lines[0].FunctionID]
+				flat[fn.Name] += v
+				sites[siteKey{fn.Name, fn.File, leaf.Lines[0].Line}] += v
+			}
+		}
+		// Cumulative cost goes to every distinct function on the stack once,
+		// so recursion does not double-count.
+		clear(onStack)
+		for _, id := range s.LocationIDs {
+			for _, ln := range p.Locations[id].Lines {
+				name := p.Functions[ln.FunctionID].Name
+				if !onStack[name] {
+					onStack[name] = true
+					cum[name] += v
+				}
+			}
+		}
+	}
+
+	for name, f := range flat {
+		fc := FuncCost{Func: name, Flat: f, Cum: cum[name]}
+		if d.Total > 0 {
+			fc.FlatPct = 100 * float64(f) / float64(d.Total)
+			fc.CumPct = 100 * float64(cum[name]) / float64(d.Total)
+		}
+		d.Funcs = append(d.Funcs, fc)
+	}
+	sort.Slice(d.Funcs, func(i, j int) bool {
+		if d.Funcs[i].Flat != d.Funcs[j].Flat {
+			return d.Funcs[i].Flat > d.Funcs[j].Flat
+		}
+		return d.Funcs[i].Func < d.Funcs[j].Func
+	})
+	if len(d.Funcs) > topN {
+		d.Funcs = d.Funcs[:topN]
+	}
+
+	for k, f := range sites {
+		cs := Callsite{Func: k.fn, File: k.file, Line: k.line, Flat: f}
+		if d.Total > 0 {
+			cs.FlatPct = 100 * float64(f) / float64(d.Total)
+		}
+		d.Callsites = append(d.Callsites, cs)
+	}
+	sort.Slice(d.Callsites, func(i, j int) bool {
+		if d.Callsites[i].Flat != d.Callsites[j].Flat {
+			return d.Callsites[i].Flat > d.Callsites[j].Flat
+		}
+		a, b := d.Callsites[i], d.Callsites[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Line < b.Line
+	})
+	if len(d.Callsites) > topN {
+		d.Callsites = d.Callsites[:topN]
+	}
+	return d, nil
+}
+
+// FuncShare is one function's share of a fingerprint dimension.
+type FuncShare struct {
+	Func string `json:"func"`
+	// Value is the function's flat cost in the dimension's unit (CPU
+	// nanoseconds, allocated bytes).
+	Value int64 `json:"value"`
+	// SharePct is Value as a percentage of the dimension total.
+	SharePct float64 `json:"share_pct"`
+}
+
+// Fingerprint is the compact per-run perf identity the ledger records next
+// to CPI and latency: the top functions by CPU self-time and by allocation
+// share, plus the totals. Heap shares are near-deterministic for a
+// deterministic simulator (big allocations are always sampled and exactly
+// sized), which is what makes them gateable; CPU shares are statistical and
+// gate only on request.
+type Fingerprint struct {
+	// CPU is the top-N function table by CPU self-time share.
+	CPU []FuncShare `json:"cpu,omitempty"`
+	// Heap is the top-N function table by allocation (alloc_space) share.
+	Heap []FuncShare `json:"heap,omitempty"`
+	// CPUTotalNs is total sampled CPU time; CPUSamples its sample count.
+	CPUTotalNs int64 `json:"cpu_total_ns,omitempty"`
+	CPUSamples int64 `json:"cpu_samples,omitempty"`
+	// AllocBytes is the profile's estimated total allocated bytes.
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	// PhaseAllocs breaks AllocBytes down per sweep phase when the run
+	// sampled runtime/metrics around its phases.
+	PhaseAllocs []PhaseAlloc `json:"phase_allocs,omitempty"`
+}
+
+// shares projects a digest's function table into share rows.
+func (d *Digest) shares() []FuncShare {
+	out := make([]FuncShare, 0, len(d.Funcs))
+	for _, f := range d.Funcs {
+		out = append(out, FuncShare{Func: f.Func, Value: f.Flat, SharePct: f.FlatPct})
+	}
+	return out
+}
+
+// FingerprintFiles digests a CPU and a heap profile file into one
+// fingerprint. Either path may be empty ("" skips that dimension); a path
+// that exists but fails to decode is an error — a half-written profile
+// must not silently ledger as "no hotspots".
+func FingerprintFiles(cpuPath, heapPath string, topN int) (*Fingerprint, error) {
+	fp := &Fingerprint{}
+	if cpuPath != "" {
+		p, err := ParseFile(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		d, err := DigestProfile(p, "cpu", topN)
+		if err != nil {
+			return nil, err
+		}
+		fp.CPU = d.shares()
+		fp.CPUTotalNs = d.Total
+		fp.CPUSamples = d.Samples
+	}
+	if heapPath != "" {
+		p, err := ParseFile(heapPath)
+		if err != nil {
+			return nil, err
+		}
+		d, err := DigestProfile(p, "alloc_space", topN)
+		if err != nil {
+			return nil, err
+		}
+		fp.Heap = d.shares()
+		fp.AllocBytes = d.Total
+	}
+	return fp, nil
+}

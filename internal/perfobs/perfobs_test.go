@@ -1,0 +1,274 @@
+package perfobs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+func TestCaptureStartStop(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Start(dir, "run1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CPU profiler is process-global: a second capture must refuse.
+	if _, err := Start(dir, "run2", Options{}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second Start = %v, want ErrBusy", err)
+	}
+	// Allocate something attributable while the capture is armed.
+	waste := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		waste = append(waste, make([]byte, 64<<10))
+	}
+	_ = waste
+	sum, err := c.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CPUBytes <= 0 || sum.HeapBytes <= 0 {
+		t.Fatalf("summary = %+v, want both profiles written", sum)
+	}
+	for _, path := range []string{sum.CPUPath, sum.HeapPath} {
+		if _, err := Parse(mustRead(t, path)); err != nil {
+			t.Fatalf("captured %s does not decode: %v", path, err)
+		}
+	}
+	fp, err := c.Fingerprint(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Heap) == 0 || fp.AllocBytes <= 0 {
+		t.Fatalf("fingerprint heap dimension empty: %+v", fp)
+	}
+	// Stopped: the profiler is free again.
+	c2, err := Start(dir, "run3", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// A second sequential Stop is a tolerated no-op.
+	if _, err := c2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPruneRetention(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		sub := filepath.Join(dir, string(rune('a'+i)))
+		if err := os.Mkdir(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		mod := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(sub, mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray file must survive pruning.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := Prune(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("removed = %d, want 3", removed)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	want := []string{"d", "e", "notes.txt"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("survivors = %v, want %v", names, want)
+	}
+}
+
+func fp(shares ...FuncShare) *Fingerprint {
+	return &Fingerprint{Heap: shares, AllocBytes: 1 << 20}
+}
+
+func TestDiffFingerprintsShareGrowth(t *testing.T) {
+	oldFp := fp(FuncShare{"gen", 70 << 10, 70}, FuncShare{"sim", 30 << 10, 30})
+	newFp := fp(FuncShare{"gen", 58 << 10, 58}, FuncShare{"sim", 42 << 10, 42})
+	d := DiffFingerprints(oldFp, newFp, nil, Thresholds{})
+	regs := d.Regressions(false)
+	if len(regs) != 1 || regs[0].Func != "sim" {
+		t.Fatalf("regressions = %+v, want just sim", regs)
+	}
+	if regs[0].DeltaPts != 12 {
+		t.Fatalf("sim delta = %v pts, want 12", regs[0].DeltaPts)
+	}
+}
+
+func TestDiffFingerprintsNewHotFunction(t *testing.T) {
+	oldFp := fp(FuncShare{"gen", 100 << 10, 100})
+	newFp := fp(FuncShare{"gen", 60 << 10, 60}, FuncShare{"leak", 40 << 10, 40})
+	d := DiffFingerprints(oldFp, newFp, nil, Thresholds{})
+	var hit *FuncDelta
+	for i := range d.Heap {
+		if d.Heap[i].Func == "leak" {
+			hit = &d.Heap[i]
+		}
+	}
+	if hit == nil || !hit.New || !hit.Regression {
+		t.Fatalf("leak delta = %+v, want flagged as new hot function", hit)
+	}
+	// The same newcomer below the floor is churn, not a regression.
+	small := fp(FuncShare{"gen", 95 << 10, 95}, FuncShare{"tiny", 5 << 10, 5})
+	d2 := DiffFingerprints(oldFp, small, nil, Thresholds{})
+	if regs := d2.Regressions(false); len(regs) != 0 {
+		t.Fatalf("small newcomer flagged: %+v", regs)
+	}
+}
+
+func TestDiffFingerprintsNoiseWidensThreshold(t *testing.T) {
+	// History shows "gen" wobbling several points between identical runs;
+	// the same wobble again must not flag, though it exceeds the 5-point
+	// tolerance alone.
+	history := []*Fingerprint{
+		fp(FuncShare{"gen", 0, 60}, FuncShare{"sim", 0, 40}),
+		fp(FuncShare{"gen", 0, 68}, FuncShare{"sim", 0, 32}),
+		fp(FuncShare{"gen", 0, 61}, FuncShare{"sim", 0, 39}),
+	}
+	oldFp := fp(FuncShare{"gen", 0, 60}, FuncShare{"sim", 0, 40})
+	newFp := fp(FuncShare{"gen", 0, 67}, FuncShare{"sim", 0, 33})
+	d := DiffFingerprints(oldFp, newFp, history, Thresholds{})
+	if regs := d.Regressions(false); len(regs) != 0 {
+		t.Fatalf("historically noisy wobble flagged: %+v", regs)
+	}
+	// Without that history the same delta flags.
+	d2 := DiffFingerprints(oldFp, newFp, nil, Thresholds{})
+	if regs := d2.Regressions(false); len(regs) != 1 || regs[0].Func != "gen" {
+		t.Fatalf("no-history regressions = %+v, want gen", regs)
+	}
+}
+
+func TestDiffCPUGatesOnlyOnRequest(t *testing.T) {
+	oldFp := &Fingerprint{CPU: []FuncShare{{"hot", 0, 50}, {"cold", 0, 50}}}
+	newFp := &Fingerprint{CPU: []FuncShare{{"hot", 0, 80}, {"cold", 0, 20}}}
+	d := DiffFingerprints(oldFp, newFp, nil, Thresholds{})
+	if regs := d.Regressions(false); len(regs) != 0 {
+		t.Fatalf("CPU regressions gated without opt-in: %+v", regs)
+	}
+	if regs := d.Regressions(true); len(regs) != 1 || regs[0].Func != "hot" {
+		t.Fatalf("opted-in CPU regressions = %+v, want hot", regs)
+	}
+}
+
+func TestReadRuntimeStats(t *testing.T) {
+	// The /gc/heap/allocs totals are flushed on GC; when test shuffling
+	// runs this test first, the process may not have GC'd yet and the
+	// counters legitimately read zero. Allocate and collect so there is
+	// something to observe.
+	waste := make([][]byte, 0, 8)
+	for i := 0; i < 8; i++ {
+		waste = append(waste, make([]byte, 128<<10))
+	}
+	_ = waste
+	runtime.GC()
+	st := ReadRuntimeStats()
+	if st.AllocBytes == 0 || st.AllocObjects == 0 {
+		t.Fatalf("alloc totals zero: %+v", st)
+	}
+	if st.HeapGoalBytes == 0 {
+		t.Fatalf("heap goal zero: %+v", st)
+	}
+}
+
+func TestPhaseSamplerDeltas(t *testing.T) {
+	s := NewPhaseSampler()
+	s.Mark("generate")
+	sink := make([][]byte, 0, 32)
+	for i := 0; i < 32; i++ {
+		sink = append(sink, make([]byte, 256<<10))
+	}
+	_ = sink
+	s.Mark("simulate")
+	phases := s.Finish()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %+v, want 2", phases)
+	}
+	if phases[0].Name != "generate" || phases[1].Name != "simulate" {
+		t.Fatalf("phase order = %+v", phases)
+	}
+	if phases[0].AllocBytes < 32*(256<<10) {
+		t.Fatalf("generate phase missed its allocations: %+v", phases[0])
+	}
+	if again := s.Finish(); len(again) != 0 {
+		t.Fatalf("second Finish = %+v, want empty", again)
+	}
+}
+
+// TestProfilingBitIdentical is the acceptance check that capture changes
+// nothing about simulation results: the same workload simulated with a
+// capture armed and without is reflect.DeepEqual.
+func TestProfilingBitIdentical(t *testing.T) {
+	spec, err := workload.ByName("mu3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := spec.Generate(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.Default().System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulate := func() system.Result {
+		sys, err := system.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := simulate()
+	c, err := Start(t.TempDir(), "bitident", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled := simulate()
+	if _, err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	afterward := simulate()
+
+	if !reflect.DeepEqual(plain, profiled) {
+		t.Fatalf("results diverge under profiling:\n  plain:    %+v\n  profiled: %+v", plain, profiled)
+	}
+	if !reflect.DeepEqual(plain, afterward) {
+		t.Fatalf("results diverge after profiling:\n  plain: %+v\n  after: %+v", plain, afterward)
+	}
+}

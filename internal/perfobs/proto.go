@@ -1,0 +1,638 @@
+// Package perfobs is the performance observatory: continuous profiling and
+// runtime-cost attribution for the sweep stack, off by default. It captures
+// CPU and heap pprof profiles per run (bounded retention), digests them with
+// a dependency-free profile.proto decoder into top-N function and
+// allocation-by-callsite tables, projects each run down to a compact perf
+// fingerprint the ledger records next to CPI and latency, and diffs
+// fingerprints between runs with the same noise-aware thresholds the ledger
+// gate uses — so a new hot function or an allocation-share regression trips
+// CI the same way a cycle regression does. Runtime telemetry (GC pauses,
+// heap goal, scheduler latency) reads through the same package.
+//
+// Nothing here runs inside the simulator's inner loop: capture brackets a
+// whole run, digestion happens after Stop, and runtime sampling is
+// scrape-time only. With no -profile flag the simulator output is
+// bit-identical to an unprofiled build.
+package perfobs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DecodeError is the typed failure for profile parsing: where in the
+// decompressed stream decoding stopped and why. Offset is -1 when the
+// failure happened in the gzip layer, before any protobuf bytes existed.
+type DecodeError struct {
+	// Offset is the byte offset into the decompressed protobuf stream at
+	// which decoding failed, or -1 for gzip-layer failures.
+	Offset int
+	// Reason describes the failure.
+	Reason string
+	// Err is the underlying error, when one exists.
+	Err error
+}
+
+func (e *DecodeError) Error() string {
+	if e.Offset < 0 {
+		return fmt.Sprintf("perfobs: decoding profile: %s", e.Reason)
+	}
+	return fmt.Sprintf("perfobs: decoding profile at offset %d: %s", e.Offset, e.Reason)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+func corrupt(off int, format string, args ...any) error {
+	return &DecodeError{Offset: off, Reason: fmt.Sprintf(format, args...)}
+}
+
+// ValueType names one sample dimension: what is measured and in which unit
+// ("cpu"/"nanoseconds", "alloc_space"/"bytes", ...).
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one stack sample: the location IDs leaf-first, and one value
+// per profile sample type.
+type Sample struct {
+	LocationIDs []uint64
+	Values      []int64
+}
+
+// Line is one source line of a location; inlined frames give a location
+// several lines, innermost first.
+type Line struct {
+	FunctionID uint64
+	Line       int64
+}
+
+// Location is one program-counter entry referenced by samples.
+type Location struct {
+	ID    uint64
+	Lines []Line
+}
+
+// Function is one function referenced by location lines, with its string
+// table entries resolved.
+type Function struct {
+	ID        uint64
+	Name      string
+	File      string
+	StartLine int64
+}
+
+// Profile is a decoded pprof profile with its string table resolved away.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	Locations     map[uint64]*Location
+	Functions     map[uint64]*Function
+	PeriodType    ValueType
+	Period        int64
+	TimeNanos     int64
+	DurationNanos int64
+	DefaultType   string
+}
+
+// ParseFile reads and decodes one pprof profile file (gzipped or raw
+// profile.proto).
+func ParseFile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perfobs: %w", err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return p, nil
+}
+
+// Parse decodes one pprof profile from bytes. Go's runtime writes profiles
+// gzip-compressed; raw (uncompressed) profile.proto is accepted too, since
+// the format is self-describing enough to tell the two apart by magic.
+func Parse(data []byte) (*Profile, error) {
+	if len(data) == 0 {
+		return nil, &DecodeError{Offset: -1, Reason: "empty input"}
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, &DecodeError{Offset: -1, Reason: "bad gzip header", Err: err}
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, &DecodeError{Offset: -1, Reason: "truncated gzip stream", Err: err}
+		}
+		if err := zr.Close(); err != nil {
+			return nil, &DecodeError{Offset: -1, Reason: "gzip checksum mismatch", Err: err}
+		}
+		data = raw
+	}
+	return parseProto(data)
+}
+
+// reader walks protobuf wire format over one flat buffer, tracking the
+// offset for error reports.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) done() bool { return r.pos >= len(r.data) }
+
+// varint reads one base-128 varint.
+func (r *reader) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.pos >= len(r.data) {
+			return 0, corrupt(r.pos, "truncated varint")
+		}
+		b := r.data[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, corrupt(r.pos, "varint longer than 64 bits")
+}
+
+// field reads one field key, returning the field number and wire type.
+func (r *reader) field() (num int, wire int, err error) {
+	key, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(key >> 3), int(key & 7), nil
+}
+
+// bytes reads one length-delimited payload.
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, corrupt(r.pos, "length %d overruns buffer (%d bytes left)", n, len(r.data)-r.pos)
+	}
+	b := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+// skip discards one field of the given wire type.
+func (r *reader) skip(wire int) error {
+	switch wire {
+	case 0: // varint
+		_, err := r.varint()
+		return err
+	case 1: // i64
+		if len(r.data)-r.pos < 8 {
+			return corrupt(r.pos, "truncated i64 field")
+		}
+		r.pos += 8
+		return nil
+	case 2: // length-delimited
+		_, err := r.bytes()
+		return err
+	case 5: // i32
+		if len(r.data)-r.pos < 4 {
+			return corrupt(r.pos, "truncated i32 field")
+		}
+		r.pos += 4
+		return nil
+	default:
+		return corrupt(r.pos, "unsupported wire type %d", wire)
+	}
+}
+
+// packedUints appends the varints of a packed repeated field (or one
+// unpacked value when wire type 0 shows up instead).
+func packedUints(dst []uint64, payload []byte, base int) ([]uint64, error) {
+	r := &reader{data: payload}
+	for !r.done() {
+		v, err := r.varint()
+		if err != nil {
+			return nil, corrupt(base+r.pos, "truncated packed varint")
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// rawValueType is a ValueType with unresolved string-table indexes.
+type rawValueType struct{ typ, unit int64 }
+
+// parseProto decodes the uncompressed profile.proto message.
+func parseProto(data []byte) (*Profile, error) {
+	r := &reader{data: data}
+	var (
+		strtab      []string
+		sampleTypes []rawValueType
+		periodType  rawValueType
+		defaultType int64
+		rawFuncs    []rawFunc
+		p           = &Profile{
+			Locations: make(map[uint64]*Location),
+			Functions: make(map[uint64]*Function),
+		}
+	)
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			if wire != 2 {
+				return nil, corrupt(r.pos, "sample_type: wire type %d", wire)
+			}
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(b, r.pos-len(b))
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			if wire != 2 {
+				return nil, corrupt(r.pos, "sample: wire type %d", wire)
+			}
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(b, r.pos-len(b))
+			if err != nil {
+				return nil, err
+			}
+			p.Samples = append(p.Samples, s)
+		case 4: // location
+			if wire != 2 {
+				return nil, corrupt(r.pos, "location: wire type %d", wire)
+			}
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			loc, err := parseLocation(b, r.pos-len(b))
+			if err != nil {
+				return nil, err
+			}
+			p.Locations[loc.ID] = loc
+		case 5: // function
+			if wire != 2 {
+				return nil, corrupt(r.pos, "function: wire type %d", wire)
+			}
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			fn, raw, err := parseFunction(b, r.pos-len(b))
+			if err != nil {
+				return nil, err
+			}
+			p.Functions[fn.ID] = fn
+			rawFuncs = append(rawFuncs, rawFunc{fn, raw})
+		case 6: // string_table
+			if wire != 2 {
+				return nil, corrupt(r.pos, "string_table: wire type %d", wire)
+			}
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(b))
+		case 9: // time_nanos
+			v, err := readVarintField(r, wire, "time_nanos")
+			if err != nil {
+				return nil, err
+			}
+			p.TimeNanos = int64(v)
+		case 10: // duration_nanos
+			v, err := readVarintField(r, wire, "duration_nanos")
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = int64(v)
+		case 11: // period_type
+			if wire != 2 {
+				return nil, corrupt(r.pos, "period_type: wire type %d", wire)
+			}
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(b, r.pos-len(b))
+			if err != nil {
+				return nil, err
+			}
+			periodType = vt
+		case 12: // period
+			v, err := readVarintField(r, wire, "period")
+			if err != nil {
+				return nil, err
+			}
+			p.Period = int64(v)
+		case 14: // default_sample_type
+			v, err := readVarintField(r, wire, "default_sample_type")
+			if err != nil {
+				return nil, err
+			}
+			defaultType = int64(v)
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(idx int64, what string) (string, error) {
+		if idx == 0 {
+			return "", nil
+		}
+		if idx < 0 || idx >= int64(len(strtab)) {
+			return "", corrupt(len(data), "%s: string index %d outside table of %d", what, idx, len(strtab))
+		}
+		return strtab[idx], nil
+	}
+	var err error
+	for _, vt := range sampleTypes {
+		var t, u string
+		if t, err = str(vt.typ, "sample_type"); err != nil {
+			return nil, err
+		}
+		if u, err = str(vt.unit, "sample_type unit"); err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: t, Unit: u})
+	}
+	if p.PeriodType.Type, err = str(periodType.typ, "period_type"); err != nil {
+		return nil, err
+	}
+	if p.PeriodType.Unit, err = str(periodType.unit, "period_type unit"); err != nil {
+		return nil, err
+	}
+	if p.DefaultType, err = str(defaultType, "default_sample_type"); err != nil {
+		return nil, err
+	}
+	for _, rf := range rawFuncs {
+		if rf.fn.Name, err = str(rf.raw.name, "function name"); err != nil {
+			return nil, err
+		}
+		if rf.fn.File, err = str(rf.raw.file, "function filename"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cross-check references: every sample location and every line function
+	// must resolve, and every sample must carry one value per sample type.
+	for _, s := range p.Samples {
+		if len(s.Values) != len(p.SampleTypes) {
+			return nil, corrupt(len(data), "sample has %d values for %d sample types", len(s.Values), len(p.SampleTypes))
+		}
+		for _, id := range s.LocationIDs {
+			if _, ok := p.Locations[id]; !ok {
+				return nil, corrupt(len(data), "sample references unknown location %d", id)
+			}
+		}
+	}
+	for _, loc := range p.Locations {
+		for _, ln := range loc.Lines {
+			if _, ok := p.Functions[ln.FunctionID]; !ok {
+				return nil, corrupt(len(data), "location %d references unknown function %d", loc.ID, ln.FunctionID)
+			}
+		}
+	}
+	return p, nil
+}
+
+// rawFunc carries unresolved function string-table indexes between the
+// field walk and string-table resolution (the table may arrive after the
+// functions that reference it).
+type rawFunc struct {
+	fn  *Function
+	raw rawFuncIdx
+}
+
+type rawFuncIdx struct{ name, file int64 }
+
+func readVarintField(r *reader, wire int, what string) (uint64, error) {
+	if wire != 0 {
+		return 0, corrupt(r.pos, "%s: wire type %d", what, wire)
+	}
+	return r.varint()
+}
+
+func parseValueType(b []byte, base int) (rawValueType, error) {
+	r := &reader{data: b}
+	var vt rawValueType
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return vt, corrupt(base+r.pos, "value_type: %v", err)
+		}
+		switch num {
+		case 1:
+			v, err := r.varint()
+			if err != nil {
+				return vt, corrupt(base+r.pos, "value_type type: %v", err)
+			}
+			vt.typ = int64(v)
+		case 2:
+			v, err := r.varint()
+			if err != nil {
+				return vt, corrupt(base+r.pos, "value_type unit: %v", err)
+			}
+			vt.unit = int64(v)
+		default:
+			if err := r.skip(wire); err != nil {
+				return vt, corrupt(base+r.pos, "value_type field %d: %v", num, err)
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(b []byte, base int) (Sample, error) {
+	r := &reader{data: b}
+	var s Sample
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return s, corrupt(base+r.pos, "sample: %v", err)
+		}
+		switch {
+		case num == 1 && wire == 2: // packed location_id
+			pb, err := r.bytes()
+			if err != nil {
+				return s, corrupt(base+r.pos, "sample location_id: %v", err)
+			}
+			if s.LocationIDs, err = packedUints(s.LocationIDs, pb, base+r.pos-len(pb)); err != nil {
+				return s, err
+			}
+		case num == 1 && wire == 0:
+			v, err := r.varint()
+			if err != nil {
+				return s, corrupt(base+r.pos, "sample location_id: %v", err)
+			}
+			s.LocationIDs = append(s.LocationIDs, v)
+		case num == 2 && wire == 2: // packed value
+			pb, err := r.bytes()
+			if err != nil {
+				return s, corrupt(base+r.pos, "sample value: %v", err)
+			}
+			vals, err := packedUints(nil, pb, base+r.pos-len(pb))
+			if err != nil {
+				return s, err
+			}
+			for _, v := range vals {
+				s.Values = append(s.Values, int64(v))
+			}
+		case num == 2 && wire == 0:
+			v, err := r.varint()
+			if err != nil {
+				return s, corrupt(base+r.pos, "sample value: %v", err)
+			}
+			s.Values = append(s.Values, int64(v))
+		default:
+			if err := r.skip(wire); err != nil {
+				return s, corrupt(base+r.pos, "sample field %d: %v", num, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLocation(b []byte, base int) (*Location, error) {
+	r := &reader{data: b}
+	loc := &Location{}
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return nil, corrupt(base+r.pos, "location: %v", err)
+		}
+		switch num {
+		case 1:
+			v, err := readVarintField(r, wire, "location id")
+			if err != nil {
+				return nil, err
+			}
+			loc.ID = v
+		case 4: // line
+			if wire != 2 {
+				return nil, corrupt(base+r.pos, "location line: wire type %d", wire)
+			}
+			lb, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			ln, err := parseLine(lb, base+r.pos-len(lb))
+			if err != nil {
+				return nil, err
+			}
+			loc.Lines = append(loc.Lines, ln)
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, corrupt(base+r.pos, "location field %d: %v", num, err)
+			}
+		}
+	}
+	if loc.ID == 0 {
+		return nil, corrupt(base, "location without id")
+	}
+	return loc, nil
+}
+
+func parseLine(b []byte, base int) (Line, error) {
+	r := &reader{data: b}
+	var ln Line
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return ln, corrupt(base+r.pos, "line: %v", err)
+		}
+		switch num {
+		case 1:
+			v, err := readVarintField(r, wire, "line function_id")
+			if err != nil {
+				return ln, err
+			}
+			ln.FunctionID = v
+		case 2:
+			v, err := readVarintField(r, wire, "line number")
+			if err != nil {
+				return ln, err
+			}
+			ln.Line = int64(v)
+		default:
+			if err := r.skip(wire); err != nil {
+				return ln, corrupt(base+r.pos, "line field %d: %v", num, err)
+			}
+		}
+	}
+	return ln, nil
+}
+
+func parseFunction(b []byte, base int) (*Function, rawFuncIdx, error) {
+	r := &reader{data: b}
+	fn := &Function{}
+	var raw rawFuncIdx
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return nil, raw, corrupt(base+r.pos, "function: %v", err)
+		}
+		switch num {
+		case 1:
+			v, err := readVarintField(r, wire, "function id")
+			if err != nil {
+				return nil, raw, err
+			}
+			fn.ID = v
+		case 2:
+			v, err := readVarintField(r, wire, "function name")
+			if err != nil {
+				return nil, raw, err
+			}
+			raw.name = int64(v)
+		case 4:
+			v, err := readVarintField(r, wire, "function filename")
+			if err != nil {
+				return nil, raw, err
+			}
+			raw.file = int64(v)
+		case 5:
+			v, err := readVarintField(r, wire, "function start_line")
+			if err != nil {
+				return nil, raw, err
+			}
+			fn.StartLine = int64(v)
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, raw, corrupt(base+r.pos, "function field %d: %v", num, err)
+			}
+		}
+	}
+	if fn.ID == 0 {
+		return nil, raw, corrupt(base, "function without id")
+	}
+	return fn, raw, nil
+}
+
+// typeIndex finds the sample-value column for a sample type name, or -1.
+func (p *Profile) typeIndex(name string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,386 @@
+package perfobs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"runtime/pprof"
+	"testing"
+)
+
+// enc is a minimal protobuf wire-format writer for building test fixtures;
+// the decoder under test must round-trip what it emits.
+type enc struct{ bytes.Buffer }
+
+func (e *enc) uvarint(v uint64) {
+	for v >= 0x80 {
+		e.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	e.WriteByte(byte(v))
+}
+
+func (e *enc) tag(field, wire int) { e.uvarint(uint64(field)<<3 | uint64(wire)) }
+
+func (e *enc) varintField(field int, v uint64) {
+	e.tag(field, 0)
+	e.uvarint(v)
+}
+
+func (e *enc) bytesField(field int, b []byte) {
+	e.tag(field, 2)
+	e.uvarint(uint64(len(b)))
+	e.Write(b)
+}
+
+func (e *enc) packedField(field int, vals ...uint64) {
+	var inner enc
+	for _, v := range vals {
+		inner.uvarint(v)
+	}
+	e.bytesField(field, inner.Bytes())
+}
+
+// profileBuilder assembles a synthetic profile.proto message.
+type profileBuilder struct {
+	msg    enc
+	strs   []string
+	strIdx map[string]uint64
+}
+
+func newProfileBuilder() *profileBuilder {
+	return &profileBuilder{strs: []string{""}, strIdx: map[string]uint64{"": 0}}
+}
+
+func (b *profileBuilder) str(s string) uint64 {
+	if i, ok := b.strIdx[s]; ok {
+		return i
+	}
+	i := uint64(len(b.strs))
+	b.strs = append(b.strs, s)
+	b.strIdx[s] = i
+	return i
+}
+
+func (b *profileBuilder) sampleType(typ, unit string) {
+	var vt enc
+	vt.varintField(1, b.str(typ))
+	vt.varintField(2, b.str(unit))
+	b.msg.bytesField(1, vt.Bytes())
+}
+
+func (b *profileBuilder) sample(locs []uint64, values ...int64) {
+	var s enc
+	s.packedField(1, locs...)
+	uv := make([]uint64, len(values))
+	for i, v := range values {
+		uv[i] = uint64(v)
+	}
+	s.packedField(2, uv...)
+	b.msg.bytesField(2, s.Bytes())
+}
+
+func (b *profileBuilder) location(id uint64, fnLines ...uint64) {
+	var loc enc
+	loc.varintField(1, id)
+	for i := 0; i+1 < len(fnLines); i += 2 {
+		var ln enc
+		ln.varintField(1, fnLines[i])
+		ln.varintField(2, fnLines[i+1])
+		loc.bytesField(4, ln.Bytes())
+	}
+	b.msg.bytesField(4, loc.Bytes())
+}
+
+func (b *profileBuilder) function(id uint64, name, file string) {
+	var fn enc
+	fn.varintField(1, id)
+	fn.varintField(2, b.str(name))
+	fn.varintField(4, b.str(file))
+	b.msg.bytesField(5, fn.Bytes())
+}
+
+func (b *profileBuilder) periodType(typ, unit string, period int64) {
+	var vt enc
+	vt.varintField(1, b.str(typ))
+	vt.varintField(2, b.str(unit))
+	b.msg.bytesField(11, vt.Bytes())
+	b.msg.varintField(12, uint64(period))
+}
+
+// raw returns the uncompressed profile.proto bytes (string table appended
+// last, which the decoder must tolerate).
+func (b *profileBuilder) raw() []byte {
+	var out enc
+	out.Write(b.msg.Bytes())
+	for _, s := range b.strs {
+		out.bytesField(6, []byte(s))
+	}
+	return out.Bytes()
+}
+
+// gz returns the gzipped profile, as the Go runtime writes them.
+func (b *profileBuilder) gz(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(b.raw()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// goldenCPUProfile is the CPU fixture: three functions, main.hot at 80%
+// self time and on the stack under main.warm too.
+func goldenCPUProfile() *profileBuilder {
+	b := newProfileBuilder()
+	b.sampleType("samples", "count")
+	b.sampleType("cpu", "nanoseconds")
+	b.function(1, "repro/internal/system.hot", "system.go")
+	b.function(2, "repro/internal/system.warm", "system.go")
+	b.function(3, "runtime.mcall", "proc.go")
+	b.location(1, 1, 42)
+	b.location(2, 2, 100)
+	b.location(3, 3, 7)
+	b.sample([]uint64{1, 2}, 80, 800e6)
+	b.sample([]uint64{2}, 15, 150e6)
+	b.sample([]uint64{3}, 5, 50e6)
+	b.periodType("cpu", "nanoseconds", 10e6)
+	return b
+}
+
+// goldenHeapProfile is the heap fixture in the runtime's four-column
+// alloc/inuse layout.
+func goldenHeapProfile() *profileBuilder {
+	b := newProfileBuilder()
+	b.sampleType("alloc_objects", "count")
+	b.sampleType("alloc_space", "bytes")
+	b.sampleType("inuse_objects", "count")
+	b.sampleType("inuse_space", "bytes")
+	b.function(1, "repro/internal/workload.Generate", "workload.go")
+	b.function(2, "repro/internal/trace.ReadFile", "trace.go")
+	b.location(1, 1, 10)
+	b.location(2, 2, 20)
+	b.sample([]uint64{1}, 100, 9<<20, 0, 0)
+	b.sample([]uint64{2}, 50, 1<<20, 10, 1<<18)
+	return b
+}
+
+func TestParseGoldenCPU(t *testing.T) {
+	p, err := Parse(goldenCPUProfile().gz(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTypes := []ValueType{{"samples", "count"}, {"cpu", "nanoseconds"}}
+	if !reflect.DeepEqual(p.SampleTypes, wantTypes) {
+		t.Fatalf("sample types = %v, want %v", p.SampleTypes, wantTypes)
+	}
+	if p.Period != 10e6 || p.PeriodType.Type != "cpu" {
+		t.Fatalf("period = %d %q", p.Period, p.PeriodType.Type)
+	}
+	if len(p.Samples) != 3 || len(p.Locations) != 3 || len(p.Functions) != 3 {
+		t.Fatalf("got %d samples, %d locations, %d functions", len(p.Samples), len(p.Locations), len(p.Functions))
+	}
+	if got := p.Functions[1].Name; got != "repro/internal/system.hot" {
+		t.Fatalf("function 1 = %q", got)
+	}
+
+	d, err := DigestProfile(p, "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != "cpu" || d.Unit != "nanoseconds" {
+		t.Fatalf("digest dimension = %s/%s", d.Type, d.Unit)
+	}
+	if d.Total != 1000e6 || d.Samples != 3 {
+		t.Fatalf("total = %d, samples = %d", d.Total, d.Samples)
+	}
+	if d.Funcs[0].Func != "repro/internal/system.hot" || d.Funcs[0].Flat != 800e6 {
+		t.Fatalf("top func = %+v", d.Funcs[0])
+	}
+	if got := d.Funcs[0].FlatPct; got != 80 {
+		t.Fatalf("top flat share = %v, want 80", got)
+	}
+	// hot's sample also has warm on the stack, so warm's cum includes it.
+	for _, f := range d.Funcs {
+		if f.Func == "repro/internal/system.warm" && f.Cum != 950e6 {
+			t.Fatalf("warm cum = %d, want 950e6", f.Cum)
+		}
+	}
+}
+
+func TestParseGoldenHeap(t *testing.T) {
+	p, err := Parse(goldenHeapProfile().gz(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DigestProfile(p, "alloc_space", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total != 10<<20 || d.Samples != 2 {
+		t.Fatalf("total = %d, samples = %d", d.Total, d.Samples)
+	}
+	if d.Funcs[0].Func != "repro/internal/workload.Generate" {
+		t.Fatalf("top allocator = %q", d.Funcs[0].Func)
+	}
+	if got := d.Funcs[0].FlatPct; got != 90 {
+		t.Fatalf("top alloc share = %v, want 90", got)
+	}
+	if len(d.Callsites) != 2 || d.Callsites[0].File != "workload.go" || d.Callsites[0].Line != 10 {
+		t.Fatalf("callsites = %+v", d.Callsites)
+	}
+	// The default dimension for a heap profile is alloc_space.
+	dd, err := DigestProfile(p, "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Type != "alloc_space" {
+		t.Fatalf("default heap dimension = %q", dd.Type)
+	}
+	// Asking for a dimension the profile lacks is an error naming it.
+	if _, err := DigestProfile(p, "cpu", 10); err == nil {
+		t.Fatal("want error for missing sample type")
+	}
+}
+
+func TestParseRawUncompressed(t *testing.T) {
+	p, err := Parse(goldenCPUProfile().raw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) != 3 {
+		t.Fatalf("got %d samples", len(p.Samples))
+	}
+}
+
+func TestDigestTopNTruncation(t *testing.T) {
+	d, err := DigestProfile(mustParse(t, goldenCPUProfile().gz(t)), "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Funcs) != 1 || len(d.Callsites) != 1 {
+		t.Fatalf("topN=1 kept %d funcs, %d callsites", len(d.Funcs), len(d.Callsites))
+	}
+	// Shares stay relative to the full total, not the kept rows.
+	if d.Funcs[0].FlatPct != 80 {
+		t.Fatalf("share after truncation = %v", d.Funcs[0].FlatPct)
+	}
+}
+
+// TestDigestRoundTrip pushes a digest through its JSON form (how it lives
+// in a ledger record) and back unchanged.
+func TestDigestRoundTrip(t *testing.T) {
+	for _, b := range []*profileBuilder{goldenCPUProfile(), goldenHeapProfile()} {
+		d, err := DigestProfile(mustParse(t, b.gz(t)), "", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Digest
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*d, back) {
+			t.Fatalf("digest round trip drifted:\n  out: %+v\n  in:  %+v", *d, back)
+		}
+	}
+}
+
+// TestParseRealAllocsProfile decodes a profile the live runtime wrote, not
+// one the fixture encoder did — the two must agree on the format.
+func TestParseRealAllocsProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.typeIndex("alloc_space") < 0 {
+		t.Fatalf("real allocs profile lacks alloc_space: %v", p.SampleTypes)
+	}
+	if _, err := DigestProfile(p, "alloc_space", 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustParse(t *testing.T, data []byte) *Profile {
+	t.Helper()
+	p, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseCorruptInputs(t *testing.T) {
+	valid := goldenCPUProfile().gz(t)
+	raw := goldenCPUProfile().raw()
+
+	badStringIdx := newProfileBuilder()
+	badStringIdx.sampleType("cpu", "nanoseconds")
+	var fn enc
+	fn.varintField(1, 1)
+	fn.varintField(2, 99) // string index far outside the table
+	badStringIdx.msg.bytesField(5, fn.Bytes())
+
+	badLocRef := newProfileBuilder()
+	badLocRef.sampleType("cpu", "nanoseconds")
+	badLocRef.sample([]uint64{7}, 1) // no location 7 declared
+
+	badValueCount := newProfileBuilder()
+	badValueCount.sampleType("samples", "count")
+	badValueCount.sampleType("cpu", "nanoseconds")
+	badValueCount.function(1, "f", "f.go")
+	badValueCount.location(1, 1, 1)
+	badValueCount.sample([]uint64{1}, 5) // one value for two sample types
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated gzip", valid[:len(valid)/2]},
+		{"truncated proto", raw[:len(raw)-3]},
+		{"flipped length byte", flipLengthByte(raw)},
+		{"bad string index", badStringIdx.gz(t)},
+		{"dangling location ref", badLocRef.gz(t)},
+		{"value count mismatch", badValueCount.gz(t)},
+		{"not a profile", []byte("definitely not a profile")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.data)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("error %v (%T) is not a *DecodeError", err, err)
+			}
+			if de.Reason == "" {
+				t.Fatal("DecodeError without a reason")
+			}
+		})
+	}
+}
+
+// flipLengthByte corrupts the first length-delimited field's length so it
+// overruns the buffer.
+func flipLengthByte(raw []byte) []byte {
+	out := append([]byte(nil), raw...)
+	// Byte 0 is the first field tag (length-delimited), byte 1 its length.
+	out[1] = 0xfe
+	out = append(out[:2], append([]byte{0x7f}, out[2:]...)...)
+	return out
+}

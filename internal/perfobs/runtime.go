@@ -1,0 +1,224 @@
+package perfobs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSamples are the runtime/metrics series the observatory reads. GC
+// pauses moved from /gc/pauses:seconds to /sched/pauses/total/gc:seconds in
+// go1.22; both are listed and whichever exists wins (the newer name is
+// listed first, so it shadows the legacy one when both exist).
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/goal:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/sched/pauses/total/gc:seconds",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// supportedNames is resolved once: the subset of runtimeSampleNames this
+// runtime actually exports.
+var (
+	supportedOnce  sync.Once
+	supportedNames []string
+)
+
+func resolveSupported() {
+	all := metrics.All()
+	known := make(map[string]bool, len(all))
+	for _, d := range all {
+		known[d.Name] = true
+	}
+	for _, name := range runtimeSampleNames {
+		if known[name] {
+			supportedNames = append(supportedNames, name)
+		}
+	}
+}
+
+// RuntimeStats is one point-in-time snapshot of the Go runtime's cost
+// signals, in the units the telemetry layer exports.
+type RuntimeStats struct {
+	// HeapLiveBytes is live heap object memory; HeapGoalBytes the GC's
+	// current heap-size target.
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	HeapGoalBytes uint64 `json:"heap_goal_bytes"`
+	// GCCycles counts completed GC cycles since process start.
+	GCCycles uint64 `json:"gc_cycles"`
+	// AllocBytes and AllocObjects are cumulative totals since process start.
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	AllocObjects uint64 `json:"alloc_objects"`
+	// GCPauseP50 and GCPauseMax summarize the stop-the-world pause
+	// distribution since process start.
+	GCPauseP50 time.Duration `json:"gc_pause_p50"`
+	GCPauseMax time.Duration `json:"gc_pause_max"`
+	// SchedLatencyP95 is the 95th percentile of goroutine scheduling
+	// latency since process start.
+	SchedLatencyP95 time.Duration `json:"sched_latency_p95"`
+}
+
+// ReadRuntimeStats snapshots the runtime cost signals. Safe for concurrent
+// use; each call reads fresh values.
+func ReadRuntimeStats() RuntimeStats {
+	supportedOnce.Do(resolveSupported)
+	samples := make([]metrics.Sample, len(supportedNames))
+	for i, name := range supportedNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var st RuntimeStats
+	var sawPauses bool
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			st.HeapLiveBytes = kindUint(s.Value)
+		case "/gc/heap/goal:bytes":
+			st.HeapGoalBytes = kindUint(s.Value)
+		case "/gc/cycles/total:gc-cycles":
+			st.GCCycles = kindUint(s.Value)
+		case "/gc/heap/allocs:bytes":
+			st.AllocBytes = kindUint(s.Value)
+		case "/gc/heap/allocs:objects":
+			st.AllocObjects = kindUint(s.Value)
+		case "/sched/pauses/total/gc:seconds", "/gc/pauses:seconds":
+			if sawPauses {
+				continue
+			}
+			sawPauses = true
+			if h := s.Value.Float64Histogram(); h != nil {
+				st.GCPauseP50 = histQuantile(h, 0.5)
+				st.GCPauseMax = histMax(h)
+			}
+		case "/sched/latencies:seconds":
+			if h := s.Value.Float64Histogram(); h != nil {
+				st.SchedLatencyP95 = histQuantile(h, 0.95)
+			}
+		}
+	}
+	return st
+}
+
+func kindUint(v metrics.Value) uint64 {
+	if v.Kind() == metrics.KindUint64 {
+		return v.Uint64()
+	}
+	return 0
+}
+
+// histQuantile returns the q-quantile upper bound of a runtime seconds
+// histogram as a duration. Zero for an empty histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) time.Duration {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(math.Ceil(q * float64(total)))
+	if want == 0 {
+		want = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= want {
+			// Buckets[i+1] is bucket i's upper bound; the last bucket's can
+			// be +Inf, in which case its (finite) lower bound stands in.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = h.Buckets[i]
+			}
+			return secondsToDuration(ub)
+		}
+	}
+	return 0
+}
+
+// histMax returns the upper bound of the highest non-empty bucket.
+func histMax(h *metrics.Float64Histogram) time.Duration {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		ub := h.Buckets[i+1]
+		if math.IsInf(ub, 1) {
+			ub = h.Buckets[i]
+		}
+		return secondsToDuration(ub)
+	}
+	return 0
+}
+
+func secondsToDuration(s float64) time.Duration {
+	if math.IsInf(s, 0) || math.IsNaN(s) || s < 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// PhaseAlloc is one sweep phase's allocation delta: what the process
+// allocated between the phase's start mark and the next mark (or Finish).
+type PhaseAlloc struct {
+	Name         string `json:"name"`
+	AllocBytes   int64  `json:"alloc_bytes"`
+	AllocObjects int64  `json:"alloc_objects"`
+	GCCycles     int64  `json:"gc_cycles"`
+}
+
+// PhaseSampler attributes allocation totals to named sweep phases by
+// snapshotting runtime/metrics at each phase boundary, pairing the
+// reporter's wall-clock phase marks with an allocation dimension. Process-
+// wide, not goroutine-scoped: concurrent work during a phase lands in that
+// phase's delta. Safe for concurrent use.
+type PhaseSampler struct {
+	mu     sync.Mutex
+	cur    string
+	last   RuntimeStats
+	phases []PhaseAlloc
+}
+
+// NewPhaseSampler starts a sampler with no open phase.
+func NewPhaseSampler() *PhaseSampler { return &PhaseSampler{} }
+
+// Mark closes the open phase (attributing allocations since its mark) and
+// opens a new one.
+func (s *PhaseSampler) Mark(name string) {
+	now := ReadRuntimeStats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeLocked(now)
+	s.cur = name
+	s.last = now
+}
+
+// Finish closes the open phase and returns every phase delta in mark
+// order. Further marks start a fresh sequence.
+func (s *PhaseSampler) Finish() []PhaseAlloc {
+	now := ReadRuntimeStats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeLocked(now)
+	out := s.phases
+	s.phases = nil
+	return out
+}
+
+func (s *PhaseSampler) closeLocked(now RuntimeStats) {
+	if s.cur == "" {
+		return
+	}
+	s.phases = append(s.phases, PhaseAlloc{
+		Name:         s.cur,
+		AllocBytes:   int64(now.AllocBytes - s.last.AllocBytes),
+		AllocObjects: int64(now.AllocObjects - s.last.AllocObjects),
+		GCCycles:     int64(now.GCCycles - s.last.GCCycles),
+	})
+	s.cur = ""
+}

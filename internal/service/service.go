@@ -18,6 +18,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/perfobs"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 )
@@ -86,6 +87,14 @@ type Config struct {
 	// ProbeInterval is how often degraded mode probes storage for recovery
 	// (default 2s). It doubles as the Retry-After on degraded refusals.
 	ProbeInterval time.Duration
+	// ProfileDir enables per-job CPU/heap profile capture into this
+	// directory (one subdirectory per job, bounded retention). The Go CPU
+	// profiler is process-global, so when jobs overlap only the first gets
+	// profiled and the rest run unprofiled — capture never delays a job.
+	ProfileDir string
+	// ProfileKeep bounds retained per-job profile directories (default
+	// perfobs.DefaultKeepRuns).
+	ProfileKeep int
 	// Faults injects deterministic chaos into every job's cells (tests).
 	Faults *faultinject.Plan
 	// JournalWrap interposes on journal writes (fault injection; tests).
@@ -607,6 +616,21 @@ func (s *Service) runJob(job *Job) {
 		s.log.Warn("journal start entry failed", "job", job.id, "err", err)
 	}
 
+	// Per-job profile capture. Jobs that lose the race for the process-
+	// global CPU profiler simply run unprofiled.
+	var capt *perfobs.Capture
+	if s.cfg.ProfileDir != "" {
+		c, err := perfobs.Start(s.cfg.ProfileDir, job.id, perfobs.Options{KeepRuns: s.cfg.ProfileKeep})
+		switch {
+		case err == nil:
+			capt = c
+		case errors.Is(err, perfobs.ErrBusy):
+			s.log.Debug("profile capture skipped, profiler busy", "job", job.id)
+		default:
+			s.log.Warn("profile capture failed to start", "job", job.id, "err", err)
+		}
+	}
+
 	ctx := job.ctx()
 	timeout := s.cfg.DefaultJobTimeout
 	if job.req.TimeoutMs > 0 {
@@ -688,6 +712,18 @@ func (s *Service) runJob(job *Job) {
 			job.noteCell(ev.Key, ev.FromCheckpoint, ev.Err != nil, ev.Attempts > 1, errMsg)
 		},
 	})
+	if capt != nil {
+		// Stop before finishJob so the fingerprint reaches the job's ledger
+		// record.
+		if sum, err := capt.Stop(); err != nil {
+			s.log.Warn("profile capture stop failed", "job", job.id, "err", err)
+		} else if fp, ferr := capt.Fingerprint(0); ferr != nil {
+			s.log.Warn("profile digest failed", "job", job.id, "err", ferr)
+		} else {
+			job.setPerf(fp, sum.Dir)
+			s.log.Info("profiles captured", "job", job.id, "dir", sum.Dir)
+		}
+	}
 	s.finishJob(job, results, context.Cause(ctx))
 }
 
@@ -732,12 +768,15 @@ func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause
 	switch {
 	case results != nil && sweepErr == nil:
 		job.setResults(vals)
+		// Count before the terminal state becomes visible: a client that
+		// polls the job to done and then scrapes /metrics must see the
+		// counter already bumped.
+		s.reg.Counter(MJobsDone).Add(1)
 		job.setState(StateDone, "", "")
 		if err := s.journal.Done(job.id); err != nil {
 			s.log.Warn("journal done entry failed", "job", job.id, "err", err)
 			s.parkUnjournaled(journalEntry{T: "done", Job: job.id})
 		}
-		s.reg.Counter(MJobsDone).Add(1)
 		s.appendLedger(job, results)
 		s.endTrace(job, StateDone, "", "")
 		s.log.Info("job done", "job", job.id, "cells", len(results))
@@ -749,12 +788,12 @@ func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause
 		s.log.Warn("job interrupted", "job", job.id, "cause", causeName(cause))
 		return
 	case errors.Is(cause, ErrClientCanceled):
+		s.reg.Counter(MJobsCanceled).Add(1)
 		job.setState(StateCanceled, "", causeName(cause))
 		if err := s.journal.Cancel(job.id); err != nil {
 			s.log.Warn("journal cancel entry failed", "job", job.id, "err", err)
 			s.parkUnjournaled(journalEntry{T: "cancel", Job: job.id})
 		}
-		s.reg.Counter(MJobsCanceled).Add(1)
 		s.endTrace(job, StateCanceled, "", causeName(cause))
 		return
 	default:
@@ -762,12 +801,12 @@ func (s *Service) finishJob(job *Job, results []runner.Result[CellResult], cause
 		if sweepErr != nil {
 			msg = sweepErr.Error()
 		}
+		s.reg.Counter(MJobsFailed).Add(1)
 		job.setState(StateFailed, msg, causeName(cause))
 		if err := s.journal.Fail(job.id, msg, causeName(cause)); err != nil {
 			s.log.Warn("journal fail entry failed", "job", job.id, "err", err)
 			s.parkUnjournaled(journalEntry{T: "fail", Job: job.id, Err: msg, Cause: causeName(cause)})
 		}
-		s.reg.Counter(MJobsFailed).Add(1)
 		s.endTrace(job, StateFailed, msg, causeName(cause))
 		s.log.Warn("job failed", "job", job.id, "err", msg, "cause", causeName(cause))
 	}
@@ -821,6 +860,7 @@ func (s *Service) MetricsHandler() http.Handler {
 	return telemetry.MetricsHandler(s.reg, func() {
 		s.reg.Gauge(telemetry.MTokensAvailable).Set(int64(s.bucket.Available()))
 		s.reg.Gauge(telemetry.MUptimeSeconds).Set(int64(s.Uptime().Seconds()))
+		telemetry.SyncRuntimeMetrics(s.reg)
 	})
 }
 
@@ -863,6 +903,7 @@ func (s *Service) appendLedger(job *Job, results []runner.Result[CellResult]) {
 			rec.RefsPerSec = float64(rec.Refs) / wall
 		}
 	}
+	rec.Perf = job.Perf()
 	if _, err := ledger.Append(s.cfg.DataDir, rec); err != nil {
 		s.log.Warn("ledger append failed", "job", job.id, "err", err)
 	}

@@ -72,7 +72,7 @@ const dashboardHTML = `<!DOCTYPE html>
 <script>
 "use strict";
 const POLL_MS = 2000, KEEP = 120;
-const hist = { cellRate: [], shedRate: [], queue: [], inflight: [] };
+const hist = { cellRate: [], shedRate: [], queue: [], inflight: [], gcPause: [], heapLive: [] };
 let prev = null, prevT = 0;
 
 function parseProm(text) {
@@ -137,6 +137,8 @@ async function poll() {
     }
     push(hist.queue, g(m, "queue_depth"));
     push(hist.inflight, g(m, "cells_inflight"));
+    push(hist.gcPause, g(m, "runtime_gc_pause_p50_us"));
+    push(hist.heapLive, g(m, "runtime_heap_live_bytes") / 1048576);
     prev = { cells: cells, shed: shed }; prevT = now;
 
     document.getElementById("tiles").innerHTML =
@@ -151,7 +153,10 @@ async function poll() {
       chart("cell throughput", hist.cellRate, "#58a6ff", "/s") +
       chart("shed rate", hist.shedRate, "#f85149", "/s") +
       chart("queue depth", hist.queue, "#d29922", "") +
-      chart("cells inflight", hist.inflight, "#3fb950", "");
+      chart("cells inflight", hist.inflight, "#3fb950", "") +
+      chart("gc pause p50", hist.gcPause, "#bc8cff", "µs") +
+      chart("heap live / goal " + Math.round(g(m, "runtime_heap_goal_bytes") / 1048576) + "MB",
+            hist.heapLive, "#39c5cf", "MB");
     renderJobs(jobs);
     document.getElementById("meta").textContent =
       "up " + Math.round(g(m, "uptime_seconds")) + "s · " +

@@ -137,6 +137,16 @@ var Defs = []MetricDef{
 	{MCellAttempts, "counter", "Runner attempts across all cells, retries included."},
 	{MTraceSpans, "counter", "Spans recorded into finished job traces."},
 	{MUptimeSeconds, "gauge", "Seconds since the service opened."},
+	// Go runtime cost signals, refreshed from runtime/metrics at scrape
+	// time by SyncRuntimeMetrics.
+	{MRuntimeHeapLive, "gauge", "Live heap object bytes."},
+	{MRuntimeHeapGoal, "gauge", "GC heap-size goal in bytes."},
+	{MRuntimeGCCycles, "gauge", "Completed GC cycles since process start."},
+	{MRuntimeGCPauseP50, "gauge", "Median stop-the-world GC pause since start, microseconds."},
+	{MRuntimeGCPauseMax, "gauge", "Worst stop-the-world GC pause since start, microseconds."},
+	{MRuntimeSchedLatP95, "gauge", "p95 goroutine scheduling latency since start, microseconds."},
+	{MRuntimeAllocBytes, "gauge", "Cumulative heap bytes allocated since process start."},
+	{MRuntimeAllocObjects, "gauge", "Cumulative heap objects allocated since process start."},
 }
 
 // DefFor looks a definition up by registry name.
