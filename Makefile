@@ -37,6 +37,11 @@
 #                  a scratch ledger, then `simreport perf -gate`; plus the
 #                  profiling on/off overhead benchmark under the same 2%
 #                  budget as telemetrygate
+#   explaingate  — explainability contract: a -explain -selfcheck sweep
+#                  (3C conservation asserted inside every run) plus the
+#                  absent-vs-disabled overhead benchmark under the same 2%
+#                  budget as telemetrygate — runs without -explain must not
+#                  pay for the instrumentation's existence
 #   check        — all of the above
 #
 # `make fuzz-long` runs the trace-format fuzzers for 30 s each and is not
@@ -49,9 +54,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz fuzz-long selfcheck faults soak vulncheck attrib perfgate metricslint telemetrygate allocgate profilegate bench clean
+.PHONY: check build vet test race fuzz fuzz-long selfcheck faults soak vulncheck attrib perfgate metricslint telemetrygate allocgate profilegate explaingate bench clean
 
-check: vet build test race fuzz selfcheck faults soak vulncheck attrib perfgate metricslint telemetrygate allocgate profilegate
+check: vet build test race fuzz selfcheck faults soak vulncheck attrib perfgate metricslint telemetrygate allocgate profilegate explaingate
 
 build:
 	$(GO) build ./...
@@ -204,6 +209,41 @@ profilegate:
 	if [ $$pass -eq 0 ]; then echo "profilegate: FAIL — every round over budget"; exit 1; fi
 	@rm -rf .profilegate
 
+# Explainability contract, both halves. (1) 3C conservation on a small
+# real grid: every run below carries -explain -selfcheck, so the invariant
+# compulsory+capacity+conflict == misses is asserted inside the simulator
+# (selfcheck battery + the recorder's own Finish cross-check against the
+# independent miss counters) and any violation exits non-zero. Covers the
+# base system, a direct-mapped geometry (conflict-heavy), a write-heavy
+# set-associative buffer configuration and a two-level hierarchy.
+# (2) The overhead half through the telemetrygate per-round recipe:
+# absent (no Options) vs disabled (Options present, nothing armed) must
+# stay within the 2% budget plus one point of measurement floor — a
+# disarmed recorder takes the identical code path as no recorder, so this
+# gate trips only if someone reintroduces a cost on the unexplained path.
+# The armed variants (threec/reuse/full) are deliberately not gated:
+# shadow simulation has an inherent price, the contract is that only runs
+# asking for explanations pay it.
+explaingate:
+	@rm -rf .explaingate && mkdir -p .explaingate
+	$(GO) run ./cmd/cachesim -workload mu3 -scale 0.05 -explain -selfcheck >/dev/null
+	$(GO) run ./cmd/cachesim -workload savec -scale 0.05 -size 16 -block 32 -assoc 1 -explain -selfcheck >/dev/null
+	$(GO) run ./cmd/cachesim -workload mu6 -scale 0.05 -size 32 -assoc 2 -explain -selfcheck >/dev/null
+	$(GO) run ./cmd/cachesim -workload rd2n4 -scale 0.05 -l2 256 -explain -selfcheck >/dev/null
+	@echo "explaingate: 3C conservation held on all runs"
+	@pass=0; for i in 1 2 3; do \
+		echo "explaingate: overhead round $$i"; \
+		$(GO) test -run '^$$' -bench 'ExplainOverhead/(absent|disabled)' -benchtime 50x . > .explaingate/bench$$i.txt || exit 1; \
+		grep -v 'ExplainOverhead/disabled' .explaingate/bench$$i.txt | sed 's|ExplainOverhead/absent|ExplainOverhead/guard|' \
+			| $(GO) run ./cmd/bench2json -best -o .explaingate/off$$i.json || exit 1; \
+		grep -v 'ExplainOverhead/absent' .explaingate/bench$$i.txt | sed 's|ExplainOverhead/disabled|ExplainOverhead/guard|' \
+			| $(GO) run ./cmd/bench2json -best -o .explaingate/on$$i.json || exit 1; \
+		if $(GO) run ./cmd/bench2json -diff -fail-over 3 -fail-metrics cpu-ns/op \
+			.explaingate/off$$i.json .explaingate/on$$i.json; then pass=1; fi; \
+	done; \
+	if [ $$pass -eq 0 ]; then echo "explaingate: FAIL — every round over budget"; exit 1; fi
+	@rm -rf .explaingate
+
 vulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./... || echo "vulncheck: advisories found (non-fatal)"; \
@@ -216,4 +256,4 @@ bench:
 
 clean:
 	$(GO) clean ./...
-	rm -rf .perfgate .telemetrygate .allocgate .profilegate
+	rm -rf .perfgate .telemetrygate .allocgate .profilegate .explaingate

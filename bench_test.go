@@ -20,6 +20,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/explain"
 	"repro/internal/mem"
 	"repro/internal/perfobs"
 	"repro/internal/service"
@@ -386,6 +387,43 @@ func BenchmarkSimtraceOverhead(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
+}
+
+// BenchmarkExplainOverhead guards the cost of the explainability recorder
+// the same way BenchmarkSimtraceOverhead guards simtrace: "absent" is the
+// nil fast path every unexplained run takes, "disabled" a config with a
+// zero-valued (disarmed) Options, and the remaining variants arm each
+// instrument. `make explaingate` holds absent-vs-disabled within 2% on
+// cpu-ns/op (from getrusage, like ProfileOverhead — the unexplained path's
+// cost is CPU work, and wall time on a shared runner absorbs stalls that
+// land unevenly); the armed variants are reported, not gated — shadow
+// simulation has an inherent cost, the contract is only that nobody pays
+// it by default.
+func BenchmarkExplainOverhead(b *testing.B) {
+	tr := ablationTrace(b)
+	cases := []struct {
+		name string
+		opts *explain.Options
+	}{
+		{"absent", nil},
+		{"disabled", &explain.Options{}},
+		{"threec", &explain.Options{ThreeC: true}},
+		{"reuse", &explain.Options{Reuse: true}},
+		{"full", func() *explain.Options { o := explain.All(); return &o }()},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := ablationConfig(func(cfg *system.Config) { cfg.Explain = c.opts })
+			start := cpuTime(b)
+			for i := 0; i < b.N; i++ {
+				if _, err := system.Simulate(cfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cpuTime(b)-start)/float64(b.N), "cpu-ns/op")
 			b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
 		})
 	}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/check"
 	"repro/internal/config"
+	"repro/internal/explain"
 	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/perfobs"
@@ -71,6 +72,7 @@ func run() error {
 		checkEvry = flag.Int("selfcheck-every", check.DefaultEvery, "structural invariant interval in references (with -selfcheck)")
 
 		attrib    = flag.Bool("attrib", false, "decompose the cycle count into attribution components (conservation-checked)")
+		explainOn = flag.Bool("explain", false, "classify every miss as compulsory/capacity/conflict and record reuse-distance and set-pressure profiles (reported after the tables)")
 		intervals = flag.Int("intervals", 0, "emit an interval window every N references: CPI sparkline, warm-up estimate, window records")
 		intervOut = flag.String("intervals-out", "", "write interval windows to this file (.csv for CSV, anything else NDJSON; with -intervals)")
 		eventsOut = flag.String("events", "", "write the run's timeline events to this file as Chrome trace-event JSON (load in Perfetto)")
@@ -173,6 +175,10 @@ func run() error {
 			Events:       *eventsOut != "",
 		}
 	}
+	if *explainOn {
+		opts := explain.All()
+		cfg.Explain = &opts
+	}
 
 	// Ctrl-C cancels the sweep; traces that already finished are still
 	// reported, the rest are marked in the partial report below.
@@ -185,6 +191,11 @@ func run() error {
 		res  system.Result
 		hist *stats.Hist
 		rec  *simtrace.Recorder
+		// expWarm/expTotal are the run's explainability reports (warm window
+		// and whole trace), nil without -explain. Both are extracted inside
+		// the cell: the system instance does not outlive it.
+		expWarm  *explain.Report
+		expTotal *explain.Report
 	}
 	cells := make([]runner.Cell[simOut], len(traces))
 	for i, tr := range traces {
@@ -200,7 +211,11 @@ func run() error {
 				if err != nil {
 					return simOut{}, err
 				}
-				return simOut{res: res, hist: sys.CoupletLatencies(), rec: sys.Recorder()}, nil
+				out := simOut{res: res, hist: sys.CoupletLatencies(), rec: sys.Recorder()}
+				if exp := sys.Explainer(); exp.On() {
+					out.expWarm, out.expTotal = exp.ReportWarm(), exp.Report()
+				}
+				return out, nil
 			},
 		}
 	}
@@ -239,8 +254,13 @@ func run() error {
 		name string
 		rec  *simtrace.Recorder
 	}
+	type expRow struct {
+		name        string
+		warm, total *explain.Report
+	}
 	var hists []histRow
 	var recs []recRow
+	var exps []expRow
 	var failed []*runner.CellError
 	for i, r := range results {
 		if !r.Done {
@@ -262,6 +282,9 @@ func run() error {
 		}
 		if r.Value.rec != nil {
 			recs = append(recs, recRow{traces[i].Name, r.Value.rec})
+		}
+		if r.Value.expWarm != nil {
+			exps = append(exps, expRow{traces[i].Name, r.Value.expWarm, r.Value.expTotal})
 		}
 	}
 	if err := tab.Render(os.Stdout); err != nil {
@@ -292,11 +315,33 @@ func run() error {
 				if comp.Cycles == 0 {
 					continue
 				}
-				at.Row(rr.name, comp.Name, comp.Cycles, 100*float64(comp.Cycles)/float64(a.Cycles))
+				// Zero-safe share: a window with no cycles (degenerate trace)
+				// reports 0 rather than NaN.
+				share := 0.0
+				if a.Cycles > 0 {
+					share = 100 * float64(comp.Cycles) / float64(a.Cycles)
+				}
+				at.Row(rr.name, comp.Name, comp.Cycles, share)
 			}
 		}
 		if err := at.Render(os.Stdout); err != nil {
 			return err
+		}
+	}
+	if *explainOn {
+		window := "warm window"
+		if *showTotal {
+			window = "whole trace"
+		}
+		for _, er := range exps {
+			rep := er.warm
+			if *showTotal {
+				rep = er.total
+			}
+			fmt.Printf("\nexplain: %s (%s)\n", er.name, window)
+			if err := explain.RenderText(os.Stdout, rep); err != nil {
+				return err
+			}
 		}
 	}
 	var warmups []obs.ManifestWarmup
@@ -369,6 +414,19 @@ func run() error {
 				}
 				m.AttribCells++
 			}
+		}
+		if len(exps) > 0 {
+			// The manifest rollup is always the warm window, like the
+			// attribution rollup: records of one config must measure the
+			// same thing whatever -total displayed.
+			merged := &explain.Report{}
+			for _, er := range exps {
+				if err := merged.Merge(er.warm); err != nil {
+					return err
+				}
+				m.ExplainCells++
+			}
+			m.Explain = merged
 		}
 		if reg != nil {
 			m.FillFromRegistry(reg, time.Since(start))

@@ -34,6 +34,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/check"
 	"repro/internal/experiments"
+	"repro/internal/explain"
 	"repro/internal/faultinject"
 	"repro/internal/ledger"
 	"repro/internal/obs"
@@ -169,6 +170,7 @@ func run() (err error) {
 		faultSpec = flag.String("faults", "", "deterministic fault-injection plan, e.g. 'seed=1,panic=0.02,slow=0.01,transient=0.1' (testing the runner)")
 
 		attrib    = flag.Bool("attrib", false, "arm cycle attribution in every freshly computed cell; the aggregate lands in the registry and run manifest")
+		explainOn = flag.Bool("explain", false, "arm 3C miss classification in every freshly computed cell; the aggregate lands in the registry and run manifest")
 		intervals = flag.Int("intervals", 0, "accepted for interface parity; sweep cells cannot emit interval series (use cachesim -intervals)")
 		eventsOut = flag.String("events", "", "write a representative cell's timeline as Chrome trace-event JSON to this file")
 
@@ -222,7 +224,7 @@ func run() (err error) {
 	// -attrib counts as asking: its aggregate is reported via the manifest.
 	// -ledger arms the registry and the in-memory manifest (the ledger
 	// record is its projection) but writes no manifest file of its own.
-	manifestOn := *progress > 0 || *debugAddr != "" || *manifest != "" || *attrib || *profDir != ""
+	manifestOn := *progress > 0 || *debugAddr != "" || *manifest != "" || *attrib || *explainOn || *profDir != ""
 	obsOn := manifestOn || *ledgerDir != ""
 	manifestPath := *manifest
 	if manifestOn && manifestPath == "" {
@@ -302,6 +304,11 @@ func run() (err error) {
 		if *attrib {
 			fmt.Println("attrib: cycle attribution armed in every freshly computed cell")
 		}
+	}
+	if *explainOn {
+		opts := explain.All()
+		exec.Explain = &opts
+		fmt.Println("explain: 3C miss classification armed in every freshly computed cell")
 	}
 	var cp *runner.Checkpoint
 	if *ckpt != "" {
@@ -430,6 +437,11 @@ func run() (err error) {
 			return err
 		}
 	}
+	if *explainOn && reg != nil {
+		if err := renderExplain(os.Stdout, reg); err != nil {
+			return err
+		}
+	}
 	if *eventsOut != "" {
 		if rec := suite.EventTrace(); rec == nil {
 			fmt.Fprintln(os.Stderr, "events: no cell was freshly computed with the event ring armed (all replayed from checkpoint?); nothing written")
@@ -477,8 +489,37 @@ func renderAttribution(w io.Writer, reg *obs.Registry) error {
 	tab := textplot.NewTable(fmt.Sprintf("aggregate cycle attribution over %d freshly computed cells (warm windows)", cells),
 		"component", "cycles", "share%")
 	for _, n := range names {
-		tab.Row(n, comps[n], 100*float64(comps[n])/float64(total))
+		// Zero-safe share: a degenerate run whose components all measured
+		// zero cycles reports 0 rather than NaN.
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(comps[n]) / float64(total)
+		}
+		tab.Row(n, comps[n], share)
 	}
+	return tab.Render(w)
+}
+
+// renderExplain prints the registry's aggregate 3C miss classification
+// across every freshly computed cell.
+func renderExplain(w io.Writer, reg *obs.Registry) error {
+	cells := reg.Counter(obs.MExplainCells).Value()
+	if cells == 0 {
+		fmt.Fprintln(w, "\nexplain: no freshly computed cells (all replayed from checkpoint?)")
+		return nil
+	}
+	c3 := explain.ThreeC{
+		Compulsory: reg.Counter(obs.MExplainCompulsory).Value(),
+		Capacity:   reg.Counter(obs.MExplainCapacity).Value(),
+		Conflict:   reg.Counter(obs.MExplainConflict).Value(),
+	}
+	comp, cap3, conf := c3.SharePct()
+	fmt.Fprintln(w)
+	tab := textplot.NewTable(fmt.Sprintf("aggregate 3C miss classification over %d freshly computed cells (warm windows)", cells),
+		"class", "misses", "share%")
+	tab.Row("compulsory", c3.Compulsory, comp)
+	tab.Row("capacity", c3.Capacity, cap3)
+	tab.Row("conflict", c3.Conflict, conf)
 	return tab.Render(w)
 }
 

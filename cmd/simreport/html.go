@@ -10,17 +10,130 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/explain"
 	"repro/internal/ledger"
 )
 
 // htmlConfig is one configuration's section of the HTML report: its run
-// history (newest last), SVG trend sparklines, and the latest-vs-previous
-// diff when there are at least two runs.
+// history (newest last), SVG trend sparklines, the newest explain panels,
+// and the latest-vs-previous diff when there are at least two runs.
 type htmlConfig struct {
-	Hash   string
-	Runs   []htmlRun
-	Trends []htmlTrend
-	Diff   *ledger.Diff
+	Hash    string
+	Runs    []htmlRun
+	Trends  []htmlTrend
+	Explain *htmlExplain
+	Diff    *ledger.Diff
+}
+
+// htmlExplain is the newest explained run's SVG panel set for one config:
+// a stacked 3C bar, a reuse-distance bar chart and a set-pressure heat
+// strip per cache side.
+type htmlExplain struct {
+	RunID  string
+	Panels []htmlExplainPanel
+}
+
+type htmlExplainPanel struct {
+	Label   string
+	Summary string
+	Bar     []svgRect // stacked 3C composition bar
+	Reuse   []svgRect // reuse-distance histogram bars
+	ReuseW  float64
+	Heat    []svgRect // per-set-group miss intensity cells
+	HeatW   float64
+}
+
+// svgRect is one template-rendered rectangle; Title becomes the hover
+// tooltip.
+type svgRect struct {
+	X, Y, W, H float64
+	Fill       string
+	Title      string
+}
+
+const (
+	explBarW  = 300.0
+	explBarH  = 16.0
+	reuseBarW = 16.0
+	reuseMaxH = 48.0
+	heatH     = 14.0
+)
+
+// buildExplainPanels turns a ledgered explain report into SVG panel data.
+func buildExplainPanels(rep *explain.Report) []htmlExplainPanel {
+	var out []htmlExplainPanel
+	for _, s := range rep.Sides {
+		comp, cap3, conf := s.ThreeC.SharePct()
+		p := htmlExplainPanel{
+			Label: s.Label,
+			Summary: fmt.Sprintf("compulsory %.1f%% · capacity %.1f%% · conflict %.1f%% of %d misses",
+				comp, cap3, conf, s.Misses),
+		}
+		x := 0.0
+		for _, seg := range []struct {
+			pct  float64
+			fill string
+			name string
+		}{
+			{comp, "#3b6ea5", "compulsory"},
+			{cap3, "#d9822b", "capacity"},
+			{conf, "#b00020", "conflict"},
+		} {
+			w := explBarW * seg.pct / 100
+			if w > 0 {
+				p.Bar = append(p.Bar, svgRect{X: x, W: w, H: explBarH, Fill: seg.fill,
+					Title: fmt.Sprintf("%s %.1f%%", seg.name, seg.pct)})
+			}
+			x += w
+		}
+		if s.Reuse != nil {
+			var maxN int64 = 1
+			for _, n := range s.Reuse.Buckets {
+				if n > maxN {
+					maxN = n
+				}
+			}
+			if s.Reuse.Cold > maxN {
+				maxN = s.Reuse.Cold
+			}
+			bins := append([]int64{s.Reuse.Cold}, s.Reuse.Buckets...)
+			labels := make([]string, len(bins))
+			labels[0] = "cold"
+			for b := range s.Reuse.Buckets {
+				labels[b+1] = explain.BucketLabel(b)
+			}
+			for i, n := range bins {
+				h := reuseMaxH * float64(n) / float64(maxN)
+				p.Reuse = append(p.Reuse, svgRect{
+					X: float64(i) * (reuseBarW + 2), Y: reuseMaxH - h,
+					W: reuseBarW, H: h, Fill: "#3b6ea5",
+					Title: fmt.Sprintf("distance %s: %d", labels[i], n),
+				})
+			}
+			p.ReuseW = float64(len(bins)) * (reuseBarW + 2)
+		}
+		if len(s.HeatMisses) > 0 {
+			var maxN int64 = 1
+			for _, n := range s.HeatMisses {
+				if n > maxN {
+					maxN = n
+				}
+			}
+			cw := explBarW / float64(len(s.HeatMisses))
+			for i, n := range s.HeatMisses {
+				a := float64(n) / float64(maxN)
+				p.Heat = append(p.Heat, svgRect{
+					X: float64(i) * cw, W: cw, H: heatH,
+					Fill: fmt.Sprintf("rgba(176,0,32,%.2f)", 0.06+0.94*a),
+					Title: fmt.Sprintf("sets %d-%d: %d misses",
+						i*s.SetsPerCell, min((i+1)*s.SetsPerCell, s.Sets)-1, n),
+				})
+			}
+			p.HeatW = explBarW
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // htmlRun is one ledger record plus its trace link, when the service
@@ -120,6 +233,12 @@ func buildReport(recs []ledger.Record, traceDir string) htmlReport {
 				Last:     fmt.Sprintf(tm.format, vals[len(vals)-1]),
 			})
 		}
+		for i := len(hist) - 1; i >= 0; i-- {
+			if hist[i].Explain != nil {
+				hc.Explain = &htmlExplain{RunID: hist[i].RunID, Panels: buildExplainPanels(hist[i].Explain)}
+				break
+			}
+		}
 		if len(hist) >= 2 {
 			d := ledger.ComputeDiff(hist[len(hist)-2], hist[len(hist)-1], hist[:len(hist)-1], ledger.Thresholds{})
 			hc.Diff = &d
@@ -155,6 +274,10 @@ var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
   .trend .name { font-family: ui-monospace, monospace; font-size: .85em; color: #555; }
   .reg { color: #b00020; font-weight: 600; }
   .env { color: #777; font-size: .85em; }
+  h3.exp { font-size: 1em; margin-bottom: .3em; }
+  .panel { margin: .6em 0 1em; }
+  .panel svg { background: #f6f6f6; border-radius: 3px; display: block; margin: .15em 0 .5em; }
+  .panel .name { font-family: ui-monospace, monospace; font-size: .85em; color: #555; }
 </style>
 </head>
 <body>
@@ -183,6 +306,29 @@ var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
     <span class="name">{{.First}} &rarr; {{.Last}}</span></span>
   {{end}}
 </div>
+{{end}}
+{{with .Explain}}
+<h3 class="exp">explain — run {{.RunID}} (warm windows)</h3>
+{{range .Panels}}
+<div class="panel">
+  <div class="name">side {{.Label}} — {{.Summary}}</div>
+  <svg width="300" height="16" viewBox="0 0 300 16">
+    {{range .Bar}}<rect x="{{.X}}" y="0" width="{{.W}}" height="{{.H}}" fill="{{.Fill}}"><title>{{.Title}}</title></rect>{{end}}
+  </svg>
+  {{if .Reuse}}
+  <div class="name">reuse distance (log2 buckets, cold first)</div>
+  <svg width="{{.ReuseW}}" height="48" viewBox="0 0 {{.ReuseW}} 48">
+    {{range .Reuse}}<rect x="{{.X}}" y="{{.Y}}" width="{{.W}}" height="{{.H}}" fill="{{.Fill}}"><title>{{.Title}}</title></rect>{{end}}
+  </svg>
+  {{end}}
+  {{if .Heat}}
+  <div class="name">set-pressure misses (left = set 0)</div>
+  <svg width="{{.HeatW}}" height="14" viewBox="0 0 {{.HeatW}} 14">
+    {{range .Heat}}<rect x="{{.X}}" y="0" width="{{.W}}" height="{{.H}}" fill="{{.Fill}}"><title>{{.Title}}</title></rect>{{end}}
+  </svg>
+  {{end}}
+</div>
+{{end}}
 {{end}}
 {{with .Diff}}
 <table>

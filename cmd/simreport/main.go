@@ -9,6 +9,7 @@
 //	simreport gate -ledger DIR [-tolerance 5]  # exit 1 on regression
 //	simreport perf -ledger DIR [RUN]        # a profiled run's hot-path fingerprint
 //	simreport perf -ledger DIR -gate        # exit 1 on hot-path regression
+//	simreport explain -ledger DIR [RUN]     # an explained run's 3C/reuse/heat panels
 //	simreport flame FILE.pprof              # top-down text call tree of a profile
 //	simreport html -ledger DIR -o report.html  # self-contained HTML report
 //
@@ -31,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/explain"
 	"repro/internal/ledger"
 	"repro/internal/textplot"
 )
@@ -48,6 +50,7 @@ commands:
   diff   compare two runs metric by metric (-json for machine output)
   gate   fail (exit 1) when the newest run regressed beyond tolerance
   perf   show, diff or gate profiled runs' hot-path fingerprints
+  explain  render an explained run's 3C classification, reuse and heat panels
   flame  render a captured pprof file as a top-down text call tree
   html   write a self-contained HTML report of the whole ledger
 
@@ -86,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return code
 		}
 		err = perr
+	case "explain":
+		err = cmdExplain(rest, stdout, stderr)
 	case "flame":
 		err = cmdFlame(rest, stdout, stderr)
 	case "html":
@@ -280,8 +285,39 @@ func renderShow(w io.Writer, rec ledger.Record, all []ledger.Record, trendN int)
 	if len(rec.Attribution) > 0 {
 		renderAttribution(w, rec)
 	}
+	if rec.Explain != nil {
+		comp, cap3, conf := rec.Explain.Total3C().SharePct()
+		fmt.Fprintf(w, "\n3C       compulsory %.1f%%  capacity %.1f%%  conflict %.1f%% of %d misses (see `simreport explain %s`)\n",
+			comp, cap3, conf, rec.Explain.TotalMisses(), rec.RunID)
+	}
 	renderTrend(w, rec, all, trendN)
 	return nil
+}
+
+// cmdExplain renders one explained run's full report: the 3C table, the
+// reuse-distance histograms and the set-pressure sparklines.
+func cmdExplain(args []string, stdout, stderr io.Writer) error {
+	fs, dir := newFlagSet("explain", stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sel := "latest"
+	if fs.NArg() > 0 {
+		sel = fs.Arg(0)
+	}
+	recs, err := readLedger(*dir, stderr)
+	if err != nil {
+		return err
+	}
+	rec, err := ledger.FindRun(recs, sel)
+	if err != nil {
+		return err
+	}
+	if rec.Explain == nil {
+		return fmt.Errorf("run %s carries no explain report (rerun with -explain)", rec.RunID)
+	}
+	fmt.Fprintf(stdout, "run %s (%s), warm windows\n\n", rec.RunID, rec.Tool)
+	return explain.RenderText(stdout, rec.Explain)
 }
 
 // renderAttribution prints the record's cycle-attribution rollup, largest
@@ -450,6 +486,22 @@ func renderDiff(w io.Writer, d ledger.Diff) error {
 			at.Row(a.Name, a.Old, a.New, fmt.Sprintf("%+.2f", a.Pct))
 		}
 		if err := at.Render(w); err != nil {
+			return err
+		}
+	}
+	if len(d.Explain) > 0 {
+		fmt.Fprintln(w)
+		et := textplot.NewTable("3C miss composition (share of misses; explains, never gates)",
+			"class", "old%", "new%", "delta pts", "threshold", "verdict")
+		for _, e := range d.Explain {
+			v := "~"
+			if e.Regression {
+				v = "shifted"
+			}
+			et.Row(e.Func, fmt.Sprintf("%.1f", e.OldPct), fmt.Sprintf("%.1f", e.NewPct),
+				fmt.Sprintf("%+.1f", e.DeltaPts), fmt.Sprintf("%.1f", e.ThresholdPts), v)
+		}
+		if err := et.Render(w); err != nil {
 			return err
 		}
 	}

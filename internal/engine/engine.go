@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/check"
+	"repro/internal/explain"
 	"repro/internal/system"
 	"repro/internal/trace"
 )
@@ -140,6 +141,17 @@ func BuildProfile(org Org, t *trace.Trace) (*Profile, error) {
 // interval. The first divergence aborts the build with a typed
 // *check.Divergence error; a nil opts is exactly BuildProfile.
 func BuildProfileChecked(org Org, t *trace.Trace, opts *check.Options) (*Profile, error) {
+	return BuildProfileExplained(org, t, opts, nil)
+}
+
+// BuildProfileExplained is BuildProfileChecked with the explainability
+// recorder attached: when exp is non-nil, every cache access also feeds
+// the recorder's shadow models (3C classification, reuse distances, set
+// pressure), and the build finishes by verifying 3C conservation against
+// the profile's own miss counters. The behavioural pass sees every
+// reference exactly once, so the recorder observes the same stream the
+// system simulator would. A nil exp is exactly BuildProfileChecked.
+func BuildProfileExplained(org Org, t *trace.Trace, opts *check.Options, exp *explain.Recorder) (*Profile, error) {
 	if err := org.Validate(); err != nil {
 		return nil, err
 	}
@@ -174,6 +186,27 @@ func BuildProfileChecked(org Org, t *trace.Trace, opts *check.Options) (*Profile
 			if ic, err = chk.Shadow("I", ireal); err != nil {
 				return nil, err
 			}
+		}
+	}
+	var expI, expD *explain.Probe
+	// exp.On() rather than a nil check: a recorder whose Options arm no
+	// instrument attaches no probes, so the disarmed build runs the same
+	// code path as a nil recorder.
+	if exp.On() {
+		label := "D"
+		if org.Unified {
+			label = "U"
+		}
+		if expD, err = exp.Probe(label, org.DCache); err != nil {
+			return nil, err
+		}
+		if org.Unified {
+			expI = expD
+		} else if expI, err = exp.Probe("I", org.ICache); err != nil {
+			return nil, err
+		}
+		if chk != nil {
+			chk.AddInvariant("explain-3c", exp.CheckConservation)
 		}
 	}
 	p := &Profile{Org: org, TraceName: t.Name}
@@ -211,6 +244,7 @@ func BuildProfileChecked(org Org, t *trace.Trace, opts *check.Options) (*Profile
 		if !warmTaken && i >= t.WarmStart {
 			flushGapAsMarker()
 			p.warmSnap = p.total
+			exp.MarkWarm()
 			warmTaken = true
 		}
 		n := trace.CoupletLen(refs, i)
@@ -226,6 +260,7 @@ func BuildProfileChecked(org Org, t *trace.Trace, opts *check.Options) (*Profile
 			p.total.Ifetches++
 			ev.hasI = true
 			res := ic.Read(first.Extended())
+			expI.OnRead(first.Extended(), res)
 			if !res.Hit {
 				p.total.IfetchMisses++
 				ev.iMiss = true
@@ -247,6 +282,7 @@ func BuildProfileChecked(org Org, t *trace.Trace, opts *check.Options) (*Profile
 			case trace.Load:
 				p.total.Loads++
 				res := dc.Read(ev.dAddr)
+				expD.OnRead(ev.dAddr, res)
 				if res.Hit {
 					ev.d = dLoadHit
 				} else {
@@ -259,6 +295,7 @@ func BuildProfileChecked(org Org, t *trace.Trace, opts *check.Options) (*Profile
 			case trace.Store:
 				p.total.Stores++
 				res := dc.Write(ev.dAddr)
+				expD.OnWrite(ev.dAddr, res)
 				switch {
 				case res.Hit:
 					p.total.StoreHits++
@@ -301,6 +338,7 @@ func BuildProfileChecked(org Org, t *trace.Trace, opts *check.Options) (*Profile
 	if !warmTaken {
 		flushGapAsMarker()
 		p.warmSnap = p.total
+		exp.MarkWarm()
 	}
 	p.tailGap = gap
 	p.tailGapStoreHits = gapStoreHits
@@ -309,6 +347,9 @@ func BuildProfileChecked(org Org, t *trace.Trace, opts *check.Options) (*Profile
 		if err := chk.Finish(&tally); err != nil {
 			return nil, err
 		}
+	}
+	if err := exp.Finish(p.total.IfetchMisses + p.total.LoadMisses + p.total.StoreMisses); err != nil {
+		return nil, err
 	}
 	return p, nil
 }

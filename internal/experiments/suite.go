@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/explain"
 	"repro/internal/mem"
 	"repro/internal/runner"
 	"repro/internal/simtrace"
@@ -77,7 +78,10 @@ type Suite struct {
 type profileEntry struct {
 	once sync.Once
 	p    *engine.Profile
-	err  error
+	// exp is the warm-window explainability report of the behavioural
+	// pass, nil unless ExecOptions.Explain armed the recorder.
+	exp *explain.Report
+	err error
 }
 
 type profileKey struct {
@@ -156,6 +160,15 @@ func orgFor(totalKB, blockWords, assoc int) engine.Org {
 // the expensive behavioural pass runs exactly once per key, with
 // contending cells blocking on the builder rather than duplicating it.
 func (s *Suite) profile(i int, org engine.Org) (*engine.Profile, error) {
+	p, _, err := s.profileExplained(i, org)
+	return p, err
+}
+
+// profileExplained is profile plus the behavioural pass's warm-window
+// explainability report (nil unless ExecOptions.Explain is set). The
+// report rides the same single-flight slot, so it exists exactly once per
+// (organization × trace) however many replay cells share the profile.
+func (s *Suite) profileExplained(i int, org engine.Org) (*engine.Profile, *explain.Report, error) {
 	key := profileKey{
 		traceIdx:   i,
 		sizeWords:  org.DCache.SizeWords,
@@ -174,15 +187,23 @@ func (s *Suite) profile(i int, org engine.Org) (*engine.Profile, error) {
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		p, err := engine.BuildProfileChecked(org, s.Traces[i], s.exec.SelfCheck)
+		var rec *explain.Recorder
+		if s.exec.Explain != nil {
+			rec = explain.New(*s.exec.Explain)
+		}
+		p, err := engine.BuildProfileExplained(org, s.Traces[i], s.exec.SelfCheck, rec)
 		if err != nil {
 			e.err = fmt.Errorf("experiments: profiling %s against %s: %w",
 				org.DCache.String(), s.Traces[i].Name, err)
 			return
 		}
 		e.p = p
+		if rec.On() {
+			e.exp = rec.ReportWarm()
+			s.recordExplain(e.exp)
+		}
 	})
-	return e.p, e.err
+	return e.p, e.exp, e.err
 }
 
 // replayAll replays the organization at the timing for every trace through

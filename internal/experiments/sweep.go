@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/engine"
+	"repro/internal/explain"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -61,6 +62,15 @@ type ExecOptions struct {
 	// results, so checkpoint keys do not encode the option; cells replayed
 	// from a checkpoint skip simulation and contribute no attribution.
 	Trace *simtrace.Options
+	// Explain, when set, arms the explainability recorder
+	// (internal/explain) inside every behavioural pass and full-system
+	// cell: 3C miss classification, reuse-distance histograms and
+	// set-pressure heat. Counters and system cells carry the warm-window
+	// report (aggregated into the Metrics registry under the explain_*
+	// names); replay cells share their profile's single report rather
+	// than repeating it per timing. Instrumented cells produce
+	// bit-identical results, so checkpoint keys do not encode the option.
+	Explain *explain.Options
 }
 
 // SetExec configures sweep execution. Call before running figures; the
@@ -95,6 +105,11 @@ type cellOut struct {
 	// ExecOptions.Trace armed it (omitted otherwise, so checkpoint bytes
 	// without instrumentation are unchanged).
 	Attrib *simtrace.Attribution `json:"attrib,omitempty"`
+	// Explain is the warm-window explainability report, present only when
+	// ExecOptions.Explain armed it (same checkpoint-byte discipline as
+	// Attrib) and only on counters/system cells — replay cells would
+	// repeat their shared profile's report once per timing.
+	Explain *explain.Report `json:"explain,omitempty"`
 }
 
 // cellRecorder builds the per-cell simtrace recorder, or nil when tracing
@@ -134,6 +149,23 @@ func (s *Suite) EventTrace() *simtrace.Recorder {
 	s.evMu.Lock()
 	defer s.evMu.Unlock()
 	return s.evRec
+}
+
+// recordExplain aggregates one freshly computed explainability report into
+// the metrics registry's explain_* counters. Called once per fresh
+// behavioural pass and once per fresh full-system cell — never per replay
+// cell, which shares its profile's already-counted report — so the rollup
+// counts each simulation exactly once however many timings reuse it.
+func (s *Suite) recordExplain(rep *explain.Report) {
+	m := s.exec.Metrics
+	if m == nil || rep == nil {
+		return
+	}
+	c3 := rep.Total3C()
+	m.Counter(obs.MExplainCells).Add(1)
+	m.Counter(obs.MExplainCompulsory).Add(c3.Compulsory)
+	m.Counter(obs.MExplainCapacity).Add(c3.Capacity)
+	m.Counter(obs.MExplainConflict).Add(c3.Conflict)
 }
 
 // attribOut packages a finished recorder's warm-window attribution for the
@@ -213,11 +245,11 @@ func (s *Suite) countersCell(i int, org engine.Org) runner.Cell[cellOut] {
 			if err := ctx.Err(); err != nil {
 				return cellOut{}, err
 			}
-			p, err := s.profile(i, org)
+			p, exp, err := s.profileExplained(i, org)
 			if err != nil {
 				return cellOut{}, err
 			}
-			return cellOut{Warm: p.WarmCounters()}, nil
+			return cellOut{Warm: p.WarmCounters(), Explain: exp}, nil
 		},
 	}
 }
@@ -239,6 +271,7 @@ func (s *Suite) systemCell(i int, cfg system.Config) runner.Cell[cellOut] {
 				opts.IntervalRefs = 0 // no per-cell window sink; see ExecOptions.Trace
 				cfg.Trace = &opts
 			}
+			cfg.Explain = s.exec.Explain
 			sys, err := system.New(cfg)
 			if err != nil {
 				return cellOut{}, err
@@ -247,8 +280,13 @@ func (s *Suite) systemCell(i int, cfg system.Config) runner.Cell[cellOut] {
 			if err != nil {
 				return cellOut{}, err
 			}
+			var exp *explain.Report
+			if sys.Explainer().On() {
+				exp = sys.Explainer().ReportWarm()
+				s.recordExplain(exp)
+			}
 			return cellOut{ExecNs: res.ExecTimeNs(), CPR: res.Warm.CyclesPerRef(),
-				Warm: res.Warm, Attrib: s.attribOut(sys.Recorder())}, nil
+				Warm: res.Warm, Attrib: s.attribOut(sys.Recorder()), Explain: exp}, nil
 		},
 	}
 }

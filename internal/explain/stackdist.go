@@ -1,0 +1,181 @@
+package explain
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// stackDist computes exact LRU stack distances (reuse distances) online in
+// O(log n) per access, the classic Bennett–Kruskal / Olken construction:
+// each access occupies a time slot, a Fenwick tree counts the slots still
+// "live" (most recent access of some block), and the reuse distance of an
+// access is the number of live slots after the block's previous slot —
+// i.e. the number of distinct blocks touched since, i.e. the block's depth
+// in the LRU stack.
+//
+// Every access promotes and installs its block (standard reuse-distance
+// semantics). This deliberately ignores the write-allocation policy: LRU
+// inclusion — "a C-block fully-associative LRU cache hits exactly the
+// accesses with distance < C" — only holds when all capacities see the
+// same promote/install stream. The allocation-policy-faithful model lives
+// in lruShadow; this structure is the capacity-independent profile that
+// seeds the single-pass multi-configuration engine.
+type stackDist struct {
+	last map[uint64]int32 // block -> live slot (1-based)
+	tree []int32          // Fenwick over slots; index 0 unused
+	n    int32            // highest slot assigned
+}
+
+const stackDistInitialSlots = 1 << 12
+
+func newStackDist() *stackDist {
+	return &stackDist{
+		last: make(map[uint64]int32),
+		tree: make([]int32, stackDistInitialSlots+1),
+	}
+}
+
+func (s *stackDist) add(i, delta int32) {
+	for ; int(i) < len(s.tree); i += i & (-i) {
+		s.tree[i] += delta
+	}
+}
+
+func (s *stackDist) sum(i int32) int32 {
+	var t int32
+	for ; i > 0; i -= i & (-i) {
+		t += s.tree[i]
+	}
+	return t
+}
+
+// Access records one access, returning the block's reuse distance: the
+// number of distinct blocks accessed since its previous access (0 means
+// immediate re-reference), or -1 on first touch.
+func (s *stackDist) Access(block uint64) int64 {
+	d := int64(-1)
+	if prev, ok := s.last[block]; ok {
+		d = int64(s.sum(s.n) - s.sum(prev))
+		s.add(prev, -1)
+		// The stale entry must go before any rescale, which rebuilds
+		// the tree from the live map and would resurrect it.
+		delete(s.last, block)
+	}
+	if int(s.n)+1 >= len(s.tree) {
+		s.rescale()
+	}
+	s.n++
+	s.add(s.n, 1)
+	s.last[block] = s.n
+	return d
+}
+
+// rescale renumbers live slots densely (preserving order) into a tree
+// sized at 4x the live count, so at least three-quarters of the new tree
+// is free slots: the amortized cost per access stays O(log n).
+func (s *stackDist) rescale() {
+	type liveSlot struct {
+		block uint64
+		slot  int32
+	}
+	live := make([]liveSlot, 0, len(s.last))
+	for b, sl := range s.last {
+		live = append(live, liveSlot{b, sl})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].slot < live[j].slot })
+	size := stackDistInitialSlots
+	for size < 4*(len(live)+1) {
+		size *= 2
+	}
+	s.tree = make([]int32, size+1)
+	s.n = 0
+	for _, e := range live {
+		s.n++
+		s.add(s.n, 1)
+		s.last[e.block] = s.n
+	}
+}
+
+// Hist is a log2-bucketed reuse-distance histogram. Cold counts first
+// touches (distance undefined); bucket 0 counts distance 0; bucket k >= 1
+// counts distances in [2^(k-1), 2^k). The bucket edges align with
+// power-of-two cache capacities, so HitsBelow is exact for them.
+type Hist struct {
+	Cold    int64   `json:"cold"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Add records one access with reuse distance d (negative = first touch).
+func (h *Hist) Add(d int64) {
+	if d < 0 {
+		h.Cold++
+		return
+	}
+	b := bucketOf(d)
+	for len(h.Buckets) <= b {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[b]++
+}
+
+func bucketOf(d int64) int {
+	if d == 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d))
+}
+
+// BucketLow returns the smallest distance bucket b counts.
+func BucketLow(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return 1 << uint(b-1)
+}
+
+// BucketHigh returns the largest distance bucket b counts.
+func BucketHigh(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return 1<<uint(b) - 1
+}
+
+// Total returns the number of recorded accesses, cold ones included.
+func (h Hist) Total() int64 {
+	t := h.Cold
+	for _, v := range h.Buckets {
+		t += v
+	}
+	return t
+}
+
+// HitsBelow returns the number of accesses with reuse distance < capacity
+// blocks — by LRU inclusion, the hit count of a fully-associative LRU
+// write-allocate cache of that capacity. Exact when capacity is a power
+// of two (bucket edges align); a conservative lower bound otherwise.
+func (h Hist) HitsBelow(capacity int64) int64 {
+	if capacity <= 0 {
+		return 0
+	}
+	var hits int64
+	for b, v := range h.Buckets {
+		if BucketHigh(b) < capacity {
+			hits += v
+		}
+	}
+	return hits
+}
+
+// Sub returns h minus earlier snapshot s, bucket-wise.
+func (h Hist) Sub(s Hist) Hist {
+	out := Hist{Cold: h.Cold - s.Cold, Buckets: cloneInts(h.Buckets)}
+	for i, v := range s.Buckets {
+		out.Buckets[i] -= v
+	}
+	return out
+}
+
+func (h Hist) clone() Hist {
+	return Hist{Cold: h.Cold, Buckets: cloneInts(h.Buckets)}
+}

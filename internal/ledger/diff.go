@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/explain"
+	"repro/internal/perfobs"
 )
 
 // MetricDef describes one comparable record metric: how to extract it and
@@ -151,6 +154,12 @@ type Diff struct {
 	ConfigMatch bool    `json:"config_match"`
 	Metrics     []Delta `json:"metrics"`
 	Attribution []Delta `json:"attribution,omitempty"`
+	// Explain is the 3C miss-class composition shift between the two runs,
+	// in share points of total misses, under the same noise-aware thresholds
+	// perfobs applies to profile function shares. Present when both runs
+	// carried explain reports. Report-only, like Attribution: composition
+	// shifts explain a regression, the totals decide it.
+	Explain []perfobs.FuncDelta `json:"explain,omitempty"`
 }
 
 // Regressions returns the metric deltas flagged as regressions
@@ -202,7 +211,33 @@ func ComputeDiff(oldRec, newRec Record, history []Record, th Thresholds) Diff {
 		}
 		d.Attribution = append(d.Attribution, ad)
 	}
+	if oldRec.Explain != nil && newRec.Explain != nil {
+		var hist [][]perfobs.FuncShare
+		for _, r := range history {
+			if s := threeCShares(r.Explain); s != nil {
+				hist = append(hist, s)
+			}
+		}
+		d.Explain = perfobs.DiffShares(
+			threeCShares(oldRec.Explain), threeCShares(newRec.Explain),
+			hist, perfobs.Thresholds{})
+	}
 	return d
+}
+
+// threeCShares flattens a record's 3C totals to a perfobs share table: each
+// miss class as a percentage of the run's misses. Nil when the record has no
+// report (or saw no misses — a composition of nothing is not comparable).
+func threeCShares(rep *explain.Report) []perfobs.FuncShare {
+	if rep == nil || rep.TotalMisses() == 0 {
+		return nil
+	}
+	comp, cap3, conf := rep.Total3C().SharePct()
+	return []perfobs.FuncShare{
+		{Func: "compulsory", SharePct: comp},
+		{Func: "capacity", SharePct: cap3},
+		{Func: "conflict", SharePct: conf},
+	}
 }
 
 // GateOptions configures a regression gate.

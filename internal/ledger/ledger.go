@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/explain"
 	"repro/internal/obs"
 	"repro/internal/perfobs"
 )
@@ -103,6 +104,11 @@ type Record struct {
 	// -profile. It sits next to CPI and latency so `simreport perf` can
 	// trend and gate hot-path composition the way `gate` trends totals.
 	Perf *perfobs.Fingerprint `json:"perf,omitempty"`
+	// Explain is the run's merged explainability report (3C miss classes,
+	// reuse-distance histograms, set pressure), present when the run armed
+	// -explain. `simreport diff` turns its 3C totals into composition-shift
+	// deltas; like attribution, they explain rather than gate.
+	Explain *explain.Report `json:"explain,omitempty"`
 
 	Env Env `json:"env"`
 }
@@ -150,6 +156,7 @@ func FromManifest(m *obs.Manifest, tool string) Record {
 	if rec.TotalCycles > 0 && rec.Refs > 0 {
 		rec.CPI = float64(rec.TotalCycles) / float64(rec.Refs)
 	}
+	rec.Explain = m.Explain
 	if len(m.Warmup) > 0 {
 		rec.Warmup = make(map[string]int64, len(m.Warmup))
 		for _, w := range m.Warmup {

@@ -9,6 +9,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/explain"
 	"repro/internal/runner"
 )
 
@@ -53,6 +54,14 @@ type Manifest struct {
 	// replayed from a checkpoint skip simulation and add nothing).
 	Attribution map[string]int64 `json:"attribution,omitempty"`
 	AttribCells int64            `json:"attrib_cells,omitempty"`
+	// Explain is the merged explainability report (3C miss classes,
+	// reuse-distance histograms, set-pressure heat) across every freshly
+	// computed cell when the run armed the explain recorder; ExplainCells
+	// counts the cells that contributed. Registry-only runs that never
+	// see full reports (paperfigs sweeps) still get a totals-only report
+	// synthesized from the explain_* counters.
+	Explain      *explain.Report `json:"explain,omitempty"`
+	ExplainCells int64           `json:"explain_cells,omitempty"`
 	// Warmup records per-trace warm-up stabilization estimates from the
 	// interval time series, when interval instrumentation ran.
 	Warmup []ManifestWarmup `json:"warmup,omitempty"`
@@ -219,6 +228,21 @@ func (m *Manifest) FillFromRegistry(reg *Registry, wall time.Duration) {
 	if n := reg.Counter(MAttribCells).Value(); n > 0 {
 		m.AttribCells = n
 		m.Attribution = reg.CounterValuesWithPrefix(MAttribPrefix)
+	}
+	if n := reg.Counter(MExplainCells).Value(); n > 0 {
+		m.ExplainCells = n
+		if m.Explain == nil {
+			c3 := explain.ThreeC{
+				Compulsory: reg.Counter(MExplainCompulsory).Value(),
+				Capacity:   reg.Counter(MExplainCapacity).Value(),
+				Conflict:   reg.Counter(MExplainConflict).Value(),
+			}
+			m.Explain = &explain.Report{Sides: []explain.SideReport{{
+				Label:  "all",
+				Misses: c3.Total(),
+				ThreeC: c3,
+			}}}
+		}
 	}
 	refs := reg.Counter(MSimRefs).Value()
 	m.Throughput = ManifestThroughput{

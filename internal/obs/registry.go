@@ -51,6 +51,15 @@ const (
 	// Deliberately outside the attrib_ namespace so prefix scans see only
 	// component counters.
 	MAttribCells = "cells_attributed"
+	// MExplainCompulsory, MExplainCapacity and MExplainConflict aggregate
+	// the explain recorder's 3C miss classification across freshly
+	// computed cells when a sweep arms it (see internal/explain).
+	MExplainCompulsory = "explain_compulsory"
+	MExplainCapacity   = "explain_capacity"
+	MExplainConflict   = "explain_conflict"
+	// MExplainCells counts cells whose explain report fed those counters;
+	// like MAttribCells it sits outside the explain_ namespace on purpose.
+	MExplainCells = "cells_explained"
 )
 
 // Counter is a monotonically increasing metric, safe for concurrent use.

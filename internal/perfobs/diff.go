@@ -189,6 +189,16 @@ func diffShares(oldS, newS []FuncShare, history [][]FuncShare, th Thresholds) []
 	return out
 }
 
+// DiffShares compares two named composition tables (share points per
+// component) under the noise-aware thresholds — the same machinery
+// DiffFingerprints applies to profile function shares, exported for any
+// share-of-total composition, like the ledger's 3C miss-class shifts.
+// history supplies the same composition from earlier runs (for noise);
+// zero-valued th fields fall back to DefaultThresholds.
+func DiffShares(oldS, newS []FuncShare, history [][]FuncShare, th Thresholds) []FuncDelta {
+	return diffShares(oldS, newS, history, th.orDefaults())
+}
+
 // DiffFingerprints compares oldFp → newFp. history supplies earlier
 // fingerprints of the same configuration (oldest first, excluding newFp)
 // for the noise-aware thresholds; it may be empty or nil.

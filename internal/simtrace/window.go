@@ -21,6 +21,11 @@ type Sample struct {
 	Stores        int64
 	StoreMisses   int64
 	MemBusyCycles int64
+	// 3C miss classification totals from the explain recorder; all zero
+	// when the run does not arm it (the window columns then read 0).
+	Compulsory int64
+	Capacity   int64
+	Conflict   int64
 }
 
 // Window is one emitted interval record: the statistics of the reference
@@ -45,6 +50,11 @@ type Window struct {
 	DepthMean float64 `json:"wbuf_depth_mean"`
 	DepthP90  int64   `json:"wbuf_depth_p90"`
 	DepthMax  int64   `json:"wbuf_depth_max"`
+	// Per-window 3C miss classification deltas (zero when the run does
+	// not arm the explain recorder).
+	Compulsory int64 `json:"compulsory,omitempty"`
+	Capacity   int64 `json:"capacity,omitempty"`
+	Conflict   int64 `json:"conflict,omitempty"`
 }
 
 type windowState struct {
@@ -93,6 +103,9 @@ func (w *windowState) emit(s Sample) {
 		Stores:        s.Stores - w.prev.Stores,
 		StoreMisses:   s.StoreMisses - w.prev.StoreMisses,
 		MemBusyCycles: s.MemBusyCycles - w.prev.MemBusyCycles,
+		Compulsory:    s.Compulsory - w.prev.Compulsory,
+		Capacity:      s.Capacity - w.prev.Capacity,
+		Conflict:      s.Conflict - w.prev.Conflict,
 	}
 	if d.Refs == 0 {
 		return
@@ -115,6 +128,9 @@ func (w *windowState) emit(s Sample) {
 		DepthMean:       w.depth.Mean(),
 		DepthP90:        w.depth.Percentile(0.9),
 		DepthMax:        w.depth.Max,
+		Compulsory:      d.Compulsory,
+		Capacity:        d.Capacity,
+		Conflict:        d.Conflict,
 	})
 	w.prev = s
 	w.depth = stats.Hist{}
@@ -204,14 +220,15 @@ func (r *Recorder) WriteWindowsNDJSON(w io.Writer) error {
 
 // WriteWindowsCSV writes the windows as a CSV table with a header row.
 func (r *Recorder) WriteWindowsCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "window,start_ref,end_ref,start_cycle,end_cycle,cpi,ifetch_miss_ratio,load_miss_ratio,store_miss_ratio,mem_util,wbuf_depth_mean,wbuf_depth_p90,wbuf_depth_max"); err != nil {
+	if _, err := fmt.Fprintln(w, "window,start_ref,end_ref,start_cycle,end_cycle,cpi,ifetch_miss_ratio,load_miss_ratio,store_miss_ratio,mem_util,wbuf_depth_mean,wbuf_depth_p90,wbuf_depth_max,compulsory,capacity,conflict"); err != nil {
 		return err
 	}
 	for _, win := range r.win.windows {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%g,%g,%g,%g,%g,%g,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%d\n",
 			win.Index, win.StartRef, win.EndRef, win.StartCycle, win.EndCycle,
 			win.CPI, win.IfetchMissRatio, win.LoadMissRatio, win.StoreMissRatio,
-			win.MemUtil, win.DepthMean, win.DepthP90, win.DepthMax)
+			win.MemUtil, win.DepthMean, win.DepthP90, win.DepthMax,
+			win.Compulsory, win.Capacity, win.Conflict)
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/check"
+	"repro/internal/explain"
 	"repro/internal/mem"
 	"repro/internal/simtrace"
 )
@@ -107,6 +108,13 @@ type Config struct {
 	// reason as SelfCheck: runner checkpoint keys hash the encoded
 	// config and must not change when instrumentation is enabled.
 	Trace *simtrace.Options `json:"-"`
+	// Explain, when non-nil, arms the explainability recorder
+	// (internal/explain): 3C miss classification against shadow infinite
+	// and fully-associative LRU caches, reuse-distance histograms, and
+	// per-set pressure counters, retrievable via (*System).Explainer
+	// after a Run. Purely passive and excluded from JSON for the same
+	// reasons as Trace.
+	Explain *explain.Options `json:"-"`
 }
 
 // effectiveLevels resolves the L2 sugar field and Levels into one list,

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/check"
+	"repro/internal/explain"
 	"repro/internal/mem"
 	"repro/internal/simtrace"
 	"repro/internal/stats"
@@ -49,6 +50,12 @@ type System struct {
 	// lower level plus one for the memory unit).
 	rec *simtrace.Recorder
 	svc []int64
+
+	// exp is the explainability recorder, nil unless cfg.Explain is set;
+	// expI/expD are its per-side probes (one shared probe when unified).
+	exp  *explain.Recorder
+	expI *explain.Probe
+	expD *explain.Probe
 }
 
 // New constructs a simulator for the configuration.
@@ -159,8 +166,34 @@ func (s *System) reset(traceName string) error {
 			s.chk.AddInvariant("attrib-conservation", s.rec.CheckConservation)
 		}
 	}
+	s.exp, s.expI, s.expD = nil, nil, nil
+	// A disarmed Options arms no instrument, so skip the recorder entirely:
+	// the run takes the identical code path as cfg.Explain == nil, which is
+	// what lets `make explaingate` hold absent-vs-disabled within budget.
+	if s.cfg.Explain != nil && s.cfg.Explain.Any() {
+		s.exp = explain.New(*s.cfg.Explain)
+		label := "D"
+		if s.cfg.Unified {
+			label = "U"
+		}
+		if s.expD, err = s.exp.Probe(label, s.cfg.DCache); err != nil {
+			return err
+		}
+		if s.cfg.Unified {
+			s.expI = s.expD
+		} else if s.expI, err = s.exp.Probe("I", s.cfg.ICache); err != nil {
+			return err
+		}
+		if s.chk != nil {
+			s.chk.AddInvariant("explain-3c", s.exp.CheckConservation)
+		}
+	}
 	return nil
 }
+
+// Explainer returns the explainability recorder of the most recent Run,
+// or nil unless Config.Explain was set.
+func (s *System) Explainer() *explain.Recorder { return s.exp }
 
 // Recorder returns the simtrace recorder of the most recent Run, or nil
 // unless Config.Trace was set.
@@ -168,7 +201,7 @@ func (s *System) Recorder() *simtrace.Recorder { return s.rec }
 
 // sample snapshots the cumulative interval statistics at the given cycle.
 func (s *System) sample(now int64) simtrace.Sample {
-	return simtrace.Sample{
+	smp := simtrace.Sample{
 		Refs:          s.live.Refs,
 		Cycles:        now,
 		Ifetches:      s.live.Ifetches,
@@ -179,6 +212,13 @@ func (s *System) sample(now int64) simtrace.Sample {
 		StoreMisses:   s.live.StoreMisses,
 		MemBusyCycles: s.unit.BusyCycles,
 	}
+	if s.exp != nil {
+		c3 := s.exp.Total3C()
+		smp.Compulsory = c3.Compulsory
+		smp.Capacity = c3.Capacity
+		smp.Conflict = c3.Conflict
+	}
+	return smp
 }
 
 // CoupletLatencies returns the couplet service-time histogram of the most
@@ -257,6 +297,7 @@ func (s *System) Run(t *trace.Trace) (Result, error) {
 		if !warmTaken && i >= t.WarmStart {
 			warmSnap = s.snapshot(now)
 			s.rec.MarkWarm()
+			s.exp.MarkWarm()
 			warmTaken = true
 		}
 		n := trace.CoupletLen(refs, i)
@@ -300,6 +341,7 @@ func (s *System) Run(t *trace.Trace) (Result, error) {
 	if !warmTaken {
 		warmSnap = total
 		s.rec.MarkWarm() // degenerate warm window: keep attribution consistent
+		s.exp.MarkWarm()
 	}
 	if s.chk != nil {
 		tally := total.SelfCheckTally()
@@ -311,6 +353,9 @@ func (s *System) Run(t *trace.Trace) (Result, error) {
 		if err := s.rec.Finish(s.sample(now), now); err != nil {
 			return Result{}, err
 		}
+	}
+	if err := s.exp.Finish(total.IfetchMisses + total.LoadMisses + total.StoreMisses); err != nil {
+		return Result{}, err
 	}
 	return Result{CycleNs: s.cfg.CycleNs, Total: total, Warm: total.Sub(warmSnap)}, nil
 }
@@ -430,6 +475,13 @@ func (s *System) readRef(now int64, c l1cache, r trace.Ref, isIfetch bool) int64
 	}
 	addr := r.Extended()
 	res := c.Read(addr)
+	if s.exp != nil {
+		if isIfetch {
+			s.expI.OnRead(addr, res)
+		} else {
+			s.expD.OnRead(addr, res)
+		}
+	}
 	kind := simtrace.Load
 	if isIfetch {
 		kind = simtrace.Ifetch
@@ -473,6 +525,7 @@ func (s *System) writeRef(now int64, r trace.Ref) int64 {
 	}
 	addr := r.Extended()
 	res := s.dcache.Write(addr)
+	s.expD.OnWrite(addr, res)
 	wt := s.cfg.DCache.WritePolicy == cache.WriteThrough
 
 	if res.Hit {

@@ -107,6 +107,24 @@ function chart(label, arr, color, unit) {
 }
 function esc(s) { return String(s).replace(/[&<>"]/g, c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c])); }
 
+// threec renders the explain recorder's aggregate 3C miss classification as
+// a stacked composition bar; empty until some cell ran with explain armed.
+function threec(m) {
+  const comp = g(m, "explain_compulsory"), cap = g(m, "explain_capacity"), conf = g(m, "explain_conflict");
+  const tot = comp + cap + conf;
+  if (!g(m, "cells_explained") || !tot) return "";
+  const seg = (v, color, name) => {
+    const pct = 100 * v / tot;
+    return '<i style="display:inline-block;height:10px;background:' + color +
+           ';width:' + pct.toFixed(1) + '%" title="' + name + " " + pct.toFixed(1) + '%"></i>';
+  };
+  return '<div class="chart"><span class="l">3c miss classes (' + g(m, "cells_explained") + " explained)</span>" +
+    '<div style="width:220px;margin-top:.4rem;font-size:0">' +
+    seg(comp, "#58a6ff", "compulsory") + seg(cap, "#d29922", "capacity") + seg(conf, "#f85149", "conflict") +
+    '</div><span class="l">' + (100 * comp / tot).toFixed(0) + "% comp · " +
+    (100 * cap / tot).toFixed(0) + "% cap · " + (100 * conf / tot).toFixed(0) + "% conf</span></div>";
+}
+
 function renderJobs(jobs) {
   const rows = jobs.slice(-25).reverse().map(j => {
     const c = j.cells || {}, planned = c.planned || 0, fin = (c.done || 0) + (c.failed || 0);
@@ -156,7 +174,8 @@ async function poll() {
       chart("cells inflight", hist.inflight, "#3fb950", "") +
       chart("gc pause p50", hist.gcPause, "#bc8cff", "µs") +
       chart("heap live / goal " + Math.round(g(m, "runtime_heap_goal_bytes") / 1048576) + "MB",
-            hist.heapLive, "#39c5cf", "MB");
+            hist.heapLive, "#39c5cf", "MB") +
+      threec(m);
     renderJobs(jobs);
     document.getElementById("meta").textContent =
       "up " + Math.round(g(m, "uptime_seconds")) + "s · " +

@@ -101,6 +101,10 @@ var Defs = []MetricDef{
 	{obs.MCellsRetried, "counter", "Cells that needed more than one attempt."},
 	{obs.MCellsInflight, "gauge", "Cells currently on a runner worker."},
 	{obs.MAttribCells, "counter", "Cells whose cycle attribution fed the attrib_ counters."},
+	{obs.MExplainCells, "counter", "Simulations whose explain report fed the explain_ counters."},
+	{obs.MExplainCompulsory, "counter", "Misses classified compulsory (first touch) across explained simulations."},
+	{obs.MExplainCapacity, "counter", "Misses classified capacity (lost even fully associative) across explained simulations."},
+	{obs.MExplainConflict, "counter", "Misses classified conflict (set-mapping collisions) across explained simulations."},
 	{obs.MSimRefs, "counter", "Simulated references (warm window) across cells."},
 	{obs.MCellLatency, "timing", "Per-cell wall-clock latency."},
 	// Service job lifecycle (internal/service).
